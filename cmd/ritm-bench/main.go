@@ -1,0 +1,60 @@
+// Command ritm-bench regenerates the tables and figures of the paper's
+// evaluation section (§VII). With no arguments it runs every experiment at
+// full fidelity; pass identifiers to select a subset, -quick for reduced
+// parameters, and -csv for machine-readable output.
+//
+//	ritm-bench                  # everything, full fidelity
+//	ritm-bench fig5 tab3        # selected experiments
+//	ritm-bench -quick -csv fig6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ritm/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced parameters (smoke run)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list  = flag.Bool("list", false, "list experiment identifiers and exit")
+	)
+	flag.Parse()
+	if err := run(flag.Args(), *quick, *csv, *list); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(ids []string, quick, csv, list bool) error {
+	if list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, quick)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if csv {
+			if err := tbl.CSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := tbl.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command ritm-ca runs a certification authority together with its CDN
+// distribution point: it serves the dissemination API that edge servers
+// and RAs pull from, keeps the dictionary fresh every ∆, and exposes a
+// small admin API for issuing and revoking certificates.
+//
+// Endpoints (on -listen):
+//
+//	GET /v1/cas, /v1/pull?ca=&from=, /v1/root?ca=   dissemination (cdn API)
+//	GET /admin/root                                  root certificate (binary)
+//	GET /admin/issue?subject=S&pub=HEX               issue a certificate
+//	GET /admin/revoke?serial=HEX                     revoke a serial number
+//
+// Example:
+//
+//	ritm-ca -id DemoCA -delta 10s -listen 127.0.0.1:8440
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ritm"
+	"ritm/internal/cdn"
+	"ritm/internal/serial"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "DemoCA", "CA identifier")
+		delta  = flag.Duration("delta", 10*time.Second, "dissemination interval ∆")
+		listen = flag.String("listen", "127.0.0.1:8440", "address for the dissemination + admin API")
+	)
+	flag.Parse()
+	if err := run(*id, *delta, *listen); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(id string, delta time.Duration, listen string) error {
+	dp := ritm.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: ritm.CAID(id), Delta: delta, Publisher: dp})
+	if err != nil {
+		return err
+	}
+	if err := dp.RegisterCA(ritm.CAID(id), authority.PublicKey()); err != nil {
+		return err
+	}
+	if err := authority.PublishRoot(); err != nil {
+		return err
+	}
+	refresher := authority.StartRefresher(func(err error) {
+		log.Printf("refresh: %v", err)
+	})
+	defer refresher.Shutdown()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", cdn.Handler(dp))
+	mux.HandleFunc("GET /admin/root", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(authority.RootCertificate().Encode())
+	})
+	mux.HandleFunc("GET /admin/issue", func(w http.ResponseWriter, r *http.Request) {
+		subject := r.URL.Query().Get("subject")
+		pubHex := r.URL.Query().Get("pub")
+		pub, err := hex.DecodeString(pubHex)
+		if subject == "" || err != nil || len(pub) != ed25519.PublicKeySize {
+			http.Error(w, "issue requires subject and a 32-byte hex pub", http.StatusBadRequest)
+			return
+		}
+		crt, err := authority.IssueServerCertificate(subject, pub)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		log.Printf("issued %s serial=%v", subject, crt.SerialNumber)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(crt.Encode())
+	})
+	mux.HandleFunc("GET /admin/revoke", func(w http.ResponseWriter, r *http.Request) {
+		sn, err := serial.Parse(r.URL.Query().Get("serial"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if _, err := authority.Revoke(sn); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		log.Printf("revoked serial=%v (n=%d)", sn, authority.Authority().Count())
+		fmt.Fprintf(w, "revoked %v\n", sn)
+	})
+
+	srv := &http.Server{Addr: listen, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("ritm-ca %s: ∆=%v, serving dissemination + admin on %s", id, delta, listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+		log.Print("shutting down")
+		return srv.Close()
+	}
+}

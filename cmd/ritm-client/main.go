@@ -1,0 +1,93 @@
+// Command ritm-client opens a RITM-protected connection (normally through
+// a ritm-ra proxy), sends one message, and reports the revocation status
+// it verified. With -require-status it refuses connections on which no
+// on-path RA delivered a valid status — the bootstrapped-client policy of
+// §IV/§V.
+//
+// Example:
+//
+//	ritm-client -ca http://127.0.0.1:8440 -addr 127.0.0.1:8443 \
+//	    -server-name demo.example -message "hello ritm"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ritm"
+	"ritm/internal/cert"
+)
+
+func main() {
+	var (
+		caURL      = flag.String("ca", "http://127.0.0.1:8440", "CA base URL (admin API, for the trust anchor)")
+		addr       = flag.String("addr", "127.0.0.1:8443", "address to connect to (an RA proxy)")
+		serverName = flag.String("server-name", "demo.example", "expected certificate subject")
+		message    = flag.String("message", "hello ritm", "message to send")
+		require    = flag.Bool("require-status", true, "fail unless a valid revocation status arrives")
+		delta      = flag.Duration("delta", 10*time.Second, "fallback ∆ for the freshness policy")
+	)
+	flag.Parse()
+	if err := run(*caURL, *addr, *serverName, *message, *require, *delta); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(caURL, addr, serverName, message string, require bool, delta time.Duration) error {
+	root, err := fetchRoot(caURL)
+	if err != nil {
+		return err
+	}
+	pool, err := ritm.NewPool(root)
+	if err != nil {
+		return err
+	}
+
+	conn, err := ritm.Dial("tcp", addr, serverName, &ritm.ClientConfig{
+		Pool:          pool,
+		Delta:         delta,
+		RequireStatus: require,
+	})
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+
+	state := conn.ConnectionState()
+	log.Printf("connected: serial=%v issuer=%s resumed=%v server-announces-ritm=%v",
+		state.ServerSerial, state.ServerCA, state.Resumed, state.ServerDeploysRITM)
+	log.Printf("revocation statuses verified: %d", conn.Verifier().ValidCount())
+
+	if _, err := conn.Write([]byte(message)); err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	fmt.Printf("%s\n", buf[:n])
+	return nil
+}
+
+func fetchRoot(caURL string) (*ritm.Certificate, error) {
+	resp, err := http.Get(caURL + "/admin/root")
+	if err != nil {
+		return nil, fmt.Errorf("fetch CA root: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch CA root: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("fetch CA root: %w", err)
+	}
+	return cert.Decode(body)
+}

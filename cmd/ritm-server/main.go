@@ -1,0 +1,124 @@
+// Command ritm-server runs a TLS-sim echo server whose certificate is
+// issued by a running ritm-ca. The server needs no RITM support at all —
+// per the paper, deployment is entirely middlebox-driven — so this is a
+// plain TLS server; the -announce flag opts into the TLS-terminator
+// deployment confirmation of §IV.
+//
+// Example:
+//
+//	ritm-server -ca http://127.0.0.1:8440 -listen 127.0.0.1:9443 -subject demo.example
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"ritm"
+	"ritm/internal/cert"
+	"ritm/internal/tlssim"
+)
+
+func main() {
+	var (
+		caURL    = flag.String("ca", "http://127.0.0.1:8440", "CA base URL (admin API)")
+		listen   = flag.String("listen", "127.0.0.1:9443", "listen address")
+		subject  = flag.String("subject", "demo.example", "certificate subject")
+		announce = flag.Bool("announce", false, "announce RITM deployment in the ServerHello (§IV)")
+	)
+	flag.Parse()
+	if err := run(*caURL, *listen, *subject, *announce); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(caURL, listen, subject string, announce bool) error {
+	key, err := ritm.NewSigner()
+	if err != nil {
+		return err
+	}
+	leaf, err := requestCertificate(caURL, subject, key)
+	if err != nil {
+		return err
+	}
+	log.Printf("ritm-server: certificate for %s, serial %v, issued by %s",
+		subject, leaf.SerialNumber, leaf.Issuer)
+
+	cfg := &ritm.TLSConfig{
+		Chain:        ritm.Chain{leaf},
+		Key:          key,
+		AnnounceRITM: announce,
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				serveEcho(tlssim.Server(raw, cfg))
+			}()
+		}
+	}()
+	log.Printf("ritm-server: echoing on %s", listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	ln.Close()
+	wg.Wait()
+	return nil
+}
+
+func serveEcho(conn *ritm.TLSConn) {
+	defer conn.Close()
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(buf[:n]); err != nil {
+			return
+		}
+	}
+}
+
+// requestCertificate asks the CA admin API to issue a certificate binding
+// subject to the server's public key.
+func requestCertificate(caURL, subject string, key *ritm.Signer) (*ritm.Certificate, error) {
+	u := fmt.Sprintf("%s/admin/issue?subject=%s&pub=%s",
+		caURL, url.QueryEscape(subject), hex.EncodeToString(key.Public()))
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("request certificate: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("request certificate: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("request certificate: status %d: %s", resp.StatusCode, body)
+	}
+	return cert.Decode(body)
+}

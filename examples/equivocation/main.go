@@ -1,0 +1,142 @@
+// Equivocation: a misbehaving CA is caught and the evidence is portable.
+//
+// A compromised CA tries to hide a revocation from part of the Internet by
+// maintaining two versions of its dictionary: one that contains the
+// revocation (shown to region A) and one that does not (shown to region
+// B). Because dictionaries are append-only with consecutive revocation
+// numbers, an honest CA signs exactly one root per size n — so as soon as
+// any two parties compare their latest signed roots, the fork is exposed,
+// and the pair of roots is a transferable cryptographic proof of
+// misbehavior (§III "Consistency Checking", §V "Misbehaving CA").
+//
+//	go run ./examples/equivocation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ritm"
+	"ritm/internal/cdn"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const delta = 10 * time.Second
+
+	// The CA's honest half publishes to region A's distribution point.
+	dpA := cdn.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: "ShadyCA", Delta: delta, Publisher: dpA})
+	if err != nil {
+		return err
+	}
+	if err := dpA.RegisterCA("ShadyCA", authority.PublicKey()); err != nil {
+		return err
+	}
+	if err := authority.PublishRoot(); err != nil {
+		return err
+	}
+
+	// The fork: same identity, same key, its own dictionary — fed to
+	// region B's distribution point.
+	fork, err := authority.Fork()
+	if err != nil {
+		return err
+	}
+	dpB := cdn.NewDistributionPoint(nil)
+	if err := dpB.RegisterCA("ShadyCA", fork.PublicKey()); err != nil {
+		return err
+	}
+	if err := dpB.PublishIssuance(&dictionary.IssuanceMessage{Root: fork.Authority().SignedRoot()}); err != nil {
+		return err
+	}
+
+	// One RA per region.
+	newAgent := func(origin ritm.Origin) (*ritm.RA, error) {
+		agent, err := ritm.NewRA(ritm.RAConfig{
+			Roots:  []*ritm.Certificate{authority.RootCertificate()},
+			Origin: origin,
+			Delta:  delta,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return agent, agent.SyncOnce()
+	}
+	raA, err := newAgent(ritm.NewEdgeServer(dpA, 0, nil))
+	if err != nil {
+		return err
+	}
+	raB, err := newAgent(ritm.NewEdgeServer(dpB, 0, nil))
+	if err != nil {
+		return err
+	}
+
+	// The attack: a compromised certificate is revoked only in region A's
+	// view; region B's fork "revokes" an unrelated serial instead, so both
+	// dictionaries reach size 1 — with different contents.
+	victim := serial.NewGenerator(0xE71, nil)
+	compromised := victim.Next()
+	if _, err := authority.Revoke(compromised); err != nil {
+		return err
+	}
+	msg, err := fork.Revoke(victim.Next())
+	if err != nil {
+		return err
+	}
+	if err := dpB.PublishIssuance(msg); err != nil {
+		return err
+	}
+	for _, agent := range []*ritm.RA{raA, raB} {
+		if err := agent.SyncOnce(); err != nil {
+			return err
+		}
+	}
+	replicaB, err := raB.Store().Replica("ShadyCA")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("region A believes %v is revoked; region B does not (n=%d in both)\n",
+		compromised, replicaB.Count())
+
+	// Detection: the two RAs compare their latest signed roots — directly,
+	// or via the map server's membership (§III).
+	pool, err := ritm.NewPool(authority.RootCertificate())
+	if err != nil {
+		return err
+	}
+	auditor := ritm.NewAuditor(pool)
+	ms := ritm.NewMapServer()
+	ms.Register("ra-region-a", raA.Store())
+	ms.Register("ra-region-b", raB.Store())
+	res := ritm.CrossCheck(ms, auditor, "ShadyCA")
+	if len(res.Proofs) == 0 {
+		return fmt.Errorf("equivocation went undetected")
+	}
+	proof := res.Proofs[0]
+	fmt.Printf("equivocation detected: two signed roots at n=%d with different hashes\n",
+		proof.A.N)
+	fmt.Printf("  root A: %v\n  root B: %v\n", proof.A.Root, proof.B.Root)
+
+	// The proof travels: any third party verifies it with only the CA's
+	// public key, then reports it (e.g. to software vendors, §III).
+	wire := proof.Encode()
+	received, err := dictionary.DecodeMisbehaviorProof(wire)
+	if err != nil {
+		return err
+	}
+	if err := received.Verify(authority.PublicKey()); err != nil {
+		return fmt.Errorf("transferred proof did not verify: %w", err)
+	}
+	fmt.Printf("proof serialized to %d bytes and verified independently — ShadyCA is busted\n",
+		len(wire))
+	return nil
+}

@@ -1,0 +1,159 @@
+// Heartbleed: a mass-revocation event propagating through the CDN.
+//
+// The example replays the peak day of the Heartbleed disclosure (16 April
+// 2014, §VII-A) against a live dissemination network: the CA revokes the
+// day's certificates in hourly batches, and six RAs — two per "region",
+// sharing a regional edge server — pull the updates. A virtual clock
+// advances one ∆ per simulated hour, so the edge caches expire exactly as
+// they would in production, and the second RA of each region is served
+// from cache: the sharing that makes CDN dissemination scale (§III).
+//
+//	go run ./examples/heartbleed
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ritm"
+	"ritm/internal/serial"
+	"ritm/internal/workload"
+)
+
+// vclock is a virtual clock the edge caches run on.
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *vclock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *vclock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const delta = 10 * time.Second
+
+	dp := ritm.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: "HeartbleedCA", Delta: delta, Publisher: dp})
+	if err != nil {
+		return err
+	}
+	if err := dp.RegisterCA("HeartbleedCA", authority.PublicKey()); err != nil {
+		return err
+	}
+	if err := authority.PublishRoot(); err != nil {
+		return err
+	}
+
+	// Three regions, one edge server each (TTL = ∆/2), two RAs per region.
+	clock := &vclock{t: time.Now()}
+	regions := []string{"us-east", "eu-west", "ap-south"}
+	edges := make([]*ritm.EdgeServer, len(regions))
+	agents := make(map[string][]*ritm.RA, len(regions))
+	for i, region := range regions {
+		edges[i] = ritm.NewEdgeServer(dp, delta/2, clock.now)
+		for j := 0; j < 2; j++ {
+			agent, err := ritm.NewRA(ritm.RAConfig{
+				Roots:  []*ritm.Certificate{authority.RootCertificate()},
+				Origin: edges[i],
+				Delta:  delta,
+			})
+			if err != nil {
+				return err
+			}
+			if err := agent.SyncOnce(); err != nil {
+				return err
+			}
+			agents[region] = append(agents[region], agent)
+		}
+	}
+
+	// The peak day's hourly revocation counts, scaled 1:100 so the example
+	// finishes in seconds while keeping the burst shape.
+	series := workload.NewSeries(2014)
+	peak := time.Date(2014, time.April, 16, 0, 0, 0, 0, time.UTC)
+	hourly, err := series.Hourly(peak)
+	if err != nil {
+		return err
+	}
+	gen := serial.NewGenerator(0xB1EED, nil)
+
+	fmt.Printf("replaying %s hour by hour (scaled 1:100), 6 RAs in 3 regions\n",
+		peak.Format("2006-01-02"))
+	fmt.Printf("%-6s %12s %12s %12s\n", "hour", "revocations", "dict size", "max RA lag")
+	totalRevoked := 0
+	for h := 0; h < 24; h++ {
+		// One simulated hour = one ∆ tick: caches from the previous tick
+		// expire, exactly as a production RA pulling every ∆ would see.
+		clock.advance(delta)
+		count := hourly[h] / 100
+		if count > 0 {
+			if _, err := authority.Revoke(gen.NextN(count)...); err != nil {
+				return err
+			}
+			totalRevoked += count
+		}
+
+		var maxLag uint64
+		for _, regionAgents := range agents {
+			for _, agent := range regionAgents {
+				if err := agent.SyncOnce(); err != nil {
+					return err
+				}
+				replica, err := agent.Store().Replica("HeartbleedCA")
+				if err != nil {
+					return err
+				}
+				if lag := authority.Authority().Count() - replica.Count(); lag > maxLag {
+					maxLag = lag
+				}
+			}
+		}
+		if count > 0 {
+			fmt.Printf("%02d:00  %12d %12d %12d\n", h, count, totalRevoked, maxLag)
+		}
+	}
+
+	// Every RA converged to the same dictionary: prove it with the
+	// consistency-checking machinery (§III).
+	pool, err := ritm.NewPool(authority.RootCertificate())
+	if err != nil {
+		return err
+	}
+	auditor := ritm.NewAuditor(pool)
+	ms := ritm.NewMapServer()
+	ms.Register("origin", dp)
+	for region, regionAgents := range agents {
+		for j, agent := range regionAgents {
+			ms.Register(fmt.Sprintf("%s-%d", region, j), agent.Store())
+		}
+	}
+	res := ritm.CrossCheck(ms, auditor, "HeartbleedCA")
+	if len(res.Proofs) != 0 || len(res.Errors) != 0 {
+		return fmt.Errorf("consistency check failed: %d proofs, %v", len(res.Proofs), res.Errors)
+	}
+	fmt.Printf("\n%d revocations disseminated; %d parties share one consistent view\n",
+		totalRevoked, res.RootsCompared)
+	for i, e := range edges {
+		st := e.Stats()
+		fmt.Printf("edge %-9s: %3d origin fetches, %3d cache hits, %7.1f KB served\n",
+			regions[i], st.Misses, st.Hits, float64(st.BytesServed)/1024)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Quickstart: the complete RITM pipeline in one process.
+//
+// It wires a CA to a CDN distribution point, replicates the dictionary on
+// a Revocation Agent, proxies a TLS server through the RA, and connects
+// with a RITM-supported client — first to a valid certificate, then to the
+// same server after its certificate is revoked.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"ritm"
+	"ritm/internal/tlssim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const delta = 10 * time.Second
+
+	// 1. A CA publishing to a CDN distribution point (§III).
+	dp := ritm.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: "QuickCA", Delta: delta, Publisher: dp})
+	if err != nil {
+		return err
+	}
+	if err := dp.RegisterCA("QuickCA", authority.PublicKey()); err != nil {
+		return err
+	}
+	if err := authority.PublishRoot(); err != nil {
+		return err
+	}
+	fmt.Println("① CA online, empty dictionary published to the distribution point")
+
+	// 2. A Revocation Agent pulling through an edge server.
+	agent, err := ritm.NewRA(ritm.RAConfig{
+		Roots:  []*ritm.Certificate{authority.RootCertificate()},
+		Origin: ritm.NewEdgeServer(dp, 0, nil),
+		Delta:  delta,
+	})
+	if err != nil {
+		return err
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return err
+	}
+	fmt.Println("② RA synchronized with the dissemination network")
+
+	// 3. A TLS server with a CA-issued certificate. The server knows
+	//    nothing about RITM (§III: no server changes required).
+	serverKey, err := ritm.NewSigner()
+	if err != nil {
+		return err
+	}
+	leaf, err := authority.IssueServerCertificate("quick.example", serverKey.Public())
+	if err != nil {
+		return err
+	}
+	serverAddr, cleanup, err := startEchoServer(&ritm.TLSConfig{
+		Chain: ritm.Chain{leaf},
+		Key:   serverKey,
+	})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	// 4. The RA's proxy on the client-server path (§IV, client-side model).
+	proxy, err := agent.NewProxy("127.0.0.1:0", serverAddr)
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	fmt.Printf("③ server %v behind RA proxy %v\n", serverAddr, proxy.Addr())
+
+	// 5. A RITM-supported client connects: the on-path RA injects a fresh
+	//    absence proof, which the client verifies against the CA key.
+	pool, err := ritm.NewPool(authority.RootCertificate())
+	if err != nil {
+		return err
+	}
+	clientCfg := &ritm.ClientConfig{Pool: pool, Delta: delta, RequireStatus: true}
+	conn, err := ritm.Dial("tcp", proxy.Addr().String(), "quick.example", clientCfg)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("④ connected with %d verified revocation status(es); echo: %q\n",
+		conn.Verifier().ValidCount(), buf[:n])
+	conn.Close()
+
+	// 6. The certificate is revoked; the CA inserts it into its dictionary
+	//    and the CDN carries it to the RA within ∆.
+	if _, err := authority.RevokeCertificate(leaf); err != nil {
+		return err
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return err
+	}
+	fmt.Printf("⑤ certificate %v revoked and disseminated\n", leaf.SerialNumber)
+
+	// 7. The next handshake receives a presence proof and is refused.
+	if _, err := ritm.Dial("tcp", proxy.Addr().String(), "quick.example", clientCfg); err != nil {
+		fmt.Printf("⑥ new connection correctly refused: %v\n", err)
+		return nil
+	}
+	return fmt.Errorf("revoked certificate was accepted")
+}
+
+// startEchoServer runs a TLS-sim echo server and returns its address and a
+// shutdown function.
+func startEchoServer(cfg *ritm.TLSConfig) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn := tlssim.Server(raw, cfg)
+				defer conn.Close()
+				buf := make([]byte, 1024)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }, nil
+}

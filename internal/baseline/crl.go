@@ -1,0 +1,190 @@
+// Package baseline implements the competing revocation schemes RITM is
+// evaluated against (§II, Table IV): CRLs (with delta CRLs), OCSP, OCSP
+// stapling, short-lived certificates, vendor-pushed CRLSets, RevCast radio
+// broadcast, and log-based approaches in both client- and server-driven
+// deployments.
+//
+// Each scheme is a working miniature: it produces verifiable artifacts and
+// tracks the costs the paper compares — bytes transferred, connections
+// made, state stored, and the attack window each design choice opens. The
+// analytic model behind Table IV lives in model.go.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+	"ritm/internal/wire"
+)
+
+// Errors returned by baseline schemes.
+var (
+	// ErrStaleArtifact reports a CRL/OCSP response past its validity.
+	ErrStaleArtifact = errors.New("baseline: artifact is stale")
+	// ErrBadSignature reports a failed signature check.
+	ErrBadSignature = errors.New("baseline: invalid signature")
+)
+
+const crlContext = "baseline/crl/v1"
+
+// CRL is a signed certificate revocation list (RFC 5280 analogue): the
+// complete list of revoked serials with a validity window. Clients must
+// download it whole to check a single certificate — the core inefficiency
+// the paper criticizes.
+type CRL struct {
+	CA         dictionary.CAID
+	Serials    []serial.Number // sorted
+	ThisUpdate int64
+	NextUpdate int64
+	// BaseSize marks a delta CRL: entries cover revocations after the
+	// first BaseSize of the issuer's log. Zero means a full CRL.
+	BaseSize  uint64
+	Signature []byte
+}
+
+func (c *CRL) signingPayload() []byte {
+	e := wire.NewEncoder(64 + 8*len(c.Serials))
+	e.String(crlContext)
+	e.String(string(c.CA))
+	e.Int64(c.ThisUpdate)
+	e.Int64(c.NextUpdate)
+	e.Uvarint(c.BaseSize)
+	e.Uvarint(uint64(len(c.Serials)))
+	for _, s := range c.Serials {
+		e.BytesField(s.Raw())
+	}
+	return e.Bytes()
+}
+
+// Verify checks the signature and validity window at time now.
+func (c *CRL) Verify(pub []byte, now int64) error {
+	if err := cryptoutil.Verify(pub, c.signingPayload(), c.Signature); err != nil {
+		return fmt.Errorf("%w: crl from %s", ErrBadSignature, c.CA)
+	}
+	if now >= c.NextUpdate {
+		return fmt.Errorf("%w: crl expired at %d, now %d", ErrStaleArtifact, c.NextUpdate, now)
+	}
+	return nil
+}
+
+// Contains reports whether sn is on the list (binary search).
+func (c *CRL) Contains(sn serial.Number) bool {
+	i := sort.Search(len(c.Serials), func(i int) bool {
+		return c.Serials[i].Compare(sn) >= 0
+	})
+	return i < len(c.Serials) && c.Serials[i].Equal(sn)
+}
+
+// Size returns the encoded size in bytes — what a client must download.
+func (c *CRL) Size() int { return len(c.signingPayload()) + cryptoutil.SignatureSize }
+
+// CRLAuthority issues CRLs for one CA. It is safe for concurrent use.
+type CRLAuthority struct {
+	ca       dictionary.CAID
+	signer   *cryptoutil.Signer
+	validity int64 // seconds a CRL remains valid
+
+	mu  sync.Mutex
+	log []serial.Number // issuance order
+}
+
+// NewCRLAuthority creates a CRL issuer whose lists are valid for
+// validitySecs seconds (the CRL refresh interval; the paper's attack-window
+// discussion hinges on it).
+func NewCRLAuthority(ca dictionary.CAID, signer *cryptoutil.Signer, validitySecs int64) *CRLAuthority {
+	return &CRLAuthority{ca: ca, signer: signer, validity: validitySecs}
+}
+
+// Revoke appends serials to the issuer's revocation log.
+func (a *CRLAuthority) Revoke(serials ...serial.Number) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.log = append(a.log, serials...)
+}
+
+// Count returns the number of revocations issued.
+func (a *CRLAuthority) Count() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return uint64(len(a.log))
+}
+
+// Sign issues the full CRL at time now.
+func (a *CRLAuthority) Sign(now int64) *CRL {
+	a.mu.Lock()
+	serials := make([]serial.Number, len(a.log))
+	copy(serials, a.log)
+	a.mu.Unlock()
+	serial.Sort(serials)
+	crl := &CRL{
+		CA:         a.ca,
+		Serials:    serials,
+		ThisUpdate: now,
+		NextUpdate: now + a.validity,
+	}
+	crl.Signature = a.signer.Sign(crl.signingPayload())
+	return crl
+}
+
+// SignDelta issues a delta CRL covering revocations after the first base
+// entries of the log; clients holding a full CRL of that size fetch only
+// the delta.
+func (a *CRLAuthority) SignDelta(base uint64, now int64) (*CRL, error) {
+	a.mu.Lock()
+	if base > uint64(len(a.log)) {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("baseline: delta base %d beyond log of %d", base, len(a.log))
+	}
+	serials := make([]serial.Number, uint64(len(a.log))-base)
+	copy(serials, a.log[base:])
+	a.mu.Unlock()
+	serial.Sort(serials)
+	crl := &CRL{
+		CA:         a.ca,
+		Serials:    serials,
+		ThisUpdate: now,
+		NextUpdate: now + a.validity,
+		BaseSize:   base,
+	}
+	crl.Signature = a.signer.Sign(crl.signingPayload())
+	return crl, nil
+}
+
+// CRLClient models a client using CRLs: it caches the latest list and
+// re-downloads when stale, counting the traffic this costs.
+type CRLClient struct {
+	pub []byte
+
+	mu              sync.Mutex
+	cached          *CRL
+	Fetches         int
+	BytesDownloaded int64
+}
+
+// NewCRLClient creates a client trusting the issuer key pub.
+func NewCRLClient(pub []byte) *CRLClient {
+	return &CRLClient{pub: pub}
+}
+
+// Check validates sn at time now, downloading a fresh CRL from the
+// authority if the cached one is missing or stale. It returns true when sn
+// is revoked.
+func (c *CRLClient) Check(a *CRLAuthority, sn serial.Number, now int64) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cached == nil || now >= c.cached.NextUpdate {
+		crl := a.Sign(now)
+		if err := crl.Verify(c.pub, now); err != nil {
+			return false, err
+		}
+		c.cached = crl
+		c.Fetches++
+		c.BytesDownloaded += int64(crl.Size())
+	}
+	return c.cached.Contains(sn), nil
+}

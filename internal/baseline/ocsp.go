@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+	"ritm/internal/wire"
+)
+
+const ocspContext = "baseline/ocsp/v1"
+
+// OCSPStatus is a response's certificate status.
+type OCSPStatus uint8
+
+// OCSP statuses (RFC 6960 analogue).
+const (
+	OCSPGood OCSPStatus = iota + 1
+	OCSPRevoked
+)
+
+// OCSPResponse is a signed per-certificate status (RFC 6960 analogue).
+type OCSPResponse struct {
+	CA         dictionary.CAID
+	Serial     serial.Number
+	Status     OCSPStatus
+	ProducedAt int64
+	Signature  []byte
+}
+
+func (r *OCSPResponse) signingPayload() []byte {
+	e := wire.NewEncoder(96)
+	e.String(ocspContext)
+	e.String(string(r.CA))
+	e.BytesField(r.Serial.Raw())
+	e.Uint8(uint8(r.Status))
+	e.Int64(r.ProducedAt)
+	return e.Bytes()
+}
+
+// Verify checks the signature and that the response is no older than
+// maxAgeSecs at time now. The age bound is the client policy; with OCSP
+// stapling the server controls the response's age, which is exactly the
+// attack window the paper criticizes (§II: "a long attack window can be
+// introduced by an adversary or a misconfiguration").
+func (r *OCSPResponse) Verify(pub []byte, now, maxAgeSecs int64) error {
+	if err := cryptoutil.Verify(pub, r.signingPayload(), r.Signature); err != nil {
+		return fmt.Errorf("%w: ocsp response for %v", ErrBadSignature, r.Serial)
+	}
+	if now-r.ProducedAt > maxAgeSecs {
+		return fmt.Errorf("%w: ocsp response is %d s old, policy allows %d",
+			ErrStaleArtifact, now-r.ProducedAt, maxAgeSecs)
+	}
+	return nil
+}
+
+// Size returns the encoded response size in bytes.
+func (r *OCSPResponse) Size() int { return len(r.signingPayload()) + cryptoutil.SignatureSize }
+
+// OCSPResponder answers per-certificate status queries. Every query leaks
+// which certificate (and thus which site) the asker cares about — the
+// privacy violation of §II. QueryLog records that leak explicitly.
+type OCSPResponder struct {
+	ca     dictionary.CAID
+	signer *cryptoutil.Signer
+
+	mu      sync.Mutex
+	revoked map[string]bool
+	// QueryLog is every serial the responder was asked about: the
+	// information a malicious or curious CA collects about clients.
+	QueryLog []serial.Number
+}
+
+// NewOCSPResponder creates a responder for one CA.
+func NewOCSPResponder(ca dictionary.CAID, signer *cryptoutil.Signer) *OCSPResponder {
+	return &OCSPResponder{ca: ca, signer: signer, revoked: make(map[string]bool)}
+}
+
+// Revoke marks serials revoked.
+func (o *OCSPResponder) Revoke(serials ...serial.Number) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range serials {
+		o.revoked[string(s.Raw())] = true
+	}
+}
+
+// Respond answers one status query at time now.
+func (o *OCSPResponder) Respond(sn serial.Number, now int64) *OCSPResponse {
+	o.mu.Lock()
+	o.QueryLog = append(o.QueryLog, sn)
+	status := OCSPGood
+	if o.revoked[string(sn.Raw())] {
+		status = OCSPRevoked
+	}
+	o.mu.Unlock()
+	resp := &OCSPResponse{CA: o.ca, Serial: sn, Status: status, ProducedAt: now}
+	resp.Signature = o.signer.Sign(resp.signingPayload())
+	return resp
+}
+
+// Queries returns how many status queries the responder has seen.
+func (o *OCSPResponder) Queries() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.QueryLog)
+}
+
+// StaplingServer models a TLS server deploying OCSP stapling: it fetches a
+// response for its own certificate every refreshSecs and hands the cached
+// copy to every client. The refresh interval is server-controlled — a
+// compromised or misconfigured server can stretch it, growing the attack
+// window (§II).
+type StaplingServer struct {
+	responder   *OCSPResponder
+	sn          serial.Number
+	refreshSecs int64
+
+	mu          sync.Mutex
+	cached      *OCSPResponse
+	FetchCount  int
+	StapleCount int
+}
+
+// NewStaplingServer creates a stapling server for the certificate sn.
+func NewStaplingServer(responder *OCSPResponder, sn serial.Number, refreshSecs int64) *StaplingServer {
+	return &StaplingServer{responder: responder, sn: sn, refreshSecs: refreshSecs}
+}
+
+// Staple returns the response the server would attach to a handshake at
+// time now, refreshing it from the responder when due.
+func (s *StaplingServer) Staple(now int64) *OCSPResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cached == nil || now-s.cached.ProducedAt >= s.refreshSecs {
+		s.cached = s.responder.Respond(s.sn, now)
+		s.FetchCount++
+	}
+	s.StapleCount++
+	return s.cached
+}

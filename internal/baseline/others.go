@@ -1,0 +1,319 @@
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"ritm/internal/cert"
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// Short-lived certificates (SLCs, §II): revocation is eliminated by making
+// certificates expire within days. The price is that a compromised SLC is
+// irrevocable for its whole lifetime, and every server must fetch a fresh
+// certificate on schedule.
+
+// SLCAuthority issues short-lived certificates.
+type SLCAuthority struct {
+	ca       dictionary.CAID
+	signer   *cryptoutil.Signer
+	lifetime time.Duration
+
+	mu     sync.Mutex
+	gen    *serial.Generator
+	Issued int
+}
+
+// NewSLCAuthority creates an issuer of certificates valid for lifetime.
+func NewSLCAuthority(ca dictionary.CAID, signer *cryptoutil.Signer, lifetime time.Duration) *SLCAuthority {
+	return &SLCAuthority{
+		ca:       ca,
+		signer:   signer,
+		lifetime: lifetime,
+		gen:      serial.NewGenerator(0x51C, nil),
+	}
+}
+
+// Issue signs a short-lived certificate for subject at time now.
+func (a *SLCAuthority) Issue(subject string, pub []byte, now int64) (*cert.Certificate, error) {
+	a.mu.Lock()
+	sn := a.gen.Next()
+	a.Issued++
+	a.mu.Unlock()
+	return cert.Issue(a.ca, a.signer, cert.Template{
+		SerialNumber: sn,
+		Subject:      subject,
+		NotBefore:    now,
+		NotAfter:     now + int64(a.lifetime/time.Second),
+		PublicKey:    pub,
+	})
+}
+
+// AttackWindow is the irrevocability window: the full certificate lifetime.
+func (a *SLCAuthority) AttackWindow() time.Duration { return a.lifetime }
+
+// SLCServer models a server on the SLC treadmill: it must contact the CA
+// whenever its certificate nears expiry — the server-side deployment
+// dependency the paper flags.
+type SLCServer struct {
+	authority *SLCAuthority
+	subject   string
+	pub       []byte
+
+	mu         sync.Mutex
+	current    *cert.Certificate
+	FetchCount int
+}
+
+// NewSLCServer creates a server using short-lived certificates.
+func NewSLCServer(a *SLCAuthority, subject string, pub []byte) *SLCServer {
+	return &SLCServer{authority: a, subject: subject, pub: pub}
+}
+
+// Certificate returns the server's certificate at time now, renewing it
+// when expired.
+func (s *SLCServer) Certificate(now int64) (*cert.Certificate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.current == nil || now >= s.current.NotAfter {
+		c, err := s.authority.Issue(s.subject, s.pub, now)
+		if err != nil {
+			return nil, err
+		}
+		s.current = c
+		s.FetchCount++
+	}
+	return s.current, nil
+}
+
+// CRLSet is the vendor-pushed revocation list (Chrome's CRLSet, Mozilla's
+// OneCRL, §II): a capped subset of all revocations shipped to clients via
+// software update. The cap is the scheme's documented weakness — the paper
+// cites a 0.35 % coverage rate.
+type CRLSet struct {
+	Version  int
+	contains map[string]bool
+	// Dropped counts revocations that did not fit under the cap.
+	Dropped int
+}
+
+// Contains reports whether the set covers sn.
+func (s *CRLSet) Contains(sn serial.Number) bool {
+	return s.contains[string(sn.Raw())]
+}
+
+// Len returns the number of entries shipped.
+func (s *CRLSet) Len() int { return len(s.contains) }
+
+// Coverage returns the fraction of the input revocations the set covers.
+func (s *CRLSet) Coverage() float64 {
+	total := len(s.contains) + s.Dropped
+	if total == 0 {
+		return 1
+	}
+	return float64(len(s.contains)) / float64(total)
+}
+
+// Vendor compiles and pushes CRLSets. MaxEntries caps the list size (the
+// efficiency concession); every Push models one software update reaching
+// clients by unicast.
+type Vendor struct {
+	MaxEntries int
+
+	mu      sync.Mutex
+	version int
+	Pushes  int
+}
+
+// NewVendor creates a browser vendor shipping CRLSets of at most max
+// entries.
+func NewVendor(max int) *Vendor {
+	return &Vendor{MaxEntries: max}
+}
+
+// Compile builds the next CRLSet from the full revocation population,
+// keeping at most MaxEntries (the head of the list — vendors prioritize by
+// importance; position models that here).
+func (v *Vendor) Compile(revoked []serial.Number) *CRLSet {
+	v.mu.Lock()
+	v.version++
+	version := v.version
+	v.mu.Unlock()
+
+	kept := len(revoked)
+	if v.MaxEntries > 0 && kept > v.MaxEntries {
+		kept = v.MaxEntries
+	}
+	set := &CRLSet{
+		Version:  version,
+		contains: make(map[string]bool, kept),
+		Dropped:  len(revoked) - kept,
+	}
+	for _, sn := range revoked[:kept] {
+		set.contains[string(sn.Raw())] = true
+	}
+	return set
+}
+
+// Push delivers a set to n clients (unicast software update) and returns
+// the total bytes shipped, assuming bytesPerEntry per entry.
+func (v *Vendor) Push(set *CRLSet, clients int, bytesPerEntry int) int64 {
+	v.mu.Lock()
+	v.Pushes++
+	v.mu.Unlock()
+	return int64(set.Len()) * int64(bytesPerEntry) * int64(clients)
+}
+
+// RevCast (§II): CAs broadcast revocations over FM radio; clients with
+// receivers collect them into a full local CRL. The binding constraint is
+// channel capacity — 421.8 bit/s — which bounds how fast a revocation
+// burst can reach listeners.
+
+// RevCastBitsPerSecond is the maximum broadcast bandwidth the paper
+// reports for RevCast.
+const RevCastBitsPerSecond = 421.8
+
+// RevCastChannel models the broadcast medium.
+type RevCastChannel struct {
+	// BitsPerSecond is the channel capacity (default RevCastBitsPerSecond).
+	BitsPerSecond float64
+}
+
+// NewRevCastChannel returns the paper-parameterized channel.
+func NewRevCastChannel() *RevCastChannel {
+	return &RevCastChannel{BitsPerSecond: RevCastBitsPerSecond}
+}
+
+// BroadcastTime returns how long broadcasting entries revocations of
+// bytesPerEntry bytes each takes at channel capacity.
+func (c *RevCastChannel) BroadcastTime(entries, bytesPerEntry int) time.Duration {
+	if c.BitsPerSecond <= 0 {
+		return 0
+	}
+	bits := float64(entries) * float64(bytesPerEntry) * 8
+	return time.Duration(bits / c.BitsPerSecond * float64(time.Second))
+}
+
+// RevCastReceiver is a listening client: it must store the complete CRL
+// (same per-client storage as plain CRLs, Table IV).
+type RevCastReceiver struct {
+	mu      sync.Mutex
+	entries map[string]bool
+	// MissedWindows counts broadcast windows the receiver was offline for,
+	// requiring the catch-up infrastructure the paper points out.
+	MissedWindows int
+}
+
+// NewRevCastReceiver creates an empty receiver.
+func NewRevCastReceiver() *RevCastReceiver {
+	return &RevCastReceiver{entries: make(map[string]bool)}
+}
+
+// Receive ingests one broadcast batch.
+func (r *RevCastReceiver) Receive(serials []serial.Number) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range serials {
+		r.entries[string(s.Raw())] = true
+	}
+}
+
+// Miss records an offline broadcast window.
+func (r *RevCastReceiver) Miss() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.MissedWindows++
+}
+
+// Revoked reports whether the receiver's CRL contains sn.
+func (r *RevCastReceiver) Revoked(sn serial.Number) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[string(sn.Raw())]
+}
+
+// StoredEntries returns the receiver's CRL size (per-client storage).
+func (r *RevCastReceiver) StoredEntries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Log-based approaches (§II): CAs submit revocations to a public,
+// verifiable log that batches them with a maximum merge delay (MMD). The
+// attack window is the MMD ("logs are designed to update their internal
+// state every few hours"). Deployment is either client-driven (clients
+// query the log, losing privacy) or server-driven (servers fetch and
+// staple proofs, requiring server changes).
+
+// RevocationLog is a public log with batched visibility.
+type RevocationLog struct {
+	mmd int64 // seconds
+
+	mu      sync.Mutex
+	pending []logEntry
+	visible map[string]bool
+	lastMMD int64
+	// ClientQueries records the serials clients asked about — the privacy
+	// loss of client-driven deployment.
+	ClientQueries int
+	// ServerFetches counts server-driven proof fetches.
+	ServerFetches int
+}
+
+type logEntry struct {
+	sn      serial.Number
+	addedAt int64
+}
+
+// NewRevocationLog creates a log with the given maximum merge delay.
+func NewRevocationLog(mmd time.Duration) *RevocationLog {
+	return &RevocationLog{mmd: int64(mmd / time.Second), visible: make(map[string]bool)}
+}
+
+// Submit adds a revocation at time now; it becomes visible at the next MMD
+// boundary.
+func (l *RevocationLog) Submit(sn serial.Number, now int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = append(l.pending, logEntry{sn: sn, addedAt: now})
+}
+
+// merge publishes every pending entry older than the MMD. Caller holds mu.
+func (l *RevocationLog) merge(now int64) {
+	kept := l.pending[:0]
+	for _, e := range l.pending {
+		if now-e.addedAt >= l.mmd {
+			l.visible[string(e.sn.Raw())] = true
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	l.pending = kept
+}
+
+// ClientQuery is the client-driven check: the log learns the serial.
+func (l *RevocationLog) ClientQuery(sn serial.Number, now int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.merge(now)
+	l.ClientQueries++
+	return l.visible[string(sn.Raw())]
+}
+
+// ServerFetch is the server-driven check: the server fetches its own
+// proof; clients receive it stapled with no extra connection.
+func (l *RevocationLog) ServerFetch(sn serial.Number, now int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.merge(now)
+	l.ServerFetches++
+	return l.visible[string(sn.Raw())]
+}
+
+// AttackWindow is the log's MMD.
+func (l *RevocationLog) AttackWindow() time.Duration {
+	return time.Duration(l.mmd) * time.Second
+}

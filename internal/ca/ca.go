@@ -1,0 +1,321 @@
+// Package ca implements RITM's certification authority: it issues
+// certificates, maintains the CA's authenticated revocation dictionary, and
+// feeds the dissemination network with revocation issuance messages and
+// per-∆ freshness statements (§III).
+//
+// The package also provides a deliberately misbehaving CA (Fork) that
+// equivocates between two dictionary views, used by the consistency-checking
+// tests and the equivocation example to demonstrate §V's detection
+// guarantees.
+package ca
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ritm/internal/cert"
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// Publisher is the CA's interface to the dissemination network's
+// distribution point. Implementations: cdn.DistributionPoint (in-process),
+// an HTTP client for a remote distribution point, or test fakes.
+type Publisher interface {
+	// PublishIssuance disseminates new revocations with their signed root.
+	PublishIssuance(msg *dictionary.IssuanceMessage) error
+	// PublishFreshness disseminates a per-∆ freshness statement.
+	PublishFreshness(st *dictionary.FreshnessStatement) error
+}
+
+// Config configures a CA.
+type Config struct {
+	// ID is the CA identity used in certificates and dictionary roots.
+	ID dictionary.CAID
+	// Delta is the dissemination interval ∆.
+	Delta time.Duration
+	// CertValidity bounds issued certificates' lifetime. Zero selects one
+	// year, within the CA/B Forum's 39-month ceiling (§VIII).
+	CertValidity time.Duration
+	// ChainLength is the freshness-chain length m (0 = default).
+	ChainLength int
+	// Signer is the CA key; nil generates a fresh one from Rand.
+	Signer *cryptoutil.Signer
+	// Rand sources randomness (nil = crypto/rand).
+	Rand io.Reader
+	// Now is the clock (nil = time.Now); experiments inject virtual time.
+	Now func() time.Time
+	// Publisher receives dissemination messages; nil means the CA operates
+	// standalone (tests) and publishing is a no-op.
+	Publisher Publisher
+	// SerialSizes controls generated serial sizes (nil = paper distribution).
+	SerialSizes serial.SizeDistribution
+	// SerialSeed seeds the serial generator for reproducible workloads.
+	SerialSeed uint64
+}
+
+// CA is a certification authority. It is safe for concurrent use.
+type CA struct {
+	id        dictionary.CAID
+	signer    *cryptoutil.Signer
+	delta     time.Duration
+	validity  time.Duration
+	now       func() time.Time
+	publisher Publisher
+	authority *dictionary.Authority
+	root      *cert.Certificate
+
+	mu      sync.Mutex
+	serials *serial.Generator
+	issued  map[string]*cert.Certificate // by canonical serial bytes
+}
+
+// New creates a CA with a self-signed root certificate and an empty,
+// signed dictionary.
+func New(cfg Config) (*CA, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("ca: missing ID")
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 10 * time.Second
+	}
+	if cfg.CertValidity <= 0 {
+		cfg.CertValidity = 365 * 24 * time.Hour
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	signer := cfg.Signer
+	if signer == nil {
+		var err error
+		if signer, err = cryptoutil.NewSigner(cfg.Rand); err != nil {
+			return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+		}
+	}
+	nowUnix := cfg.Now().Unix()
+	authority, err := dictionary.NewAuthority(dictionary.AuthorityConfig{
+		CA:          cfg.ID,
+		Signer:      signer,
+		Delta:       cfg.Delta,
+		ChainLength: cfg.ChainLength,
+		Rand:        cfg.Rand,
+	}, nowUnix)
+	if err != nil {
+		return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+	}
+	// The root certificate outlives every certificate it signs.
+	rootCert, err := cert.SelfSigned(cfg.ID, signer, nowUnix,
+		nowUnix+int64((cfg.CertValidity*10)/time.Second), uint32(cfg.Delta/time.Second))
+	if err != nil {
+		return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+	}
+	return &CA{
+		id:        cfg.ID,
+		signer:    signer,
+		delta:     cfg.Delta,
+		validity:  cfg.CertValidity,
+		now:       cfg.Now,
+		publisher: cfg.Publisher,
+		authority: authority,
+		root:      rootCert,
+		serials:   serial.NewGenerator(cfg.SerialSeed, cfg.SerialSizes),
+		issued:    make(map[string]*cert.Certificate),
+	}, nil
+}
+
+// ID returns the CA identifier.
+func (c *CA) ID() dictionary.CAID { return c.id }
+
+// RootCertificate returns the self-signed root certificate; clients and RAs
+// add it to their trust pools.
+func (c *CA) RootCertificate() *cert.Certificate { return c.root }
+
+// PublicKey returns the CA's verification key.
+func (c *CA) PublicKey() ed25519.PublicKey { return c.signer.Public() }
+
+// Delta returns the CA's dissemination interval ∆.
+func (c *CA) Delta() time.Duration { return c.delta }
+
+// Authority exposes the CA's dictionary (read-mostly uses: roots, proofs).
+func (c *CA) Authority() *dictionary.Authority { return c.authority }
+
+// IssueServerCertificate issues a certificate binding subject to pub, with
+// a fresh serial number from the CA's serial space.
+func (c *CA) IssueServerCertificate(subject string, pub ed25519.PublicKey) (*cert.Certificate, error) {
+	c.mu.Lock()
+	sn := c.serials.Next()
+	c.mu.Unlock()
+	nowUnix := c.now().Unix()
+	crt, err := cert.Issue(c.id, c.signer, cert.Template{
+		SerialNumber: sn,
+		Subject:      subject,
+		NotBefore:    nowUnix,
+		NotAfter:     nowUnix + int64(c.validity/time.Second),
+		PublicKey:    pub,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ca %s: issue %s: %w", c.id, subject, err)
+	}
+	c.mu.Lock()
+	c.issued[string(sn.Raw())] = crt
+	c.mu.Unlock()
+	return crt, nil
+}
+
+// PublishRoot publishes the CA's current signed root as a root-only
+// issuance message. A CA calls it once after registering with the
+// distribution point, so that the (possibly still empty) dictionary has a
+// verifiable root before the first revocation — the bootstrapping manifest
+// flow of §VIII.
+func (c *CA) PublishRoot() error {
+	if c.publisher == nil {
+		return nil
+	}
+	msg := &dictionary.IssuanceMessage{Root: c.authority.SignedRoot()}
+	if err := c.publisher.PublishIssuance(msg); err != nil {
+		return fmt.Errorf("ca %s: publish root: %w", c.id, err)
+	}
+	return nil
+}
+
+// IssueCACertificate issues an intermediate CA certificate binding subject
+// to pub, with CA capability and the subordinate's dissemination interval
+// recorded in the certificate (§VIII "Local ∆ parameter"). Like any issued
+// certificate, it is revocable through this CA's dictionary — which the
+// chain-proof extension (§VIII "Certificate chains") checks on every
+// connection.
+func (c *CA) IssueCACertificate(subject string, pub ed25519.PublicKey, delta time.Duration) (*cert.Certificate, error) {
+	c.mu.Lock()
+	sn := c.serials.Next()
+	c.mu.Unlock()
+	nowUnix := c.now().Unix()
+	crt, err := cert.Issue(c.id, c.signer, cert.Template{
+		SerialNumber: sn,
+		Subject:      subject,
+		NotBefore:    nowUnix,
+		NotAfter:     nowUnix + int64((c.validity*10)/time.Second),
+		PublicKey:    pub,
+		IsCA:         true,
+		DeltaSecs:    uint32(delta / time.Second),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ca %s: issue CA cert %s: %w", c.id, subject, err)
+	}
+	c.mu.Lock()
+	c.issued[string(sn.Raw())] = crt
+	c.mu.Unlock()
+	return crt, nil
+}
+
+// Revoke revokes the given serials as one batch: it inserts them into the
+// dictionary (Fig 2, insert) and publishes the issuance message.
+func (c *CA) Revoke(serials ...serial.Number) (*dictionary.IssuanceMessage, error) {
+	msg, err := c.authority.Insert(serials, c.now().Unix())
+	if err != nil {
+		return nil, fmt.Errorf("ca %s: revoke: %w", c.id, err)
+	}
+	if c.publisher != nil {
+		if err := c.publisher.PublishIssuance(msg); err != nil {
+			return msg, fmt.Errorf("ca %s: publish issuance: %w", c.id, err)
+		}
+	}
+	return msg, nil
+}
+
+// RevokeCertificate revokes an issued certificate.
+func (c *CA) RevokeCertificate(crt *cert.Certificate) (*dictionary.IssuanceMessage, error) {
+	return c.Revoke(crt.SerialNumber)
+}
+
+// IsRevoked reports whether the CA has revoked the serial.
+func (c *CA) IsRevoked(sn serial.Number) bool { return c.authority.Revoked(sn) }
+
+// PublishRefresh runs one refresh cycle (Fig 2, refresh): it publishes the
+// current freshness statement, or — when the chain is exhausted — a new
+// signed root as a root-only issuance message. CAs call it at least every ∆
+// (Tab I rows two and three).
+func (c *CA) PublishRefresh() error {
+	ref, err := c.authority.Refresh(c.now().Unix())
+	if err != nil {
+		return fmt.Errorf("ca %s: refresh: %w", c.id, err)
+	}
+	if c.publisher == nil {
+		return nil
+	}
+	if ref.NewRoot != nil {
+		msg := &dictionary.IssuanceMessage{Root: ref.NewRoot}
+		if err := c.publisher.PublishIssuance(msg); err != nil {
+			return fmt.Errorf("ca %s: publish rotated root: %w", c.id, err)
+		}
+	}
+	if err := c.publisher.PublishFreshness(ref.Statement); err != nil {
+		return fmt.Errorf("ca %s: publish freshness: %w", c.id, err)
+	}
+	return nil
+}
+
+// Refresher runs PublishRefresh every ∆ until Shutdown is called. Errors
+// are delivered to onErr (may be nil).
+type Refresher struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRefresher launches the periodic refresh loop (§III: "CAs are still
+// obliged to keep their dictionaries fresh"), publishing once per ∆.
+func (c *CA) StartRefresher(onErr func(error)) *Refresher {
+	return c.StartRefresherEvery(c.delta, onErr)
+}
+
+// StartRefresherEvery launches the refresh loop at a custom interval.
+// Publishing more often than ∆ is always safe (statements are idempotent
+// per period) and shrinks the staleness the dissemination pipeline adds on
+// top of the publish/pull skew; intervals above ∆ violate the protocol.
+func (c *CA) StartRefresherEvery(interval time.Duration, onErr func(error)) *Refresher {
+	r := &Refresher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := c.PublishRefresh(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return r
+}
+
+// Shutdown stops the refresher and waits for it to exit.
+func (r *Refresher) Shutdown() {
+	close(r.stop)
+	<-r.done
+}
+
+// Fork creates a second, diverging view of this CA: same identity and key,
+// independent dictionary. An honest CA never does this; the returned CA
+// models the misbehaving CA of §V, which shows one dictionary to part of
+// the system and another to the rest. Detection of this behaviour is
+// exercised by internal/monitor and the equivocation example.
+func (c *CA) Fork() (*CA, error) {
+	fork, err := New(Config{
+		ID:           c.id,
+		Delta:        c.delta,
+		CertValidity: c.validity,
+		Signer:       c.signer,
+		Now:          c.now,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ca %s: fork: %w", c.id, err)
+	}
+	return fork, nil
+}

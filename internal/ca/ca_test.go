@@ -1,0 +1,230 @@
+package ca
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// capturePublisher records everything a CA publishes.
+type capturePublisher struct {
+	mu        sync.Mutex
+	issuances []*dictionary.IssuanceMessage
+	freshness []*dictionary.FreshnessStatement
+	failWith  error
+}
+
+func (p *capturePublisher) PublishIssuance(msg *dictionary.IssuanceMessage) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failWith != nil {
+		return p.failWith
+	}
+	p.issuances = append(p.issuances, msg)
+	return nil
+}
+
+func (p *capturePublisher) PublishFreshness(st *dictionary.FreshnessStatement) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failWith != nil {
+		return p.failWith
+	}
+	p.freshness = append(p.freshness, st)
+	return nil
+}
+
+func (p *capturePublisher) counts() (int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.issuances), len(p.freshness)
+}
+
+func newTestCA(t *testing.T, pub Publisher) *CA {
+	t.Helper()
+	c, err := New(Config{ID: "TestCA", Delta: 10 * time.Second, Publisher: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("CA without ID accepted")
+	}
+	// Defaults are applied.
+	c, err := New(Config{ID: "X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delta() != 10*time.Second {
+		t.Errorf("default ∆ = %v", c.Delta())
+	}
+}
+
+func TestRootCertificateSelfSigned(t *testing.T) {
+	c := newTestCA(t, nil)
+	root := c.RootCertificate()
+	if !root.IsCA {
+		t.Error("root is not a CA certificate")
+	}
+	if err := root.CheckSignature(root.PublicKey); err != nil {
+		t.Errorf("root not self-signed: %v", err)
+	}
+	if root.Delta() != 10*time.Second {
+		t.Errorf("root ∆ = %v (the §VIII local-∆ field)", root.Delta())
+	}
+}
+
+func TestIssueServerCertificate(t *testing.T) {
+	c := newTestCA(t, nil)
+	key := c.PublicKey() // any 32-byte key works as a subject key
+	crt, err := c.IssueServerCertificate("site.example", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crt.Subject != "site.example" || crt.IsCA {
+		t.Errorf("issued certificate: %+v", crt)
+	}
+	if err := crt.CheckSignature(c.PublicKey()); err != nil {
+		t.Errorf("issued certificate signature: %v", err)
+	}
+	// Serials are unique across issuance.
+	crt2, err := c.IssueServerCertificate("other.example", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crt.SerialNumber.Equal(crt2.SerialNumber) {
+		t.Error("duplicate serial issued")
+	}
+}
+
+func TestRevokePublishesAndMarks(t *testing.T) {
+	pub := &capturePublisher{}
+	c := newTestCA(t, pub)
+	crt, err := c.IssueServerCertificate("site.example", c.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsRevoked(crt.SerialNumber) {
+		t.Fatal("fresh certificate already revoked")
+	}
+	msg, err := c.RevokeCertificate(crt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsRevoked(crt.SerialNumber) {
+		t.Error("revocation not recorded")
+	}
+	if msg.Root.N != 1 || len(msg.Serials) != 1 {
+		t.Errorf("issuance message: n=%d, %d serials", msg.Root.N, len(msg.Serials))
+	}
+	if ni, _ := pub.counts(); ni != 1 {
+		t.Errorf("issuances published = %d", ni)
+	}
+
+	// Double revocation fails and publisher errors surface.
+	if _, err := c.Revoke(crt.SerialNumber); err == nil {
+		t.Error("double revocation accepted")
+	}
+	pub.failWith = errors.New("cdn down")
+	if _, err := c.Revoke(serial.FromUint64(42)); err == nil {
+		t.Error("publisher failure swallowed")
+	}
+}
+
+func TestPublishRefreshEmitsFreshness(t *testing.T) {
+	pub := &capturePublisher{}
+	c := newTestCA(t, pub)
+	if err := c.PublishRoot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishRefresh(); err != nil {
+		t.Fatal(err)
+	}
+	ni, nf := pub.counts()
+	if ni != 1 || nf != 1 {
+		t.Errorf("published %d issuances, %d freshness; want 1 and 1", ni, nf)
+	}
+}
+
+func TestRefresherLoop(t *testing.T) {
+	pub := &capturePublisher{}
+	c, err := New(Config{ID: "TestCA", Delta: time.Second, Publisher: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.StartRefresherEvery(100*time.Millisecond, func(err error) { t.Errorf("refresh: %v", err) })
+	time.Sleep(350 * time.Millisecond)
+	r.Shutdown()
+	if _, nf := pub.counts(); nf < 2 {
+		t.Errorf("refresher published %d statements, want ≥ 2", nf)
+	}
+}
+
+func TestRefreshRotatesExhaustedChain(t *testing.T) {
+	clock := time.Unix(1_400_000_000, 0)
+	now := func() time.Time { return clock }
+	pub := &capturePublisher{}
+	c, err := New(Config{
+		ID:          "TestCA",
+		Delta:       time.Second,
+		ChainLength: 4,
+		Publisher:   pub,
+		Now:         now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRoot := c.Authority().SignedRoot()
+
+	// Step past the chain's end: refresh must publish a rotated root.
+	clock = clock.Add(10 * time.Second)
+	if err := c.PublishRefresh(); err != nil {
+		t.Fatal(err)
+	}
+	newRoot := c.Authority().SignedRoot()
+	if newRoot.Equal(oldRoot) {
+		t.Error("exhausted chain did not rotate the root")
+	}
+	if ni, nf := pub.counts(); ni != 1 || nf != 1 {
+		t.Errorf("rotation published %d issuances, %d freshness", ni, nf)
+	}
+}
+
+func TestForkSharesIdentityDivergesContent(t *testing.T) {
+	c := newTestCA(t, nil)
+	fork, err := c.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork.ID() != c.ID() {
+		t.Error("fork changed identity")
+	}
+	gen := serial.NewGenerator(1, nil)
+	if _, err := c.Revoke(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fork.Revoke(gen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.Authority().SignedRoot(), fork.Authority().SignedRoot()
+	if a.N != b.N {
+		t.Fatalf("sizes diverged: %d vs %d", a.N, b.N)
+	}
+	if a.Root.Equal(b.Root) {
+		t.Error("fork produced identical dictionaries for different serials")
+	}
+	// Both roots verify under the same key — the equivocation signature.
+	if err := a.VerifySignature(c.PublicKey()); err != nil {
+		t.Error(err)
+	}
+	if err := b.VerifySignature(c.PublicKey()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package cdn implements RITM's dissemination network (§III
+// "Dissemination"): a distribution point (the origin, fed by CAs) and edge
+// servers that replicate its content with TTL caches, pulled by Revocation
+// Agents every ∆.
+//
+// The communication paradigm is pull, as in production CDNs: RAs pull from
+// edge servers, edge servers pull from the distribution point, and the
+// origin never pushes. Because every message is either signed (issuance
+// messages) or hash-chain-authenticated (freshness statements), no element
+// of the network is trusted: a compromised edge server can at worst serve
+// stale data, which the 2∆ freshness policy converts into a connection
+// interruption rather than an accepted revoked certificate (§V).
+//
+// Two transports are provided: direct in-process calls (the Origin
+// interface) and an HTTP API (Handler / HTTPClient) mirroring the paper's
+// "simple HTTP(S)-based API" (§VI).
+package cdn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ritm/internal/dictionary"
+	"ritm/internal/wire"
+)
+
+// Errors returned by dissemination operations.
+var (
+	// ErrUnknownCA reports a pull for a dictionary the origin does not carry.
+	ErrUnknownCA = errors.New("cdn: unknown CA")
+	// ErrAhead reports a pull whose from-count exceeds the origin's count;
+	// the puller's view is from a different (possibly equivocating) history.
+	ErrAhead = errors.New("cdn: requested count ahead of origin")
+)
+
+// PullResponse is what one pull for one dictionary returns: the issuance
+// message covering every revocation the puller is missing (nil when it is
+// current and no root rotation happened), and the current freshness
+// statement. This realizes both the regular ∆ pull and the
+// desynchronization-recovery protocol of §III with a single request shape:
+// the puller always states the count n it has, the origin always answers
+// with the suffix after n.
+type PullResponse struct {
+	// Issuance carries serials (puller's n, origin's n] with the latest
+	// signed root. It is nil when the puller is current and the stored root
+	// is the one the puller necessarily already has (same n, no rotation is
+	// distinguishable, so the root is always included when n differs OR the
+	// origin rotated; to keep the protocol stateless the origin includes the
+	// root whenever it has one and the puller is behind or rotation may have
+	// happened — in practice: always, unless the origin itself is empty).
+	Issuance *dictionary.IssuanceMessage
+	// Freshness is the current freshness statement (nil before the CA's
+	// first publication).
+	Freshness *dictionary.FreshnessStatement
+}
+
+// Encode serializes the response for the HTTP transport.
+func (pr *PullResponse) Encode() []byte {
+	e := wire.NewEncoder(512)
+	if pr.Issuance != nil {
+		e.Bool(true)
+		e.BytesField(pr.Issuance.Encode())
+	} else {
+		e.Bool(false)
+	}
+	if pr.Freshness != nil {
+		e.Bool(true)
+		e.BytesField(pr.Freshness.Encode())
+	} else {
+		e.Bool(false)
+	}
+	return e.Bytes()
+}
+
+// DecodePullResponse parses a response encoded by Encode.
+func DecodePullResponse(buf []byte) (*PullResponse, error) {
+	d := wire.NewDecoder(buf)
+	var pr PullResponse
+	if d.Bool() {
+		msg, err := dictionary.DecodeIssuanceMessage(d.BytesField())
+		if err != nil {
+			return nil, fmt.Errorf("decode pull response: %w", err)
+		}
+		pr.Issuance = msg
+	}
+	if d.Bool() {
+		st, err := dictionary.DecodeFreshnessStatement(d.BytesField())
+		if err != nil {
+			return nil, fmt.Errorf("decode pull response: %w", err)
+		}
+		pr.Freshness = st
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decode pull response: %w", err)
+	}
+	return &pr, nil
+}
+
+// Size returns the encoded size in bytes; the bandwidth experiments (Fig 7)
+// sum it per pull.
+func (pr *PullResponse) Size() int { return len(pr.Encode()) }
+
+// Origin is the pull API spoken throughout the dissemination network: RAs
+// pull from edge servers, edge servers pull from the distribution point,
+// and monitors pull signed roots for consistency checking. Implementations:
+// DistributionPoint, EdgeServer, HTTPClient.
+type Origin interface {
+	// Pull returns everything the caller (holding from revocations of ca's
+	// dictionary) is missing, plus the current freshness statement.
+	Pull(ca dictionary.CAID, from uint64) (*PullResponse, error)
+	// LatestRoot returns the newest signed root for ca (nil error with nil
+	// root never occurs: unknown CAs return ErrUnknownCA).
+	LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error)
+	// CAs lists the dictionaries available, sorted.
+	CAs() ([]dictionary.CAID, error)
+}
+
+// dictState is the distribution point's record of one CA's dictionary: the
+// full issuance log (to serve any suffix), the latest signed root, and the
+// latest freshness statement. The log is verified by replaying it through a
+// Replica, so a distribution point never propagates a message whose root
+// does not match its content.
+type dictState struct {
+	replica   *dictionary.Replica
+	freshness *dictionary.FreshnessStatement
+}
+
+// DistributionPoint is the origin of the dissemination network. CAs publish
+// to it (it implements the ca.Publisher interface) and edge servers pull
+// from it. It is safe for concurrent use.
+type DistributionPoint struct {
+	now func() time.Time
+
+	mu    sync.RWMutex
+	dicts map[dictionary.CAID]*dictState
+	stats Stats
+}
+
+// NewDistributionPoint creates an empty origin. now is the clock used to
+// validate freshness statements on ingest (nil = time.Now).
+func NewDistributionPoint(now func() time.Time) *DistributionPoint {
+	if now == nil {
+		now = time.Now
+	}
+	return &DistributionPoint{
+		now:   now,
+		dicts: make(map[dictionary.CAID]*dictState),
+	}
+}
+
+// RegisterCA announces a CA to the distribution point, providing the trust
+// anchor used to verify everything the CA publishes. This models the
+// CA-bootstrapping manifest of §VIII.
+func (dp *DistributionPoint) RegisterCA(ca dictionary.CAID, pub []byte) error {
+	if ca == "" {
+		return fmt.Errorf("cdn: empty CA id")
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if _, dup := dp.dicts[ca]; dup {
+		return fmt.Errorf("cdn: CA %s already registered", ca)
+	}
+	dp.dicts[ca] = &dictState{replica: dictionary.NewReplica(ca, pub)}
+	return nil
+}
+
+// PublishIssuance ingests a CA's revocation issuance message: the
+// distribution point verifies it against its own replica (so that a
+// corrupted or equivocating message is rejected at the origin) and stores
+// it for pulls. Implements ca.Publisher.
+func (dp *DistributionPoint) PublishIssuance(msg *dictionary.IssuanceMessage) error {
+	if msg == nil || msg.Root == nil {
+		return fmt.Errorf("cdn: nil issuance message")
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	st, ok := dp.dicts[msg.Root.CA]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownCA, msg.Root.CA)
+	}
+	if err := st.replica.Update(msg); err != nil {
+		return fmt.Errorf("cdn: ingest issuance for %s: %w", msg.Root.CA, err)
+	}
+	// A new signed root restarts the freshness chain; its anchor is the
+	// period-0 statement.
+	st.freshness = &dictionary.FreshnessStatement{CA: msg.Root.CA, Value: msg.Root.Anchor}
+	dp.stats.IssuancesIngested++
+	return nil
+}
+
+// PublishFreshness ingests a per-∆ freshness statement. Implements
+// ca.Publisher.
+func (dp *DistributionPoint) PublishFreshness(st *dictionary.FreshnessStatement) error {
+	if st == nil {
+		return fmt.Errorf("cdn: nil freshness statement")
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	ds, ok := dp.dicts[st.CA]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownCA, st.CA)
+	}
+	if err := ds.replica.ApplyFreshness(st, dp.now().Unix()); err != nil {
+		return fmt.Errorf("cdn: ingest freshness for %s: %w", st.CA, err)
+	}
+	ds.freshness = st
+	dp.stats.FreshnessIngested++
+	return nil
+}
+
+var _ Origin = (*DistributionPoint)(nil)
+
+// Pull implements Origin.
+func (dp *DistributionPoint) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	dp.mu.Lock()
+	st, ok := dp.dicts[ca]
+	if ok {
+		dp.stats.Pulls++
+	}
+	dp.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCA, ca)
+	}
+
+	root := st.replica.Root()
+	have := st.replica.Count()
+	if from > have {
+		return nil, fmt.Errorf("%w: from=%d, origin has %d", ErrAhead, from, have)
+	}
+	resp := &PullResponse{Freshness: dp.freshnessOf(ca)}
+	if root == nil {
+		// The CA has published nothing yet.
+		return resp, nil
+	}
+	suffix, err := st.replica.LogSuffix(from, have)
+	if err != nil {
+		return nil, fmt.Errorf("cdn: pull %s: %w", ca, err)
+	}
+	// Always include the latest root: a puller that is current still needs
+	// it to detect rotation, and it makes the response self-contained.
+	resp.Issuance = &dictionary.IssuanceMessage{Serials: suffix, Root: root}
+	return resp, nil
+}
+
+func (dp *DistributionPoint) freshnessOf(ca dictionary.CAID) *dictionary.FreshnessStatement {
+	dp.mu.RLock()
+	defer dp.mu.RUnlock()
+	st, ok := dp.dicts[ca]
+	if !ok || st.freshness == nil {
+		return nil
+	}
+	cp := *st.freshness
+	return &cp
+}
+
+// LatestRoot implements Origin.
+func (dp *DistributionPoint) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	dp.mu.RLock()
+	st, ok := dp.dicts[ca]
+	dp.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCA, ca)
+	}
+	root := st.replica.Root()
+	if root == nil {
+		return nil, fmt.Errorf("cdn: %s has not published a root yet", ca)
+	}
+	return root, nil
+}
+
+// CAs implements Origin.
+func (dp *DistributionPoint) CAs() ([]dictionary.CAID, error) {
+	dp.mu.RLock()
+	defer dp.mu.RUnlock()
+	out := make([]dictionary.CAID, 0, len(dp.dicts))
+	for ca := range dp.dicts {
+		out = append(out, ca)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Stats counts distribution-point activity; experiments read it to report
+// origin load.
+type Stats struct {
+	IssuancesIngested int
+	FreshnessIngested int
+	Pulls             int
+}
+
+// Stats returns a copy of the origin's counters.
+func (dp *DistributionPoint) Stats() Stats {
+	dp.mu.RLock()
+	defer dp.mu.RUnlock()
+	return dp.stats
+}

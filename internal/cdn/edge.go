@@ -1,0 +1,121 @@
+package cdn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ritm/internal/dictionary"
+)
+
+// EdgeServer replicates an upstream Origin (the distribution point, or
+// another edge in a hierarchy) with a pull-through TTL cache, the dominant
+// CDN communication paradigm (§II "Content-Delivery Network"). A TTL of
+// zero disables caching entirely, which is the worst-case configuration the
+// paper measures in Fig 5 ("the content needs to be fetched from the origin
+// server for every request").
+//
+// The cache key is (CA, from): two RAs at the same count receive the same
+// bytes, which is what makes CDN dissemination scale with the number of
+// RAs. Entries expire after the TTL, bounding staleness; the client-side 2∆
+// policy tolerates exactly one period of such staleness (§V).
+type EdgeServer struct {
+	upstream Origin
+	ttl      time.Duration
+	now      func() time.Time
+
+	mu    sync.Mutex
+	cache map[edgeKey]*edgeEntry
+	stats EdgeStats
+}
+
+type edgeKey struct {
+	ca   dictionary.CAID
+	from uint64
+}
+
+type edgeEntry struct {
+	resp    *PullResponse
+	fetched time.Time
+}
+
+// NewEdgeServer creates an edge server caching upstream responses for ttl.
+// A zero ttl disables caching. now is the cache clock (nil = time.Now).
+func NewEdgeServer(upstream Origin, ttl time.Duration, now func() time.Time) *EdgeServer {
+	if now == nil {
+		now = time.Now
+	}
+	return &EdgeServer{
+		upstream: upstream,
+		ttl:      ttl,
+		now:      now,
+		cache:    make(map[edgeKey]*edgeEntry),
+	}
+}
+
+var _ Origin = (*EdgeServer)(nil)
+
+// Pull implements Origin with pull-through caching.
+func (e *EdgeServer) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	key := edgeKey{ca: ca, from: from}
+	now := e.now()
+
+	if e.ttl > 0 {
+		e.mu.Lock()
+		if ent, ok := e.cache[key]; ok && now.Sub(ent.fetched) < e.ttl {
+			e.stats.Hits++
+			e.stats.BytesServed += int64(ent.resp.Size())
+			resp := ent.resp
+			e.mu.Unlock()
+			return resp, nil
+		}
+		e.mu.Unlock()
+	}
+
+	resp, err := e.upstream.Pull(ca, from)
+	if err != nil {
+		return nil, fmt.Errorf("edge pull: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Misses++
+	e.stats.BytesServed += int64(resp.Size())
+	e.stats.BytesFetched += int64(resp.Size())
+	if e.ttl > 0 {
+		e.cache[key] = &edgeEntry{resp: resp, fetched: now}
+	}
+	return resp, nil
+}
+
+// LatestRoot implements Origin; roots are never cached so that consistency
+// checking always observes the origin's current view (stale roots would
+// produce false equivocation alarms).
+func (e *EdgeServer) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	return e.upstream.LatestRoot(ca)
+}
+
+// CAs implements Origin.
+func (e *EdgeServer) CAs() ([]dictionary.CAID, error) { return e.upstream.CAs() }
+
+// Flush drops every cached entry (operator action, or tests moving virtual
+// time backwards).
+func (e *EdgeServer) Flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[edgeKey]*edgeEntry)
+}
+
+// EdgeStats counts edge-server activity.
+type EdgeStats struct {
+	Hits         int
+	Misses       int
+	BytesServed  int64 // toward RAs
+	BytesFetched int64 // from upstream
+}
+
+// Stats returns a copy of the edge's counters.
+func (e *EdgeServer) Stats() EdgeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

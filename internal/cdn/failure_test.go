@@ -1,0 +1,127 @@
+package cdn
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ritm/internal/dictionary"
+)
+
+// Failure-injection tests: the dissemination network must degrade into
+// clean errors — never panics, hangs, or silently wrong data — when the
+// transport misbehaves. The client-side 2∆ policy converts persistent
+// dissemination failure into connection interruption, so "fail loudly and
+// recover on the next pull" is the required behavior.
+
+func TestHTTPClientAgainstBrokenServer(t *testing.T) {
+	tests := []struct {
+		name    string
+		handler http.HandlerFunc
+	}{
+		{"internal error", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}},
+		{"garbage body", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte{0xde, 0xad, 0xbe, 0xef})
+		}},
+		{"empty body", func(w http.ResponseWriter, r *http.Request) {}},
+		{"html error page", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("<html>captive portal</html>"))
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			srv := httptest.NewServer(tt.handler)
+			defer srv.Close()
+			client := &HTTPClient{BaseURL: srv.URL}
+			if _, err := client.Pull("CA1", 0); err == nil {
+				t.Error("broken pull succeeded")
+			}
+			if _, err := client.LatestRoot("CA1"); err == nil {
+				t.Error("broken root fetch succeeded")
+			}
+		})
+	}
+}
+
+func TestHTTPClientAgainstDeadServer(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // connection refused from here on
+	client := &HTTPClient{BaseURL: srv.URL, Client: &http.Client{Timeout: time.Second}}
+	if _, err := client.Pull("CA1", 0); err == nil {
+		t.Error("pull against dead server succeeded")
+	}
+	if _, err := client.CAs(); err == nil {
+		t.Error("CAs against dead server succeeded")
+	}
+}
+
+// flakyOrigin fails every pull until healed.
+type flakyOrigin struct {
+	Origin
+	broken atomic.Bool
+}
+
+func (f *flakyOrigin) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	if f.broken.Load() {
+		return nil, ErrUnknownCA
+	}
+	return f.Origin.Pull(ca, from)
+}
+
+func TestEdgeServerFlakyUpstreamRecovery(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 3)
+	flaky := &flakyOrigin{Origin: tc.dp}
+	edge := NewEdgeServer(flaky, 0, tc.clock.now)
+
+	flaky.broken.Store(true)
+	if _, err := edge.Pull("CA1", 0); err == nil {
+		t.Fatal("pull through broken upstream succeeded")
+	}
+	// The failure is not cached: once the upstream heals, pulls work.
+	flaky.broken.Store(false)
+	resp, err := edge.Pull("CA1", 0)
+	if err != nil {
+		t.Fatalf("pull after recovery: %v", err)
+	}
+	if len(resp.Issuance.Serials) != 3 {
+		t.Errorf("recovered pull returned %d serials", len(resp.Issuance.Serials))
+	}
+}
+
+func TestDistributionPointReplayedStaleMessageRejected(t *testing.T) {
+	// A network-level replay of an OLD issuance message (lower n) must not
+	// regress the distribution point's state.
+	tc := newTestCA(t, "CA1")
+	first := tc.gen.NextN(2)
+	msg1, err := tc.auth.Insert(first, tc.clock.now().Unix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.dp.PublishIssuance(msg1); err != nil {
+		t.Fatal(err)
+	}
+	msg2, err := tc.auth.Insert(tc.gen.NextN(2), tc.clock.now().Unix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.dp.PublishIssuance(msg2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the first message: count no longer extends the replica.
+	if err := tc.dp.PublishIssuance(msg1); err == nil {
+		t.Error("replayed stale issuance accepted")
+	}
+	root, err := tc.dp.LatestRoot("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.N != 4 {
+		t.Errorf("state regressed to n=%d", root.N)
+	}
+}

@@ -1,0 +1,159 @@
+package cdn
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ritm/internal/dictionary"
+)
+
+// HTTP transport for the dissemination network, the "simple HTTP(S)-based
+// API" of §VI. Endpoints:
+//
+//	GET /v1/cas                  → newline-separated CA identifiers
+//	GET /v1/pull?ca=X&from=N     → binary PullResponse
+//	GET /v1/root?ca=X            → binary SignedRoot
+//
+// Payloads use the deterministic wire encoding; HTTP is only the carrier,
+// so any real CDN (which caches opaque bodies by URL) can serve them. The
+// cache key (ca, from) appears entirely in the URL, matching EdgeServer's
+// cache keying.
+
+// Handler adapts an Origin to the HTTP API. Serve it on an edge server or
+// on the distribution point itself.
+func Handler(origin Origin) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cas", func(w http.ResponseWriter, r *http.Request) {
+		cas, err := origin.CAs()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var sb strings.Builder
+		for _, ca := range cas {
+			sb.WriteString(string(ca))
+			sb.WriteByte('\n')
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, sb.String())
+	})
+	mux.HandleFunc("GET /v1/pull", func(w http.ResponseWriter, r *http.Request) {
+		ca := dictionary.CAID(r.URL.Query().Get("ca"))
+		from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		if ca == "" || err != nil {
+			http.Error(w, "cdn: pull requires ca and numeric from", http.StatusBadRequest)
+			return
+		}
+		resp, err := origin.Pull(ca, from)
+		if err != nil {
+			http.Error(w, err.Error(), statusFor(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(resp.Encode())
+	})
+	mux.HandleFunc("GET /v1/root", func(w http.ResponseWriter, r *http.Request) {
+		ca := dictionary.CAID(r.URL.Query().Get("ca"))
+		if ca == "" {
+			http.Error(w, "cdn: root requires ca", http.StatusBadRequest)
+			return
+		}
+		root, err := origin.LatestRoot(ca)
+		if err != nil {
+			http.Error(w, err.Error(), statusFor(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(root.Encode())
+	})
+	return mux
+}
+
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case strings.Contains(err.Error(), ErrUnknownCA.Error()):
+		return http.StatusNotFound
+	case strings.Contains(err.Error(), ErrAhead.Error()):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// HTTPClient is an Origin backed by the HTTP API; RAs use it to pull from a
+// remote edge server.
+type HTTPClient struct {
+	// BaseURL is the edge server's root, e.g. "http://edge1.example:8080".
+	BaseURL string
+	// Client is the HTTP client to use (nil = http.DefaultClient).
+	Client *http.Client
+}
+
+var _ Origin = (*HTTPClient)(nil)
+
+func (h *HTTPClient) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+func (h *HTTPClient) get(path string) ([]byte, error) {
+	resp, err := h.client().Get(h.BaseURL + path)
+	if err != nil {
+		return nil, fmt.Errorf("cdn http: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	if err != nil {
+		return nil, fmt.Errorf("cdn http: read body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, nil
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCA, strings.TrimSpace(string(body)))
+	case http.StatusConflict:
+		return nil, fmt.Errorf("%w: %s", ErrAhead, strings.TrimSpace(string(body)))
+	default:
+		return nil, fmt.Errorf("cdn http: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}
+
+// Pull implements Origin.
+func (h *HTTPClient) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	body, err := h.get(fmt.Sprintf("/v1/pull?ca=%s&from=%d", string(ca), from))
+	if err != nil {
+		return nil, err
+	}
+	return DecodePullResponse(body)
+}
+
+// LatestRoot implements Origin.
+func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	body, err := h.get("/v1/root?ca=" + string(ca))
+	if err != nil {
+		return nil, err
+	}
+	return dictionary.DecodeSignedRoot(body)
+}
+
+// CAs implements Origin.
+func (h *HTTPClient) CAs() ([]dictionary.CAID, error) {
+	body, err := h.get("/v1/cas")
+	if err != nil {
+		return nil, err
+	}
+	var out []dictionary.CAID
+	for _, line := range strings.Split(string(body), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			out = append(out, dictionary.CAID(line))
+		}
+	}
+	return out, nil
+}

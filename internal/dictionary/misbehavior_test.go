@@ -1,0 +1,217 @@
+package dictionary
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// equivocatingCA builds two authorities sharing one key and CA id but with
+// diverging dictionaries, modelling a CA that shows different views to
+// different parts of the system (§V "Misbehaving CA").
+func equivocatingCA(t *testing.T) (viewA, viewB *Authority) {
+	t.Helper()
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AuthorityConfig{CA: "evil", Signer: signer, Delta: 10 * time.Second, ChainLength: 8}
+	a, err := NewAuthority(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAuthority(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestEquivocationDetected(t *testing.T) {
+	viewA, viewB := equivocatingCA(t)
+	// Same size (1), different content: the CA hides serial 2 from view B.
+	msgA, err := viewA.Insert(mustSerials(t, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgB, err := viewB.Insert(mustSerials(t, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proof, err := CheckEquivocation(msgA.Root, msgB.Root, viewA.PublicKey())
+	if err != nil {
+		t.Fatalf("CheckEquivocation: %v", err)
+	}
+	if err := proof.Verify(viewA.PublicKey()); err != nil {
+		t.Errorf("misbehavior proof does not verify: %v", err)
+	}
+
+	// The proof survives serialization (it must be reportable).
+	decoded, err := DecodeMisbehaviorProof(proof.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decoded.Verify(viewA.PublicKey()); err != nil {
+		t.Errorf("decoded proof does not verify: %v", err)
+	}
+}
+
+func TestNoMisbehaviorForHonestCA(t *testing.T) {
+	a := newTestAuthority(t, 0)
+	r1 := a.SignedRoot()
+	if _, err := a.Insert(mustSerials(t, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := a.SignedRoot()
+
+	// Identical roots: consistent.
+	if _, err := CheckEquivocation(r1, r1, a.PublicKey()); !errors.Is(err, ErrNoMisbehavior) {
+		t.Errorf("identical roots: err = %v, want ErrNoMisbehavior", err)
+	}
+	// Different sizes: not comparable by equivocation check.
+	if _, err := CheckEquivocation(r1, r2, a.PublicKey()); !errors.Is(err, ErrNoMisbehavior) {
+		t.Errorf("different sizes: err = %v, want ErrNoMisbehavior", err)
+	}
+}
+
+func TestEquivocationNeedsValidSignatures(t *testing.T) {
+	viewA, viewB := equivocatingCA(t)
+	msgA, err := viewA.Insert(mustSerials(t, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgB, err := viewB.Insert(mustSerials(t, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A proof must not be constructible from unsigned claims: break one sig.
+	broken := *msgB.Root
+	broken.Signature = append([]byte(nil), broken.Signature...)
+	broken.Signature[0] ^= 1
+	if _, err := CheckEquivocation(msgA.Root, &broken, viewA.PublicKey()); !errors.Is(err, cryptoutil.ErrBadSignature) {
+		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+	// And verification of a doctored proof fails.
+	proof := &MisbehaviorProof{A: msgA.Root, B: &broken}
+	if err := proof.Verify(viewA.PublicKey()); !errors.Is(err, ErrBadMisbehaviorProof) {
+		t.Errorf("err = %v, want ErrBadMisbehaviorProof", err)
+	}
+}
+
+func TestEquivocationDifferentCAsRejected(t *testing.T) {
+	a1 := newTestAuthority(t, 0)
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAuthority(AuthorityConfig{CA: "CA2", Signer: signer, Delta: 10 * time.Second, ChainLength: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckEquivocation(a1.SignedRoot(), a2.SignedRoot(), a1.PublicKey()); err == nil {
+		t.Error("cross-CA comparison produced a verdict")
+	}
+}
+
+func TestVerifyPrefixHonestHistory(t *testing.T) {
+	a, r := authorityAndReplica(t, 0)
+	msg1, err := a.Insert(mustSerials(t, 10, 20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(msg1); err != nil {
+		t.Fatal(err)
+	}
+	root1 := msg1.Root
+	msg2, err := a.Insert(mustSerials(t, 30), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(msg2); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPrefix(r.Log(), root1, msg2.Root, a.PublicKey()); err != nil {
+		t.Errorf("honest history flagged: %v", err)
+	}
+	// Argument order must not matter.
+	if err := VerifyPrefix(r.Log(), msg2.Root, root1, a.PublicKey()); err != nil {
+		t.Errorf("swapped args flagged: %v", err)
+	}
+}
+
+func TestVerifyPrefixCatchesRewrittenHistory(t *testing.T) {
+	// The CA signs a size-1 root with serial 1, then "deletes" it and signs
+	// a size-2 root built from serials {2,3}. No single log can replay both.
+	viewA, viewB := equivocatingCA(t)
+	msgA, err := viewA.Insert(mustSerials(t, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := viewB.Insert(mustSerials(t, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	msgB2, err := viewB.Insert(mustSerials(t, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replica followed view B, so its log is {2, 3}.
+	log := mustSerials(t, 2, 3)
+	if err := VerifyPrefix(log, msgA.Root, msgB2.Root, viewA.PublicKey()); !errors.Is(err, ErrRootMismatch) {
+		t.Errorf("err = %v, want ErrRootMismatch", err)
+	}
+}
+
+func TestVerifyPrefixShortLog(t *testing.T) {
+	a := newTestAuthority(t, 0)
+	r0 := a.SignedRoot()
+	msg, err := a.Insert(mustSerials(t, 1, 2, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPrefix(mustSerials(t, 1), r0, msg.Root, a.PublicKey()); !errors.Is(err, ErrDesynchronized) {
+		t.Errorf("err = %v, want ErrDesynchronized", err)
+	}
+}
+
+func TestVerifyPrefixFromEmptyRoot(t *testing.T) {
+	a := newTestAuthority(t, 0)
+	r0 := a.SignedRoot()
+	msg, err := a.Insert(mustSerials(t, 5, 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPrefix(mustSerials(t, 5, 6), r0, msg.Root, a.PublicKey()); err != nil {
+		t.Errorf("empty-prefix verification failed: %v", err)
+	}
+}
+
+func TestAppendOnlyForcesPermanentFork(t *testing.T) {
+	// §V: once a CA equivocates at size n, it must maintain both forks
+	// forever; any later pair of same-size roots from the two forks remains
+	// detectable evidence. Simulate three more batches on each fork and
+	// check detection at every size.
+	viewA, viewB := equivocatingCA(t)
+	if _, err := viewA.Insert(mustSerials(t, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := viewB.Insert(mustSerials(t, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		msgA, err := viewA.Insert([]serial.Number{serial.FromUint64(100 + i)}, int64(2+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgB, err := viewB.Insert([]serial.Number{serial.FromUint64(100 + i)}, int64(2+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CheckEquivocation(msgA.Root, msgB.Root, viewA.PublicKey()); err != nil {
+			t.Errorf("fork at size %d undetected: %v", 2+i, err)
+		}
+	}
+}

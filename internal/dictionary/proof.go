@@ -1,0 +1,267 @@
+package dictionary
+
+import (
+	"fmt"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+	"ritm/internal/wire"
+)
+
+// ProofKind distinguishes the three shapes a dictionary proof can take.
+type ProofKind uint8
+
+// Proof kinds. Values are part of the wire format.
+const (
+	// ProofPresence proves the serial is revoked (it is a leaf).
+	ProofPresence ProofKind = iota + 1
+	// ProofAbsence proves the serial is not revoked, by exhibiting the
+	// adjacent leaf or leaves that bracket it in sorted order.
+	ProofAbsence
+	// ProofAbsenceEmpty proves absence trivially: the dictionary is empty.
+	ProofAbsenceEmpty
+)
+
+// String returns a human-readable kind name.
+func (k ProofKind) String() string {
+	switch k {
+	case ProofPresence:
+		return "presence"
+	case ProofAbsence:
+		return "absence"
+	case ProofAbsenceEmpty:
+		return "absence-empty"
+	default:
+		return fmt.Sprintf("ProofKind(%d)", uint8(k))
+	}
+}
+
+// ProofLeaf is one leaf exhibited by a proof, together with the audit path
+// that authenticates it against the signed root.
+type ProofLeaf struct {
+	Serial serial.Number
+	Num    uint64
+	Index  uint64
+	Path   []cryptoutil.Hash
+}
+
+// verify checks the leaf's audit path against root for a tree of size n.
+func (pl *ProofLeaf) verify(root cryptoutil.Hash, n uint64) error {
+	if pl.Index >= n {
+		return fmt.Errorf("%w: leaf index %d outside tree of size %d", ErrBadProof, pl.Index, n)
+	}
+	h := Leaf{Serial: pl.Serial, Num: pl.Num}.hash()
+	idx, size := pl.Index, n
+	pi := 0
+	for size > 1 {
+		if idx%2 == 0 {
+			if idx+1 < size {
+				if pi >= len(pl.Path) {
+					return fmt.Errorf("%w: audit path too short", ErrBadProof)
+				}
+				h = cryptoutil.HashNode(h, pl.Path[pi])
+				pi++
+			}
+			// Rightmost node of an odd level is promoted unchanged.
+		} else {
+			if pi >= len(pl.Path) {
+				return fmt.Errorf("%w: audit path too short", ErrBadProof)
+			}
+			h = cryptoutil.HashNode(pl.Path[pi], h)
+			pi++
+		}
+		idx /= 2
+		size = (size + 1) / 2
+	}
+	if pi != len(pl.Path) {
+		return fmt.Errorf("%w: audit path has %d extra elements", ErrBadProof, len(pl.Path)-pi)
+	}
+	if !h.Equal(root) {
+		return fmt.Errorf("%w: audit path does not reach root", ErrBadProof)
+	}
+	return nil
+}
+
+// Proof is a presence or absence proof for one serial number against one
+// version (root, n) of a dictionary. Proofs are produced by Tree.Prove and
+// verified with Proof.Verify; they are sound against any prover, including
+// a compromised RA or CDN (§V).
+type Proof struct {
+	Kind ProofKind
+	// Left is the proven leaf for presence proofs, or the predecessor leaf
+	// for absence proofs (nil when the serial precedes the whole tree).
+	Left *ProofLeaf
+	// Right is the successor leaf for absence proofs (nil when the serial
+	// follows the whole tree). Unused by presence proofs.
+	Right *ProofLeaf
+}
+
+// Verify checks that the proof is a valid statement about s in the
+// dictionary version committed to by (root, n). On success it returns
+// revoked=true for a presence proof and revoked=false for an absence proof.
+func (p *Proof) Verify(s serial.Number, root cryptoutil.Hash, n uint64) (revoked bool, err error) {
+	switch p.Kind {
+	case ProofPresence:
+		if p.Left == nil || p.Right != nil {
+			return false, fmt.Errorf("%w: malformed presence proof", ErrBadProof)
+		}
+		if !p.Left.Serial.Equal(s) {
+			return false, fmt.Errorf("%w: presence proof is for serial %v, not %v", ErrBadProof, p.Left.Serial, s)
+		}
+		if err := p.Left.verify(root, n); err != nil {
+			return false, err
+		}
+		return true, nil
+
+	case ProofAbsenceEmpty:
+		if p.Left != nil || p.Right != nil {
+			return false, fmt.Errorf("%w: malformed empty-tree proof", ErrBadProof)
+		}
+		if n != 0 || !root.Equal(EmptyRoot) {
+			return false, fmt.Errorf("%w: empty-tree proof against non-empty dictionary", ErrBadProof)
+		}
+		return false, nil
+
+	case ProofAbsence:
+		return false, p.verifyAbsence(s, root, n)
+
+	default:
+		return false, fmt.Errorf("%w: unknown proof kind %d", ErrBadProof, p.Kind)
+	}
+}
+
+func (p *Proof) verifyAbsence(s serial.Number, root cryptoutil.Hash, n uint64) error {
+	if n == 0 {
+		return fmt.Errorf("%w: absence proof against empty dictionary", ErrBadProof)
+	}
+	switch {
+	case p.Left == nil && p.Right == nil:
+		return fmt.Errorf("%w: absence proof with no leaves", ErrBadProof)
+
+	case p.Left == nil:
+		// s precedes the entire tree: Right must be the first leaf.
+		if p.Right.Index != 0 {
+			return fmt.Errorf("%w: left-boundary proof not anchored at index 0", ErrBadProof)
+		}
+		if s.Compare(p.Right.Serial) >= 0 {
+			return fmt.Errorf("%w: serial %v not below first leaf %v", ErrBadProof, s, p.Right.Serial)
+		}
+		return p.Right.verify(root, n)
+
+	case p.Right == nil:
+		// s follows the entire tree: Left must be the last leaf.
+		if p.Left.Index != n-1 {
+			return fmt.Errorf("%w: right-boundary proof not anchored at index n-1", ErrBadProof)
+		}
+		if s.Compare(p.Left.Serial) <= 0 {
+			return fmt.Errorf("%w: serial %v not above last leaf %v", ErrBadProof, s, p.Left.Serial)
+		}
+		return p.Left.verify(root, n)
+
+	default:
+		// s falls strictly between two leaves that must be adjacent.
+		if p.Right.Index != p.Left.Index+1 {
+			return fmt.Errorf("%w: absence leaves not adjacent (%d, %d)", ErrBadProof, p.Left.Index, p.Right.Index)
+		}
+		if p.Left.Serial.Compare(s) >= 0 || s.Compare(p.Right.Serial) >= 0 {
+			return fmt.Errorf("%w: serial %v not bracketed by (%v, %v)", ErrBadProof, s, p.Left.Serial, p.Right.Serial)
+		}
+		if err := p.Left.verify(root, n); err != nil {
+			return err
+		}
+		return p.Right.verify(root, n)
+	}
+}
+
+// Size returns the encoded size of the proof in bytes; the paper reports
+// 500–900 bytes for the largest CRL observed (§VII-D).
+func (p *Proof) Size() int { return len(p.Encode()) }
+
+// Encode serializes the proof.
+func (p *Proof) Encode() []byte {
+	e := wire.NewEncoder(256)
+	p.encodeTo(e)
+	return e.Bytes()
+}
+
+func (p *Proof) encodeTo(e *wire.Encoder) {
+	e.Uint8(uint8(p.Kind))
+	encodeProofLeaf(e, p.Left)
+	encodeProofLeaf(e, p.Right)
+}
+
+func encodeProofLeaf(e *wire.Encoder, pl *ProofLeaf) {
+	if pl == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.BytesField(pl.Serial.Raw())
+	e.Uvarint(pl.Num)
+	e.Uvarint(pl.Index)
+	e.Uvarint(uint64(len(pl.Path)))
+	for _, h := range pl.Path {
+		e.Raw(h[:])
+	}
+}
+
+// DecodeProof parses a proof encoded by Encode.
+func DecodeProof(buf []byte) (*Proof, error) {
+	d := wire.NewDecoder(buf)
+	p, err := decodeProofFrom(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decode proof: %w", err)
+	}
+	return p, nil
+}
+
+func decodeProofFrom(d *wire.Decoder) (*Proof, error) {
+	var p Proof
+	p.Kind = ProofKind(d.Uint8())
+	var err error
+	if p.Left, err = decodeProofLeaf(d); err != nil {
+		return nil, err
+	}
+	if p.Right, err = decodeProofLeaf(d); err != nil {
+		return nil, err
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode proof: %w", d.Err())
+	}
+	return &p, nil
+}
+
+func decodeProofLeaf(d *wire.Decoder) (*ProofLeaf, error) {
+	if !d.Bool() {
+		return nil, d.Err()
+	}
+	var pl ProofLeaf
+	serialBytes := d.BytesCopy()
+	pl.Num = d.Uvarint()
+	pl.Index = d.Uvarint()
+	pathLen := d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode proof leaf: %w", d.Err())
+	}
+	const maxPath = 64 // a dictionary of 2⁶⁴ leaves; far beyond any real tree
+	if pathLen > maxPath {
+		return nil, fmt.Errorf("%w: audit path of %d elements", ErrBadProof, pathLen)
+	}
+	pl.Path = make([]cryptoutil.Hash, pathLen)
+	for i := range pl.Path {
+		h, err := cryptoutil.HashFromBytes(d.Raw(cryptoutil.HashSize))
+		if err != nil || d.Err() != nil {
+			return nil, fmt.Errorf("decode proof leaf path: %w", ErrBadProof)
+		}
+		pl.Path[i] = h
+	}
+	s, err := serial.New(serialBytes)
+	if err != nil {
+		return nil, fmt.Errorf("decode proof leaf serial: %w", err)
+	}
+	pl.Serial = s
+	return &pl, nil
+}

@@ -1,0 +1,218 @@
+package dictionary
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"sync"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// Replica is the RA side of a dictionary: a full copy of one CA's
+// dictionary that is updated only through verified issuance messages
+// (Fig 2, update) and freshness statements, and that produces revocation
+// statuses for clients (Fig 2, prove). Replica is safe for concurrent use:
+// the RA's fetcher goroutine updates it while DPI goroutines prove against
+// it.
+type Replica struct {
+	ca  CAID
+	pub ed25519.PublicKey
+
+	mu        sync.RWMutex
+	tree      *Tree
+	root      *SignedRoot     // latest verified signed root, nil until first update
+	freshness cryptoutil.Hash // latest verified freshness statement value
+	freshPer  int             // period the statement was verified for
+}
+
+// NewReplica creates an empty replica of the dictionary of the given CA.
+// The public key is the trust anchor against which every signed root is
+// verified; it normally comes from the CA's certificate.
+func NewReplica(ca CAID, pub ed25519.PublicKey) *Replica {
+	return &Replica{ca: ca, pub: pub, tree: NewTree()}
+}
+
+// CA returns the CA whose dictionary this replica mirrors.
+func (r *Replica) CA() CAID { return r.ca }
+
+// Count returns the replica's revocation count n.
+func (r *Replica) Count() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tree.Count()
+}
+
+// Root returns the latest verified signed root, or nil before the first
+// successful update.
+func (r *Replica) Root() *SignedRoot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.root
+}
+
+// Revoked reports whether s is revoked in the replica's current view.
+func (r *Replica) Revoked(s serial.Number) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.tree.Revoked(s)
+	return ok
+}
+
+// Update applies an issuance message (Fig 2, update): it verifies the
+// signature, checks that the batch extends the local count contiguously,
+// replays the insertions, and commits only if the rebuilt root and count
+// equal the signed values. On any failure the replica is left unchanged.
+//
+// A count gap (the message starts beyond our log) returns
+// ErrDesynchronized; the caller should resynchronize via the sync protocol
+// (§III), requesting the log suffix after Count().
+func (r *Replica) Update(msg *IssuanceMessage) error {
+	if msg == nil || msg.Root == nil {
+		return fmt.Errorf("dictionary: nil issuance message")
+	}
+	if msg.Root.CA != r.ca {
+		return fmt.Errorf("dictionary: issuance message for %s applied to replica of %s", msg.Root.CA, r.ca)
+	}
+	if err := msg.Root.VerifySignature(r.pub); err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := r.tree.Count()
+	want := msg.Root.N
+	switch {
+	case want == have && len(msg.Serials) == 0:
+		// Root-only refresh (chain rotation with no new revocations).
+		if !msg.Root.Root.Equal(r.tree.Root()) {
+			return fmt.Errorf("%w: rotated root differs at n=%d", ErrRootMismatch, have)
+		}
+	case want != have+uint64(len(msg.Serials)):
+		if want > have+uint64(len(msg.Serials)) {
+			return fmt.Errorf("%w: have %d revocations, message covers up to %d", ErrDesynchronized, have, want)
+		}
+		return fmt.Errorf("%w: message count %d does not extend local count %d by %d",
+			ErrCount, want, have, len(msg.Serials))
+	default:
+		if err := r.tree.InsertBatch(msg.Serials); err != nil {
+			return err
+		}
+		if !r.tree.Root().Equal(msg.Root.Root) || r.tree.Count() != want {
+			// Reject and roll back: the signed root does not match what an
+			// honest replay produces (update step 3).
+			prefix := r.tree.Log()[:have]
+			if rbErr := r.tree.RebuildFromLog(prefix); rbErr != nil {
+				return fmt.Errorf("%w (rollback failed: %v)", ErrRootMismatch, rbErr)
+			}
+			return ErrRootMismatch
+		}
+	}
+	r.root = msg.Root
+	// A new signed root restarts the freshness chain at period 0; its
+	// anchor doubles as the period-0 statement.
+	r.freshness = msg.Root.Anchor
+	r.freshPer = 0
+	return nil
+}
+
+// ApplyFreshness verifies a freshness statement for the current period and,
+// if valid, replaces the stored one (§III "Dissemination"). The statement
+// is accepted for period p or p−1 relative to now, mirroring the client's
+// 2∆ tolerance.
+func (r *Replica) ApplyFreshness(st *FreshnessStatement, now int64) error {
+	if st == nil {
+		return fmt.Errorf("dictionary: nil freshness statement")
+	}
+	if st.CA != r.ca {
+		return fmt.Errorf("dictionary: freshness statement for %s applied to replica of %s", st.CA, r.ca)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.root == nil {
+		return fmt.Errorf("%w: no signed root yet", ErrDesynchronized)
+	}
+	p := r.root.Period(now)
+	if p > int(r.root.ChainLen) {
+		return fmt.Errorf("%w: signed root expired", ErrStale)
+	}
+	for _, cand := range []int{p, p - 1} {
+		if cand < 0 || cand < r.freshPer {
+			continue
+		}
+		if cryptoutil.VerifyChainValue(r.root.Anchor, st.Value, cand) == nil {
+			r.freshness = st.Value
+			r.freshPer = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: freshness statement does not verify for period %d", ErrStale, p)
+}
+
+// Prove produces the revocation status for s (Fig 2, prove): the
+// presence/absence proof, the signed root, and the latest freshness
+// statement. It fails with ErrDesynchronized before the first update.
+func (r *Replica) Prove(s serial.Number) (*Status, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.root == nil {
+		return nil, fmt.Errorf("%w: replica has no signed root", ErrDesynchronized)
+	}
+	return &Status{
+		Proof:     r.tree.Prove(s),
+		Root:      r.root,
+		Freshness: r.freshness,
+	}, nil
+}
+
+// FreshnessAge returns how many periods old the stored freshness statement
+// is relative to now; RAs use it to decide whether a new status must be
+// pushed on established connections (§III step 6).
+func (r *Replica) FreshnessAge(now int64) (int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.root == nil {
+		return 0, fmt.Errorf("%w: replica has no signed root", ErrDesynchronized)
+	}
+	return r.root.Period(now) - r.freshPer, nil
+}
+
+// Log returns a copy of the replica's issuance log (for consistency
+// checking and resynchronization serving between RAs).
+func (r *Replica) Log() []serial.Number {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tree.Log()
+}
+
+// LogSuffix returns the serials with revocation numbers in (from, to]; the
+// distribution point serves it to resynchronize lagging replicas (§III).
+func (r *Replica) LogSuffix(from, to uint64) ([]serial.Number, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tree.LogSuffix(from, to)
+}
+
+// Freshness returns the latest verified freshness-statement value. Before
+// any statement arrives it is the signed root's anchor (the period-0 value),
+// and before the first update it is the zero hash.
+func (r *Replica) Freshness() cryptoutil.Hash {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.freshness
+}
+
+// SerializedSize reports the canonical serialized size of the replica's
+// dictionary (the §VII-D storage-overhead metric).
+func (r *Replica) SerializedSize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tree.SerializedSize()
+}
+
+// MemoryFootprint estimates resident memory of the replica's tree.
+func (r *Replica) MemoryFootprint() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tree.MemoryFootprint()
+}

@@ -1,0 +1,163 @@
+package dictionary
+
+import (
+	"testing"
+	"time"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+func newShardedAuthority(t *testing.T, width time.Duration) *ShardedAuthority {
+	t.Helper()
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewShardedAuthority(ShardConfig{
+		Base: AuthorityConfig{
+			CA:     "ShardCA",
+			Signer: signer,
+			Delta:  10 * time.Second,
+		},
+		Width: width,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedAuthorityRoutesByExpiry(t *testing.T) {
+	const quarter = 90 * 24 * time.Hour
+	s := newShardedAuthority(t, quarter)
+	now := int64(1_400_000_000)
+	gen := serial.NewGenerator(1, nil)
+
+	// Two certificates expiring two quarters apart land in different
+	// shards; two expiring the same week share one.
+	expA := now + 30*24*3600
+	expB := now + 200*24*3600
+	expA2 := expA + 3*24*3600
+
+	if _, err := s.Insert(gen.Next(), expA, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(gen.Next(), expB, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(gen.Next(), expA2, now); err != nil {
+		t.Fatal(err)
+	}
+	shards := s.Shards()
+	if len(shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(shards))
+	}
+	if got := shards[0].Count() + shards[1].Count(); got != 3 {
+		t.Errorf("total revocations across shards = %d", got)
+	}
+	if s.ShardIDFor(expA) != s.ShardIDFor(expA2) {
+		t.Error("same-quarter expiries mapped to different shards")
+	}
+	if s.ShardIDFor(expA) == s.ShardIDFor(expB) {
+		t.Error("distant expiries share a shard")
+	}
+}
+
+func TestShardedProofsVerifyPerShard(t *testing.T) {
+	const quarter = 90 * 24 * time.Hour
+	s := newShardedAuthority(t, quarter)
+	now := int64(1_400_000_000)
+	gen := serial.NewGenerator(2, nil)
+	exp := now + 40*24*3600
+
+	revoked := gen.Next()
+	if _, err := s.Insert(revoked, exp, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Presence for the revoked serial, absence for a fresh one — both
+	// verified against the shard's signed root.
+	shard := s.Shards()[0]
+	status, err := s.Prove(revoked, exp, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := status.Check(revoked, shard.PublicKey(), now)
+	if err != nil || res != CheckRevoked {
+		t.Fatalf("presence check = %v, %v", res, err)
+	}
+	other := gen.Next()
+	status, err = s.Prove(other, exp, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = status.Check(other, shard.PublicKey(), now)
+	if err != nil || res != CheckValid {
+		t.Fatalf("absence check = %v, %v", res, err)
+	}
+
+	// Proving against an expiry with no shard yet creates an empty shard
+	// whose absence proof is still sound.
+	farFuture := now + 400*24*3600
+	status, err = s.Prove(other, farFuture, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Proof.Kind != ProofAbsenceEmpty {
+		t.Errorf("empty-shard proof kind = %v", status.Proof.Kind)
+	}
+}
+
+func TestPruneExpiredDropsWholeShards(t *testing.T) {
+	const quarter = 90 * 24 * time.Hour
+	s := newShardedAuthority(t, quarter)
+	now := int64(1_400_000_000)
+	gen := serial.NewGenerator(3, nil)
+
+	soon := now + 10*24*3600   // expires within the current quarter-ish
+	later := now + 300*24*3600 // expires next year
+	for i := 0; i < 5; i++ {
+		if _, err := s.Insert(gen.Next(), soon, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Insert(gen.Next(), later, now); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Shards()) != 2 {
+		t.Fatalf("shards = %d", len(s.Shards()))
+	}
+
+	// Nothing prunable yet.
+	if dropped, _ := s.PruneExpired(now); dropped != 0 {
+		t.Fatalf("premature prune dropped %d shards", dropped)
+	}
+	// Move past the first bucket's end: its five revocations are freed.
+	future := soon + int64(quarter/time.Second)
+	dropped, freed := s.PruneExpired(future)
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if freed <= 0 {
+		t.Error("no bytes reported freed")
+	}
+	remaining := s.Shards()
+	if len(remaining) != 1 || remaining[0].Count() != 1 {
+		t.Errorf("remaining shards: %d", len(remaining))
+	}
+}
+
+func TestShardedAuthorityValidation(t *testing.T) {
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := AuthorityConfig{CA: "X", Signer: signer, Delta: 10 * time.Second}
+	if _, err := NewShardedAuthority(ShardConfig{Base: base, Width: time.Minute}); err == nil {
+		t.Error("sub-hour shard width accepted")
+	}
+	if _, err := NewShardedAuthority(ShardConfig{Width: time.Hour}); err == nil {
+		t.Error("missing base config accepted")
+	}
+}

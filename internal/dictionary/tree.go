@@ -1,0 +1,332 @@
+// Package dictionary implements RITM's core contribution: the append-only
+// authenticated dictionary that every CA maintains for its revocations and
+// that every Revocation Agent replicates (§III of the paper, Fig 2).
+//
+// The dictionary is a hash tree whose leaves are (serial number ‖ revocation
+// number) pairs. Revocations are numbered consecutively from 1 in issuance
+// order, which fixes the insertion history; leaves are sorted
+// lexicographically by serial number, which makes both presence and absence
+// efficiently provable. A CA-signed root {root, n, Hᵐ(v), t} commits to the
+// dictionary contents, the revocation count, a hash-chain anchor for
+// freshness statements, and the signing time.
+//
+// Three roles interact with a dictionary:
+//
+//   - the Authority (a CA) inserts revocations, signs roots, and emits
+//     freshness statements every ∆;
+//   - a Replica (an RA) replays insertions, accepts them only when its
+//     rebuilt root matches the signed root, and produces revocation
+//     statuses (proof + signed root + freshness statement);
+//   - a verifier (a RITM client) checks a Status against the CA public key
+//     and the 2∆ freshness policy, with no dictionary state of its own.
+package dictionary
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+	"ritm/internal/wire"
+)
+
+// Errors returned by dictionary operations.
+var (
+	// ErrDuplicateSerial reports an insert of an already-revoked serial.
+	ErrDuplicateSerial = errors.New("dictionary: serial already revoked")
+	// ErrRootMismatch reports that a replayed update does not reproduce the
+	// CA-signed root (Fig 2, update step 3).
+	ErrRootMismatch = errors.New("dictionary: rebuilt root does not match signed root")
+	// ErrBadProof reports a presence/absence proof that fails verification.
+	ErrBadProof = errors.New("dictionary: invalid proof")
+	// ErrStale reports a freshness statement older than the 2∆ policy allows.
+	ErrStale = errors.New("dictionary: revocation status is stale")
+	// ErrDesynchronized reports a replica that is missing issuance messages.
+	ErrDesynchronized = errors.New("dictionary: replica out of sync with authority")
+	// ErrRevoked reports a presence proof: the certificate is revoked.
+	ErrRevoked = errors.New("dictionary: certificate is revoked")
+	// ErrCount reports an issuance message whose revocation count does not
+	// extend the replica's count contiguously.
+	ErrCount = errors.New("dictionary: non-contiguous revocation count")
+)
+
+// EmptyRoot is the root hash of a dictionary with no revocations. A fixed
+// sentinel (rather than a zero hash) keeps the empty tree domain-separated
+// from any real node value.
+var EmptyRoot = cryptoutil.HashBytes([]byte("RITM/empty-tree/v1"))
+
+// Leaf is one revocation: the certificate serial number and the revocation's
+// sequence number (1-based, consecutive per dictionary).
+type Leaf struct {
+	Serial serial.Number
+	Num    uint64
+}
+
+// payload returns the canonical byte encoding hashed into the tree.
+func (l Leaf) payload() []byte {
+	e := wire.NewEncoder(serial.MaxLen + 12)
+	e.BytesField(l.Serial.Raw())
+	e.Uvarint(l.Num)
+	return e.Bytes()
+}
+
+// hash returns the domain-separated leaf hash.
+func (l Leaf) hash() cryptoutil.Hash {
+	return cryptoutil.HashLeaf(l.payload())
+}
+
+// Tree is the sorted hash tree underlying a dictionary. It is a mutable
+// structure owned by a single Authority or Replica; it performs no locking
+// of its own.
+//
+// The tree keeps every level of interior hashes so that audit paths are
+// produced in O(log n) without recomputation. A batch insert merges the new
+// leaves into the sorted order and rebuilds the interior levels in O(n),
+// mirroring the paper's "insert sₓ,n into the tree and rebuild it".
+type Tree struct {
+	leaves     []Leaf            // sorted by serial
+	leafHashes []cryptoutil.Hash // parallel to leaves
+	levels     [][]cryptoutil.Hash
+	bySerial   map[string]uint64 // canonical serial bytes -> revocation number
+	log        []serial.Number   // issuance order; log[i] has Num == i+1
+}
+
+// NewTree returns an empty dictionary tree.
+func NewTree() *Tree {
+	return &Tree{bySerial: make(map[string]uint64)}
+}
+
+// Count returns n, the number of revocations in the dictionary.
+func (t *Tree) Count() uint64 { return uint64(len(t.log)) }
+
+// Root returns the current root hash (EmptyRoot when the tree is empty).
+func (t *Tree) Root() cryptoutil.Hash {
+	if len(t.leaves) == 0 {
+		return EmptyRoot
+	}
+	return t.levels[len(t.levels)-1][0]
+}
+
+// Revoked reports whether s is in the dictionary, and its revocation number.
+func (t *Tree) Revoked(s serial.Number) (uint64, bool) {
+	num, ok := t.bySerial[string(s.Raw())]
+	return num, ok
+}
+
+// Log returns a copy of the issuance-ordered serial log. Replaying the log
+// into an empty tree reproduces the dictionary exactly; it is the canonical
+// serialized form.
+func (t *Tree) Log() []serial.Number {
+	out := make([]serial.Number, len(t.log))
+	copy(out, t.log)
+	return out
+}
+
+// LogSuffix returns the serials with revocation numbers in (from, to], used
+// by the dissemination sync protocol to catch a replica up.
+func (t *Tree) LogSuffix(from, to uint64) ([]serial.Number, error) {
+	if from > to || to > t.Count() {
+		return nil, fmt.Errorf("dictionary: log suffix (%d, %d] of %d", from, to, t.Count())
+	}
+	out := make([]serial.Number, to-from)
+	copy(out, t.log[from:to])
+	return out, nil
+}
+
+// InsertBatch revokes the given serials, assigning consecutive revocation
+// numbers in slice order, and rebuilds the tree. It validates the whole
+// batch before mutating anything, so on error the tree is unchanged.
+func (t *Tree) InsertBatch(serials []serial.Number) error {
+	if len(serials) == 0 {
+		return nil
+	}
+	// Validate first: no serial may repeat, within the batch or historically.
+	inBatch := make(map[string]struct{}, len(serials))
+	for _, s := range serials {
+		if s.IsZero() {
+			return fmt.Errorf("dictionary: insert of zero-value serial")
+		}
+		key := string(s.Raw())
+		if _, dup := t.bySerial[key]; dup {
+			return fmt.Errorf("%w: %v", ErrDuplicateSerial, s)
+		}
+		if _, dup := inBatch[key]; dup {
+			return fmt.Errorf("%w: %v appears twice in batch", ErrDuplicateSerial, s)
+		}
+		inBatch[key] = struct{}{}
+	}
+
+	// Assign revocation numbers in issuance order.
+	newLeaves := make([]Leaf, len(serials))
+	next := t.Count() + 1
+	for i, s := range serials {
+		newLeaves[i] = Leaf{Serial: s, Num: next + uint64(i)}
+		t.bySerial[string(s.Raw())] = newLeaves[i].Num
+		t.log = append(t.log, s)
+	}
+	// Sort the batch by serial, then merge with the existing sorted leaves.
+	sortLeaves(newLeaves)
+	merged := make([]Leaf, 0, len(t.leaves)+len(newLeaves))
+	mergedHashes := make([]cryptoutil.Hash, 0, cap(merged))
+	i, j := 0, 0
+	for i < len(t.leaves) && j < len(newLeaves) {
+		if t.leaves[i].Serial.Compare(newLeaves[j].Serial) < 0 {
+			merged = append(merged, t.leaves[i])
+			mergedHashes = append(mergedHashes, t.leafHashes[i])
+			i++
+		} else {
+			merged = append(merged, newLeaves[j])
+			mergedHashes = append(mergedHashes, newLeaves[j].hash())
+			j++
+		}
+	}
+	for ; i < len(t.leaves); i++ {
+		merged = append(merged, t.leaves[i])
+		mergedHashes = append(mergedHashes, t.leafHashes[i])
+	}
+	for ; j < len(newLeaves); j++ {
+		merged = append(merged, newLeaves[j])
+		mergedHashes = append(mergedHashes, newLeaves[j].hash())
+	}
+	t.leaves = merged
+	t.leafHashes = mergedHashes
+	t.rebuild()
+	return nil
+}
+
+// RebuildFromLog resets the tree to contain exactly the given issuance log.
+// Replicas use it to roll back a rejected update.
+func (t *Tree) RebuildFromLog(log []serial.Number) error {
+	fresh := NewTree()
+	if err := fresh.InsertBatch(log); err != nil {
+		return fmt.Errorf("rebuild from log: %w", err)
+	}
+	*t = *fresh
+	return nil
+}
+
+// rebuild recomputes all interior levels from the leaf hashes. A level with
+// an odd node count promotes its last node unchanged to the next level; the
+// verifier reproduces the same rule from (index, size) alone.
+func (t *Tree) rebuild() {
+	if len(t.leafHashes) == 0 {
+		t.levels = nil
+		return
+	}
+	levels := t.levels[:0]
+	levels = append(levels, t.leafHashes)
+	cur := t.leafHashes
+	for len(cur) > 1 {
+		next := make([]cryptoutil.Hash, (len(cur)+1)/2)
+		for k := 0; k+1 < len(cur); k += 2 {
+			next[k/2] = cryptoutil.HashNode(cur[k], cur[k+1])
+		}
+		if len(cur)%2 == 1 {
+			next[len(next)-1] = cur[len(cur)-1]
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	t.levels = levels
+}
+
+// path returns the audit path for the leaf at index idx.
+func (t *Tree) path(idx int) []cryptoutil.Hash {
+	if len(t.leaves) == 0 || idx < 0 || idx >= len(t.leaves) {
+		return nil
+	}
+	path := make([]cryptoutil.Hash, 0, len(t.levels))
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		nodes := t.levels[lvl]
+		sib := idx ^ 1
+		if sib < len(nodes) {
+			path = append(path, nodes[sib])
+		}
+		// Odd rightmost node has no sibling: promoted, no path element.
+		idx /= 2
+	}
+	return path
+}
+
+// proofLeaf builds the ProofLeaf for index idx.
+func (t *Tree) proofLeaf(idx int) *ProofLeaf {
+	return &ProofLeaf{
+		Serial: t.leaves[idx].Serial,
+		Num:    t.leaves[idx].Num,
+		Index:  uint64(idx),
+		Path:   t.path(idx),
+	}
+}
+
+// Prove produces a presence or absence proof for s against the current tree
+// (Fig 2, prove step 1). The proof verifies against Root() and Count().
+func (t *Tree) Prove(s serial.Number) *Proof {
+	n := len(t.leaves)
+	if n == 0 {
+		return &Proof{Kind: ProofAbsenceEmpty}
+	}
+	// Binary search for the first leaf with Serial >= s.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.leaves[mid].Serial.Compare(s) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < n && t.leaves[lo].Serial.Equal(s) {
+		return &Proof{Kind: ProofPresence, Left: t.proofLeaf(lo)}
+	}
+	switch {
+	case lo == 0:
+		// s precedes every leaf: the first leaf bounds it from above.
+		return &Proof{Kind: ProofAbsence, Right: t.proofLeaf(0)}
+	case lo == n:
+		// s follows every leaf: the last leaf bounds it from below.
+		return &Proof{Kind: ProofAbsence, Left: t.proofLeaf(n - 1)}
+	default:
+		// s falls strictly between two adjacent leaves.
+		return &Proof{Kind: ProofAbsence, Left: t.proofLeaf(lo - 1), Right: t.proofLeaf(lo)}
+	}
+}
+
+// SerializedSize returns the size in bytes of the canonical serialized form
+// (the issuance log), which is what a distribution point stores and ships.
+func (t *Tree) SerializedSize() int {
+	size := 0
+	for _, s := range t.log {
+		size += 1 + s.Len() // uvarint length (serials are ≤20 bytes) + bytes
+	}
+	return size
+}
+
+// MemoryFootprint estimates the resident bytes of the tree structure:
+// leaves, leaf hashes, interior levels, and the serial index. It is an
+// analytic estimate used by the storage-overhead experiment (§VII-D).
+func (t *Tree) MemoryFootprint() int {
+	const (
+		hashBytes     = cryptoutil.HashSize
+		leafOverhead  = 24 + 8 // slice header of serial + num
+		mapEntryBytes = 48     // measured approximation per map entry
+	)
+	total := 0
+	for _, lvl := range t.levels {
+		total += len(lvl) * hashBytes
+	}
+	for _, l := range t.leaves {
+		total += leafOverhead + l.Serial.Len()
+	}
+	total += len(t.bySerial) * mapEntryBytes
+	for _, s := range t.log {
+		total += 24 + s.Len()
+	}
+	return total
+}
+
+func sortLeaves(leaves []Leaf) {
+	// Leaves never share serials (validated by InsertBatch), so the
+	// comparison needs no tiebreaker.
+	slices.SortFunc(leaves, func(a, b Leaf) int { return a.Serial.Compare(b.Serial) })
+}

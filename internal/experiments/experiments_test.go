@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runQuick executes one experiment in quick mode and sanity-checks the
+// table shape.
+func runQuick(t *testing.T, id string) *Table {
+	t.Helper()
+	tbl, err := Run(id, true)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tbl.ID == "" || tbl.Title == "" {
+		t.Errorf("%s: missing identity", id)
+	}
+	if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Errorf("%s row %d: %d cells for %d columns", id, i, len(row), len(tbl.Columns))
+		}
+	}
+	return tbl
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"dictops", "fig4", "fig5", "fig6", "fig7", "latency",
+		"storage", "tab1", "tab2", "tab3", "tab4", "throughput",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, err := Run("nope", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"n1"},
+	}
+	tbl.AddRow("v", 12)
+	tbl.AddRow("with,comma", 3.5)
+
+	var text bytes.Buffer
+	if err := tbl.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	for _, want := range []string{"== x: demo ==", "a", "b", "v", "12", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := tbl.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), `"with,comma"`) {
+		t.Errorf("CSV quoting failed:\n%s", csv.String())
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	tbl := runQuick(t, "fig4")
+	// The zoom section exists and the weekly section has numeric rows.
+	foundZoom := false
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "— zoom") {
+			foundZoom = true
+		}
+	}
+	if !foundZoom {
+		t.Error("fig4 missing Heartbleed zoom")
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	tbl := runQuick(t, "fig5")
+	// Larger messages have strictly larger sizes; p50 ordering follows.
+	if len(tbl.Rows) < 2 {
+		t.Fatal("fig5 needs at least two sizes")
+	}
+	kb0, _ := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	kb1, _ := strconv.ParseFloat(tbl.Rows[1][1], 64)
+	if kb1 <= kb0 {
+		t.Errorf("message sizes not increasing: %f then %f KB", kb0, kb1)
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	tbl := runQuick(t, "fig6")
+	// Bills decrease left to right across the ∆ columns for every cycle.
+	for _, row := range tbl.Rows {
+		vals := make([]float64, 0, 4)
+		for _, cell := range row[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("non-numeric bill %q", cell)
+			}
+			vals = append(vals, v)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] >= vals[i-1] {
+				t.Errorf("row %v: bill does not decrease with ∆", row)
+			}
+		}
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	tbl := runQuick(t, "fig7")
+	// The ∆=1d row's max must dwarf the ∆=1m row's (accumulated payload).
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("quick fig7 rows = %d", len(tbl.Rows))
+	}
+	minuteMax, _ := strconv.ParseFloat(tbl.Rows[0][4], 64)
+	dayMax, _ := strconv.ParseFloat(tbl.Rows[1][4], 64)
+	if dayMax < 5*minuteMax {
+		t.Errorf("∆=1d max (%f KB) not ≫ ∆=1m max (%f KB)", dayMax, minuteMax)
+	}
+}
+
+func TestTab1Sequence(t *testing.T) {
+	tbl := runQuick(t, "tab1")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("tab1 rows = %d, want 4", len(tbl.Rows))
+	}
+	// Freshness statements (rows 2 and 3) are much smaller than issuance
+	// messages (rows 1 and 4).
+	issuance, _ := strconv.Atoi(tbl.Rows[0][3])
+	fresh, _ := strconv.Atoi(tbl.Rows[1][3])
+	if fresh*3 > issuance {
+		t.Errorf("freshness (%d B) not ≪ issuance (%d B)", fresh, issuance)
+	}
+}
+
+func TestTab2Quick(t *testing.T) {
+	tbl := runQuick(t, "tab2")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("tab2 rows = %d, want 3", len(tbl.Rows))
+	}
+	// More clients per RA → cheaper, for every ∆ column.
+	for col := 1; col <= 4; col++ {
+		prev := -1.0
+		for i := len(tbl.Rows) - 1; i >= 0; i-- { // bottom row = most clients
+			v, _ := strconv.ParseFloat(tbl.Rows[i][col], 64)
+			if prev >= 0 && v <= prev {
+				t.Errorf("column %d not increasing as clients/RA decreases", col)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestTab3Quick(t *testing.T) {
+	tbl := runQuick(t, "tab3")
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("tab3 rows = %d, want 5", len(tbl.Rows))
+	}
+	avg := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("non-numeric avg %q", row[4])
+		}
+		if v <= 0 {
+			t.Errorf("%s avg = %f µs", row[1], v)
+		}
+		avg[row[1]] = v
+	}
+	// Tab III ordering: detection ≪ parsing < proof construction (RA side).
+	if !(avg["TLS detection (DPI)"] < avg["Certificates parsing (DPI)"]) {
+		t.Error("detection not cheaper than certificate parsing")
+	}
+	if !(avg["Certificates parsing (DPI)"] < avg["Proof construction"]*4) {
+		t.Error("proof construction implausibly cheap vs parsing")
+	}
+}
+
+func TestTab4Full(t *testing.T) {
+	tbl := runQuick(t, "tab4")
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("tab4 rows = %d, want 8", len(tbl.Rows))
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "RITM" || last[2] != "0" || last[4] != "0" || last[5] != "-" {
+		t.Errorf("RITM row = %v", last)
+	}
+}
+
+func TestStorageQuick(t *testing.T) {
+	tbl := runQuick(t, "storage")
+	rows := map[string]string{}
+	for _, r := range tbl.Rows {
+		rows[r[0]] = r[1]
+	}
+	if rows["dictionaries"] != "254" {
+		t.Errorf("dictionaries = %s", rows["dictionaries"])
+	}
+	if v, _ := strconv.ParseFloat(rows["10M revocations: serialized MB"], 64); v != 40 {
+		t.Errorf("10M serialized = %s MB, want 40", rows["10M revocations: serialized MB"])
+	}
+}
+
+func TestDictOpsQuick(t *testing.T) {
+	tbl := runQuick(t, "dictops")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("dictops rows = %d, want 2 bases × 2 entities", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		avg, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || avg <= 0 {
+			t.Errorf("%s avg = %q", row[1], row[5])
+		}
+	}
+	// The small-base insert is much cheaper than the large-base insert
+	// (the O(n)-rebuild ablation the note explains).
+	small, _ := strconv.ParseFloat(tbl.Rows[0][5], 64)
+	large, _ := strconv.ParseFloat(tbl.Rows[2][5], 64)
+	if large <= small {
+		t.Errorf("large-base insert (%.2f ms) not slower than small-base (%.2f ms)", large, small)
+	}
+}
+
+func TestThroughputQuick(t *testing.T) {
+	tbl := runQuick(t, "throughput")
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || v < 1000 {
+			t.Errorf("%s = %q ops/s, want ≥ 1000", row[1], row[2])
+		}
+	}
+}
+
+func TestLatencyQuick(t *testing.T) {
+	tbl := runQuick(t, "latency")
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("latency rows = %d", len(tbl.Rows))
+	}
+	// The relative-overhead rows parse as percentages.
+	for _, i := range []int{3, 5} {
+		pct := strings.TrimSuffix(tbl.Rows[i][1], "%")
+		if _, err := strconv.ParseFloat(pct, 64); err != nil {
+			t.Errorf("overhead cell %q", tbl.Rows[i][1])
+		}
+	}
+	// Computation alone stays under the paper's 1 % bound.
+	pct, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[5][1], "%"), 64)
+	if err != nil || pct >= 1.0 {
+		t.Errorf("computation overhead = %v%%, want < 1%%", pct)
+	}
+}
+
+func TestMeasureHelper(t *testing.T) {
+	tm := measure(10, 1, func() { time.Sleep(100 * time.Microsecond) })
+	if tm.Avg < 50*time.Microsecond {
+		t.Errorf("avg = %v, want ≥ 50µs", tm.Avg)
+	}
+	if tm.Min > tm.Avg || tm.Avg > tm.Max {
+		t.Errorf("ordering violated: %+v", tm)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ritm/internal/costmodel"
+	"ritm/internal/workload"
+)
+
+// fig6Deltas are the four ∆ panels of Figure 6.
+var fig6Deltas = []time.Duration{10 * time.Second, time.Minute, time.Hour, 24 * time.Hour}
+
+// Fig6 reproduces Figure 6: the monthly bill the largest-CRL CA pays a
+// CloudFront-priced CDN for revocation dissemination, per billing cycle
+// from January 2014, at 10 clients per RA, for four values of ∆.
+func Fig6(quick bool) (*Table, error) {
+	sim := &costmodel.Simulation{
+		Cities:       workload.NewCities(seriesSeed),
+		Series:       workload.NewSeries(seriesSeed),
+		ClientsPerRA: 10,
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Monthly CA bill (thousands of USD) by billing cycle, 10 clients/RA (Fig 6)",
+		Columns: []string{"cycle", "month", "∆=10s", "∆=1m", "∆=1h", "∆=1d"},
+		Notes: []string{
+			"CloudFront 2015 tiered regional prices; RA population from city model (§VII-C)",
+			"revocations priced at 3 B/entry per the paper's serial convention (§VII-A)",
+		},
+	}
+	perDelta := make([][]*costmodel.Bill, len(fig6Deltas))
+	for i, d := range fig6Deltas {
+		bills, err := sim.Run(costmodel.Traffic{Delta: d})
+		if err != nil {
+			return nil, err
+		}
+		perDelta[i] = bills
+	}
+	cycles := len(perDelta[0])
+	step := 1
+	if quick {
+		step = 6
+	}
+	for c := 0; c < cycles; c += step {
+		row := []any{
+			perDelta[0][c].Cycle,
+			fmt.Sprintf("%04d-%02d", perDelta[0][c].Year, perDelta[0][c].Month),
+		}
+		for i := range fig6Deltas {
+			row = append(row, usd(perDelta[i][c].TotalUSD))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Tab2 reproduces Table II: the average monthly cost (thousands of USD) as
+// a function of ∆ and the number of clients per RA.
+func Tab2(quick bool) (*Table, error) {
+	clients := []int{30, 250, 1000}
+	sim := &costmodel.Simulation{
+		Cities: workload.NewCities(seriesSeed),
+		Series: workload.NewSeries(seriesSeed),
+	}
+	t := &Table{
+		ID:      "tab2",
+		Title:   "Average monthly cost (thousands of USD) vs ∆ and clients per RA (Tab II)",
+		Columns: []string{"clients/RA", "∆=10s", "∆=1m", "∆=1h", "∆=1d"},
+	}
+	for _, c := range clients {
+		sim.ClientsPerRA = c
+		row := []any{c}
+		for _, d := range fig6Deltas {
+			avg, err := sim.AverageBill(costmodel.Traffic{Delta: d})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, usd(avg))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"ritm/internal/ca"
+	"ritm/internal/cdn"
+	"ritm/internal/cert"
+	"ritm/internal/cryptoutil"
+	"ritm/internal/ra"
+	"ritm/internal/ritmclient"
+	"ritm/internal/tlssim"
+)
+
+// Latency reproduces the §VII-D connection-establishment comparison: the
+// full TLS-sim handshake time with and without an on-path RA injecting a
+// revocation status, over loopback TCP. The paper's reference point is a
+// ≈30 ms optimized TLS handshake over a real network; the added RITM cost
+// must be a vanishing fraction of that.
+func Latency(quick bool) (*Table, error) {
+	iters := 50
+	if quick {
+		iters = 8
+	}
+
+	env, err := newLatencyEnv()
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	direct, err := env.measureHandshakes(env.serverAddr, false, iters)
+	if err != nil {
+		return nil, err
+	}
+	viaRA, err := env.measureHandshakes(env.proxyAddr, true, iters)
+	if err != nil {
+		return nil, err
+	}
+
+	added := viaRA - direct
+	if added < 0 {
+		added = 0
+	}
+	const referenceHandshake = 30 * time.Millisecond // §VII-D citation
+
+	// The paper's <1 % claim counts RITM *computation* (Tab III: DPI, proof
+	// construction, proof and signature validation); the proxy hop's extra
+	// forwarding is a deployment artifact the paper's in-path middlebox
+	// (which rewrites packets rather than terminating TCP) does not pay.
+	compute := computationOverhead(quick)
+
+	t := &Table{
+		ID:      "latency",
+		Title:   "Handshake latency with and without an RA (§VII-D), loopback TCP",
+		Columns: []string{"path", "median handshake"},
+		Notes: []string{
+			"paper: an optimized wide-area TLS handshake takes ≈30 ms; RITM computation must add <1%",
+			"the end-to-end row includes the extra TCP hop through the proxy, which a",
+			"packet-rewriting middlebox would not add",
+		},
+	}
+	t.AddRow("client → server (no RA)", fmt.Sprintf("%.3f ms", direct.Seconds()*1000))
+	t.AddRow("client → RA → server (status verified)", fmt.Sprintf("%.3f ms", viaRA.Seconds()*1000))
+	t.AddRow("added by RITM end-to-end", fmt.Sprintf("%.3f ms", added.Seconds()*1000))
+	t.AddRow("added vs 30 ms reference", fmt.Sprintf("%.2f%%",
+		100*added.Seconds()/referenceHandshake.Seconds()))
+	t.AddRow("RITM computation only (Tab III sum)", fmt.Sprintf("%.3f ms", compute.Seconds()*1000))
+	t.AddRow("computation vs 30 ms reference", fmt.Sprintf("%.2f%%",
+		100*compute.Seconds()/referenceHandshake.Seconds()))
+	return t, nil
+}
+
+// computationOverhead sums the per-handshake RITM work from the Table III
+// measurements: RA-side DPI + parsing + proof construction, client-side
+// proof + signature/freshness validation.
+func computationOverhead(quick bool) time.Duration {
+	env, err := buildTab3Env(true) // the small fixture suffices here
+	if err != nil {
+		return 0
+	}
+	iters := 100
+	if quick {
+		iters = 20
+	}
+	var total time.Duration
+	for _, row := range tab3Rows(env, iters) {
+		total += row.t.Avg
+	}
+	return total
+}
+
+// latencyEnv is a full live deployment on loopback.
+type latencyEnv struct {
+	pool       *cert.Pool
+	serverAddr string
+	proxyAddr  string
+
+	ln    net.Listener
+	proxy *ra.Proxy
+	wg    sync.WaitGroup
+}
+
+func newLatencyEnv() (*latencyEnv, error) {
+	dp := cdn.NewDistributionPoint(nil)
+	authority, err := ca.New(ca.Config{ID: "CA1", Delta: 10 * time.Second, Publisher: dp})
+	if err != nil {
+		return nil, err
+	}
+	if err := dp.RegisterCA("CA1", authority.PublicKey()); err != nil {
+		return nil, err
+	}
+	if err := authority.PublishRoot(); err != nil {
+		return nil, err
+	}
+	agent, err := ra.New(ra.Config{
+		Roots:  []*cert.Certificate{authority.RootCertificate()},
+		Origin: cdn.NewEdgeServer(dp, 0, nil),
+		Delta:  10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return nil, err
+	}
+
+	serverKey, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := authority.IssueServerCertificate("example.com", serverKey.Public())
+	if err != nil {
+		return nil, err
+	}
+	pool, err := cert.NewPool(authority.RootCertificate())
+	if err != nil {
+		return nil, err
+	}
+
+	env := &latencyEnv{pool: pool}
+	serverCfg := &tlssim.Config{Chain: cert.Chain{leaf}, Key: serverKey}
+	env.ln, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	env.wg.Add(1)
+	go func() {
+		defer env.wg.Done()
+		for {
+			raw, err := env.ln.Accept()
+			if err != nil {
+				return
+			}
+			env.wg.Add(1)
+			go func() {
+				defer env.wg.Done()
+				conn := tlssim.Server(raw, serverCfg)
+				defer conn.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	env.serverAddr = env.ln.Addr().String()
+	env.proxy, err = agent.NewProxy("127.0.0.1:0", env.serverAddr)
+	if err != nil {
+		env.ln.Close()
+		return nil, err
+	}
+	env.proxyAddr = env.proxy.Addr().String()
+	return env, nil
+}
+
+func (e *latencyEnv) Close() {
+	e.proxy.Close()
+	e.ln.Close()
+	e.wg.Wait()
+}
+
+// measureHandshakes returns the median time to complete a full handshake
+// (and verify the status, when expectStatus is set) against addr.
+func (e *latencyEnv) measureHandshakes(addr string, expectStatus bool, iters int) (time.Duration, error) {
+	samples := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if expectStatus {
+			conn, err := ritmclient.Dial("tcp", addr, "example.com", &ritmclient.Config{
+				Pool:          e.pool,
+				Delta:         10 * time.Second,
+				RequireStatus: true,
+			})
+			if err != nil {
+				return 0, fmt.Errorf("RITM handshake %d: %w", i, err)
+			}
+			samples = append(samples, time.Since(start))
+			conn.Close()
+		} else {
+			conn, err := tlssim.Dial("tcp", addr, &tlssim.Config{
+				Pool:       e.pool,
+				ServerName: "example.com",
+			})
+			if err != nil {
+				return 0, fmt.Errorf("direct handshake %d: %w", i, err)
+			}
+			samples = append(samples, time.Since(start))
+			conn.Close()
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2], nil
+}

@@ -1,0 +1,60 @@
+package ra
+
+import (
+	"fmt"
+
+	"ritm/internal/cert"
+	"ritm/internal/tlssim"
+)
+
+// Deep-packet-inspection primitives (§VI). These are the two operations
+// Table III of the paper measures on the RA side besides proof
+// construction: classifying traffic as TLS ("TLS detection") and extracting
+// the server certificate chain from a ServerHello flight ("Certificates
+// parsing").
+
+// RecordHeaderLen is the number of bytes DetectRecord needs.
+const RecordHeaderLen = 5
+
+// DetectRecord classifies the first bytes of a stream as a TLS-sim record
+// header. It returns the content type, the payload length, and whether the
+// bytes form a plausible record. This is the per-packet check every RA
+// performs on all traffic; non-TLS traffic fails it and is forwarded
+// untouched (§VI: "RAs act as transparent middleboxes").
+func DetectRecord(hdr []byte) (tlssim.ContentType, int, bool) {
+	if len(hdr) < RecordHeaderLen {
+		return 0, 0, false
+	}
+	ct := tlssim.ContentType(hdr[0])
+	switch ct {
+	case tlssim.ContentAlert, tlssim.ContentHandshake,
+		tlssim.ContentApplicationData, tlssim.ContentRITMStatus:
+	default:
+		return 0, 0, false
+	}
+	if hdr[1] != 0x03 || hdr[2] != 0x03 {
+		return 0, 0, false
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n > tlssim.MaxRecordPayload {
+		return 0, 0, false
+	}
+	return ct, n, true
+}
+
+// ParseHandshakeRecord parses a handshake record payload into its message.
+func ParseHandshakeRecord(payload []byte) (tlssim.Handshake, error) {
+	return tlssim.ParseHandshake(payload)
+}
+
+// ParseCertificates extracts the server certificate chain from a
+// Certificate handshake message body. The RA uses the leaf's issuer to
+// select the dictionary and its serial number as the lookup key (Fig 3
+// step 4).
+func ParseCertificates(body []byte) (cert.Chain, error) {
+	msg, err := tlssim.ParseCertificateMsg(body)
+	if err != nil {
+		return nil, fmt.Errorf("ra: parse certificates: %w", err)
+	}
+	return msg.Chain, nil
+}

@@ -1,0 +1,249 @@
+package ra
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ritm/internal/cdn"
+	"ritm/internal/cert"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// Config configures a Revocation Agent.
+type Config struct {
+	// Roots are the trusted CA certificates whose dictionaries the RA
+	// replicates.
+	Roots []*cert.Certificate
+	// Origin is the dissemination endpoint the RA pulls from (normally an
+	// edge server; cdn.HTTPClient for a remote one).
+	Origin cdn.Origin
+	// Delta is the pull interval ∆. Zero selects 10 seconds, the smallest
+	// value the paper analyzes.
+	Delta time.Duration
+	// ChainProofs enables the §VIII "Certificate chains" extension: the RA
+	// injects one revocation status per certificate of the server chain
+	// (for every issuer it replicates) instead of the leaf's status only.
+	ChainProofs bool
+	// Now is the clock (nil = time.Now); experiments inject virtual time.
+	Now func() time.Time
+}
+
+// RA is a Revocation Agent. It is safe for concurrent use.
+type RA struct {
+	store       *Store
+	origin      cdn.Origin
+	delta       time.Duration
+	chainProofs bool
+	now         func() time.Time
+	table       *Table
+
+	mu       sync.Mutex
+	sessions map[string][]connIdentity // resumption cache: session ID / ticket → identities
+	stats    ProxyStats
+}
+
+// connIdentity is what the RA must remember about a TLS session to support
+// abbreviated handshakes, where no certificate crosses the wire: the CA
+// (dictionary selector) and serial number of the server certificate.
+type connIdentity struct {
+	ca dictionary.CAID
+	sn serial.Number
+}
+
+// New creates a Revocation Agent.
+func New(cfg Config) (*RA, error) {
+	if cfg.Origin == nil {
+		return nil, fmt.Errorf("ra: config missing dissemination origin")
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 10 * time.Second
+	}
+	if cfg.Delta < time.Second {
+		return nil, fmt.Errorf("ra: ∆ = %v, must be at least one second", cfg.Delta)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	store, err := NewStore(cfg.Roots...)
+	if err != nil {
+		return nil, err
+	}
+	return &RA{
+		store:       store,
+		origin:      cfg.Origin,
+		delta:       cfg.Delta,
+		chainProofs: cfg.ChainProofs,
+		now:         cfg.Now,
+		table:       NewTable(),
+		sessions:    make(map[string][]connIdentity),
+	}, nil
+}
+
+// Store exposes the RA's dictionary store.
+func (ra *RA) Store() *Store { return ra.store }
+
+// Table exposes the RA's DPI connection table.
+func (ra *RA) Table() *Table { return ra.table }
+
+// Delta returns the RA's pull interval.
+func (ra *RA) Delta() time.Duration { return ra.delta }
+
+// SyncOnce performs one pull cycle over every replicated CA: it requests
+// the suffix after its local count, applies the issuance message and the
+// freshness statement, and returns the first error encountered (after
+// attempting all CAs). The request shape makes desynchronization recovery
+// automatic: a lagging replica simply receives a longer suffix (§III).
+func (ra *RA) SyncOnce() error {
+	var firstErr error
+	for _, ca := range ra.store.CAs() {
+		if err := ra.syncCA(ca); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (ra *RA) syncCA(ca dictionary.CAID) error {
+	replica, err := ra.store.Replica(ca)
+	if err != nil {
+		return err
+	}
+	resp, err := ra.origin.Pull(ca, replica.Count())
+	if err != nil {
+		return fmt.Errorf("ra: pull %s: %w", ca, err)
+	}
+	if resp.Issuance != nil {
+		if err := replica.Update(resp.Issuance); err != nil {
+			// A root mismatch here is an attack signal, not a transient
+			// failure: the network delivered a message whose signed root does
+			// not match its own content (§V).
+			return fmt.Errorf("ra: update %s: %w", ca, err)
+		}
+	}
+	if resp.Freshness != nil {
+		if err := replica.ApplyFreshness(resp.Freshness, ra.now().Unix()); err != nil &&
+			!errors.Is(err, dictionary.ErrStale) {
+			return fmt.Errorf("ra: freshness %s: %w", ca, err)
+		}
+	}
+	return nil
+}
+
+// Status produces the revocation status for (ca, sn) from the RA's
+// replica. The status carries sn as its subject so that clients receiving
+// several chain statuses can route each to the right certificate (§VIII).
+func (ra *RA) Status(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, error) {
+	st, err := ra.store.Prove(ca, sn)
+	if err != nil {
+		return nil, err
+	}
+	st.Subject = sn
+	return st, nil
+}
+
+// rememberSession records the identities behind a resumption handle
+// (session ID or ticket bytes), observed in plaintext during a full
+// handshake, so that abbreviated handshakes can still be supported (§III
+// "RITM supports two mechanisms of TLS resumption"). With chain proofs
+// enabled the whole chain's identities are remembered.
+func (ra *RA) rememberSession(handle []byte, ids []connIdentity) {
+	if len(handle) == 0 || len(ids) == 0 || ids[0].ca == "" {
+		return
+	}
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	const maxSessions = 1 << 16 // bound memory; old entries simply miss
+	if len(ra.sessions) >= maxSessions {
+		ra.sessions = make(map[string][]connIdentity)
+	}
+	ra.sessions[string(handle)] = ids
+}
+
+// lookupSession resolves a resumption handle to certificate identities.
+func (ra *RA) lookupSession(handle []byte) ([]connIdentity, bool) {
+	if len(handle) == 0 {
+		return nil, false
+	}
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	ids, ok := ra.sessions[string(handle)]
+	return ids, ok
+}
+
+// Fetcher is the RA's background pull loop.
+type Fetcher struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartFetcher launches the pull loop, contacting the origin every ∆.
+// Errors go to onErr (may be nil).
+func (ra *RA) StartFetcher(onErr func(error)) *Fetcher {
+	return ra.StartFetcherEvery(ra.delta, onErr)
+}
+
+// StartFetcherEvery launches the pull loop at a custom interval. Pulling
+// more often than ∆ satisfies the protocol ("at least every ∆", §III) and
+// tightens the freshness of injected statuses, which matters for small ∆
+// where the publish → pull → piggyback pipeline can otherwise accumulate
+// close to the client's full 2∆ tolerance.
+func (ra *RA) StartFetcherEvery(interval time.Duration, onErr func(error)) *Fetcher {
+	f := &Fetcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := ra.SyncOnce(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-f.stop:
+				return
+			}
+		}
+	}()
+	return f
+}
+
+// Shutdown stops the fetcher and waits for it to exit.
+func (f *Fetcher) Shutdown() {
+	close(f.stop)
+	<-f.done
+}
+
+// ProxyStats counts the RA's data-path activity (§VII-D throughput).
+type ProxyStats struct {
+	// ConnectionsTotal counts accepted connections.
+	ConnectionsTotal int64
+	// ConnectionsSupported counts RITM-supported TLS connections.
+	ConnectionsSupported int64
+	// RecordsInspected counts TLS records classified by DPI.
+	RecordsInspected int64
+	// NonTLSConnections counts connections handled as transparent byte pipes.
+	NonTLSConnections int64
+	// StatusesInjected counts revocation-status records added to streams.
+	StatusesInjected int64
+	// StatusesForwarded counts upstream-RA statuses forwarded unchanged
+	// (the multiple-RA rule of §VIII).
+	StatusesForwarded int64
+	// StatusesReplaced counts upstream-RA statuses replaced by fresher ones.
+	StatusesReplaced int64
+}
+
+// Stats returns a copy of the RA's data-path counters.
+func (ra *RA) Stats() ProxyStats {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return ra.stats
+}
+
+func (ra *RA) bumpStats(f func(*ProxyStats)) {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	f(&ra.stats)
+}

@@ -1,0 +1,178 @@
+// Package ra implements RITM's Revocation Agent (§III, §VI): the network
+// middlebox that replicates every CA's authenticated dictionary from the
+// dissemination network, performs deep-packet inspection of TLS-sim traffic
+// on a client-server path, and injects fresh revocation statuses into
+// supported connections.
+//
+// The package is organized around four pieces:
+//
+//   - Store: one dictionary.Replica per CA, plus the trust anchors used to
+//     verify what the dissemination network delivers;
+//   - Fetcher: the pull loop contacting an edge server every ∆ (§III
+//     "Dissemination"), with desynchronization recovery;
+//   - Table: the per-connection DPI state of Eq (4);
+//   - Proxy: a TCP middlebox that splices revocation-status records into
+//     the TLS-sim stream (RA-to-client communication method 1/3 of §VIII).
+package ra
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ritm/internal/cert"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// Errors returned by RA operations.
+var (
+	// ErrNoDictionary reports a status request for a CA the RA does not
+	// replicate (the RA then cannot support the connection).
+	ErrNoDictionary = errors.New("ra: no dictionary for CA")
+)
+
+// Store holds the RA's copies of all CA dictionaries ("every RA stores
+// copies of all the dictionaries", §III) together with the trust anchors
+// used to verify them. It is safe for concurrent use: the fetcher updates
+// replicas while DPI handlers prove against them.
+type Store struct {
+	mu       sync.RWMutex
+	replicas map[dictionary.CAID]*dictionary.Replica
+	pool     *cert.Pool
+}
+
+// NewStore creates an empty store trusting the given root certificates; a
+// replica is created per root.
+func NewStore(roots ...*cert.Certificate) (*Store, error) {
+	pool, err := cert.NewPool()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		replicas: make(map[dictionary.CAID]*dictionary.Replica, len(roots)),
+		pool:     pool,
+	}
+	for _, r := range roots {
+		if err := s.AddCA(r); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// AddCA starts replicating one more CA's dictionary, trusting the given
+// self-signed root certificate (the bootstrapping manifest of §VIII).
+func (s *Store) AddCA(root *cert.Certificate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pool.AddRoot(root); err != nil {
+		return fmt.Errorf("ra: add CA: %w", err)
+	}
+	if _, dup := s.replicas[root.Issuer]; !dup {
+		s.replicas[root.Issuer] = dictionary.NewReplica(root.Issuer, root.PublicKey)
+	}
+	return nil
+}
+
+// Remove stops replicating a dictionary and frees its replica. With
+// expiry-sharded dictionaries (§VIII "Ever-growing dictionaries"), RAs
+// call it for shards whose certificates have all expired, reclaiming the
+// storage. The trust anchor stays in the pool: removal is about storage,
+// not trust.
+func (s *Store) Remove(ca dictionary.CAID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.replicas, ca)
+}
+
+// Replica returns the replica for ca.
+func (s *Store) Replica(ca dictionary.CAID) (*dictionary.Replica, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.replicas[ca]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDictionary, ca)
+	}
+	return r, nil
+}
+
+// CAs lists the replicated CAs, sorted.
+func (s *Store) CAs() []dictionary.CAID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dictionary.CAID, 0, len(s.replicas))
+	for ca := range s.replicas {
+		out = append(out, ca)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Pool returns the trust anchor pool (shared, read-only use).
+func (s *Store) Pool() *cert.Pool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pool
+}
+
+// CAKey returns the trusted public key for ca.
+func (s *Store) CAKey(ca dictionary.CAID) (ed25519.PublicKey, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pool.CAKey(ca)
+}
+
+// Prove produces the revocation status for (ca, sn) from the RA's replica
+// (Fig 2, prove; Fig 3 step 4).
+func (s *Store) Prove(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, error) {
+	r, err := s.Replica(ca)
+	if err != nil {
+		return nil, err
+	}
+	st, err := r.Prove(sn)
+	if err != nil {
+		return nil, fmt.Errorf("ra: prove %v against %s: %w", sn, ca, err)
+	}
+	return st, nil
+}
+
+// LatestRoot returns the newest verified signed root for ca. It satisfies
+// the monitor package's RootSource, letting RAs participate in consistency
+// checking (§III "Consistency Checking").
+func (s *Store) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	r, err := s.Replica(ca)
+	if err != nil {
+		return nil, err
+	}
+	root := r.Root()
+	if root == nil {
+		return nil, fmt.Errorf("ra: replica of %s has no signed root yet", ca)
+	}
+	return root, nil
+}
+
+// SerializedSize sums the canonical serialized sizes of all replicas
+// (§VII-D storage overhead).
+func (s *Store) SerializedSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, r := range s.replicas {
+		total += r.SerializedSize()
+	}
+	return total
+}
+
+// MemoryFootprint sums the estimated resident sizes of all replicas.
+func (s *Store) MemoryFootprint() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, r := range s.replicas {
+		total += r.MemoryFootprint()
+	}
+	return total
+}

@@ -1,0 +1,272 @@
+package ritmclient
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ritm/internal/ca"
+	"ritm/internal/cdn"
+	"ritm/internal/cert"
+	"ritm/internal/cryptoutil"
+	"ritm/internal/ra"
+	"ritm/internal/serial"
+	"ritm/internal/tlssim"
+)
+
+// chainEnv is a deployment with a 3-certificate chain (root → intermediate
+// → leaf) and an RA running the §VIII chain-proof extension.
+type chainEnv struct {
+	root      *ca.CA
+	agent     *ra.RA
+	pool      *cert.Pool
+	chain     cert.Chain
+	leafKey   *cryptoutil.Signer
+	interCert *cert.Certificate
+}
+
+func newChainEnv(t *testing.T) *chainEnv {
+	t.Helper()
+	dp := cdn.NewDistributionPoint(nil)
+	root, err := ca.New(ca.Config{ID: "ChainRoot", Delta: 10 * time.Second, Publisher: dp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.RegisterCA("ChainRoot", root.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.PublishRoot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The intermediate CA has its own dictionary on the same CDN; its
+	// certificate is issued (and revocable) by the root.
+	interKey, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interCert, err := root.IssueCACertificate("ChainInter", interKey.Public(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Now().Unix()
+	leafKey, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafCert, err := cert.Issue("ChainInter", interKey, cert.Template{
+		SerialNumber: serial.FromUint64(0x1EAF),
+		Subject:      "chain.example",
+		NotBefore:    now - 1,
+		NotAfter:     now + 1<<20,
+		PublicKey:    leafKey.Public(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The RA replicates BOTH dictionaries: the root's (which can revoke
+	// the intermediate) and the intermediate's (which can revoke the leaf).
+	// The intermediate's dictionary authority is modeled by a second CA
+	// object sharing the intermediate's key and identity.
+	interCA, err := ca.New(ca.Config{
+		ID:        "ChainInter",
+		Delta:     10 * time.Second,
+		Signer:    interKey,
+		Publisher: dp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.RegisterCA("ChainInter", interKey.Public()); err != nil {
+		t.Fatal(err)
+	}
+	if err := interCA.PublishRoot(); err != nil {
+		t.Fatal(err)
+	}
+
+	agent, err := ra.New(ra.Config{
+		Roots:       []*cert.Certificate{root.RootCertificate(), interCA.RootCertificate()},
+		Origin:      cdn.NewEdgeServer(dp, 0, nil),
+		Delta:       10 * time.Second,
+		ChainProofs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := cert.NewPool(root.RootCertificate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &chainEnv{
+		root:      root,
+		agent:     agent,
+		pool:      pool,
+		chain:     cert.Chain{leafCert, interCert},
+		leafKey:   leafKey,
+		interCert: interCert,
+	}
+	_ = interCA
+	return env
+}
+
+func TestChainProofsDeliverStatusPerCertificate(t *testing.T) {
+	env := newChainEnv(t)
+	addr := startEcho(t, &tlssim.Config{Chain: env.chain, Key: env.leafKey})
+	proxy, err := env.agent.NewProxy("127.0.0.1:0", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	conn, err := Dial("tcp", proxy.Addr().String(), "chain.example", &Config{
+		Pool:          env.pool,
+		Delta:         10 * time.Second,
+		RequireStatus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Two statuses: one for the leaf (from ChainInter's dictionary), one
+	// for the intermediate certificate (from ChainRoot's dictionary).
+	if got := conn.Verifier().ValidCount(); got != 2 {
+		t.Errorf("verified statuses = %d, want 2 (leaf + intermediate)", got)
+	}
+}
+
+func TestChainProofsRevokedIntermediateRejected(t *testing.T) {
+	env := newChainEnv(t)
+	// The ROOT revokes the INTERMEDIATE's certificate; the leaf itself is
+	// untouched. Without chain proofs this attack window stays open.
+	if _, err := env.root.Revoke(env.interCert.SerialNumber); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.agent.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := startEcho(t, &tlssim.Config{Chain: env.chain, Key: env.leafKey})
+	proxy, err := env.agent.NewProxy("127.0.0.1:0", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	_, err = Dial("tcp", proxy.Addr().String(), "chain.example", &Config{
+		Pool:          env.pool,
+		Delta:         10 * time.Second,
+		RequireStatus: true,
+	})
+	if err == nil {
+		t.Fatal("chain with revoked intermediate accepted")
+	}
+	if !errors.Is(err, tlssim.ErrStatusRejected) && !errors.Is(err, ErrRevoked) {
+		t.Errorf("err = %v, want revocation rejection", err)
+	}
+}
+
+func TestChainedRAsWithChainProofs(t *testing.T) {
+	// Two chain-proof RAs on one path: the outer RA must match each
+	// upstream status to the right chain identity (leaf vs intermediate),
+	// never replacing an intermediate's status with a leaf proof. The
+	// client ends up with exactly one valid status per chain certificate.
+	env := newChainEnv(t)
+	outer, err := ra.New(ra.Config{
+		Roots: []*cert.Certificate{
+			env.root.RootCertificate(),
+		},
+		Origin:      cdn.NewEdgeServer(cdn.NewDistributionPoint(nil), 0, nil),
+		Delta:       10 * time.Second,
+		ChainProofs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The outer RA has no dictionaries synced (its origin is empty), so it
+	// must forward both upstream statuses untouched.
+
+	addr := startEcho(t, &tlssim.Config{Chain: env.chain, Key: env.leafKey})
+	inner, err := env.agent.NewProxy("127.0.0.1:0", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	outerProxy, err := outer.NewProxy("127.0.0.1:0", inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outerProxy.Close()
+
+	conn, err := Dial("tcp", outerProxy.Addr().String(), "chain.example", &Config{
+		Pool:          env.pool,
+		Delta:         10 * time.Second,
+		RequireStatus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got := conn.Verifier().ValidCount(); got != 2 {
+		t.Errorf("verified statuses through chained RAs = %d, want 2", got)
+	}
+	if st := outer.Stats(); st.StatusesForwarded != 2 || st.StatusesReplaced != 0 {
+		t.Errorf("outer RA stats = %+v, want 2 forwarded / 0 replaced", st)
+	}
+}
+
+func TestRouteStatusMatchesChainElements(t *testing.T) {
+	env := newChainEnv(t)
+	v := NewVerifier(&Config{Pool: env.pool, Delta: 10 * time.Second})
+	state := &tlssim.ConnectionState{
+		ServerCA:     "ChainInter",
+		ServerSerial: env.chain[0].SerialNumber,
+		PeerChain:    env.chain,
+	}
+
+	// A status about the intermediate routes to the intermediate and is
+	// verified under the root's key (the intermediate is chain[1], whose
+	// issuer is anchored in the pool).
+	interStatus, err := env.agent.Status("ChainRoot", env.interCert.SerialNumber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, pub, err := v.routeStatus(interStatus, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(env.interCert.SerialNumber) {
+		t.Errorf("routed to %v", got)
+	}
+	if err := interStatus.Root.VerifySignature(pub); err != nil {
+		t.Errorf("resolved key does not verify the root: %v", err)
+	}
+
+	// A status about the leaf resolves the intermediate's key from the
+	// chain, not the pool.
+	leafStatus, err := env.agent.Status("ChainInter", env.chain[0].SerialNumber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, pub, err = v.routeStatus(leafStatus, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := leafStatus.Root.VerifySignature(pub); err != nil {
+		t.Errorf("leaf status key from chain does not verify: %v", err)
+	}
+
+	// A status about an unrelated certificate is rejected.
+	stray, err := env.agent.Status("ChainRoot", serial.FromUint64(0xDEAD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.routeStatus(stray, state); !errors.Is(err, ErrWrongCertificate) {
+		t.Errorf("stray status routed: %v", err)
+	}
+}

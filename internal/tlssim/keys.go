@@ -1,0 +1,158 @@
+package tlssim
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// keyExchangeContext domain-separates the ServerKeyExchange signature from
+// certificate and dictionary signatures under the same server key.
+const keyExchangeContext = "RITM-TLSSIM/server-key-exchange/v1"
+
+// masterSecretLen is the size of the derived master secret.
+const masterSecretLen = 32
+
+// deriveLabelled computes SHA-256(label ‖ parts...), the package's single
+// key-derivation primitive (an HKDF stand-in adequate for a simulator).
+func deriveLabelled(label string, parts ...[]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(label))
+	for _, p := range parts {
+		// Length-prefix each part so concatenations cannot collide.
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// masterFromECDH derives the master secret from the X25519 shared secret
+// and both randoms.
+func masterFromECDH(shared, clientRandom, serverRandom []byte) [masterSecretLen]byte {
+	return deriveLabelled("tlssim master", shared, clientRandom, serverRandom)
+}
+
+// sessionKeys derives directional AEAD keys from a master secret and the
+// randoms of the current handshake (fresh per resumption, as in TLS).
+type sessionKeys struct {
+	clientWrite, serverWrite [32]byte
+}
+
+func deriveSessionKeys(master [masterSecretLen]byte, clientRandom, serverRandom []byte) sessionKeys {
+	return sessionKeys{
+		clientWrite: deriveLabelled("tlssim client write", master[:], clientRandom, serverRandom),
+		serverWrite: deriveLabelled("tlssim server write", master[:], clientRandom, serverRandom),
+	}
+}
+
+// finishedMAC computes the Finished verify data for one side.
+func finishedMAC(master [masterSecretLen]byte, label string, transcript []byte) []byte {
+	mac := hmac.New(sha256.New, master[:])
+	mac.Write([]byte(label))
+	mac.Write(transcript)
+	return mac.Sum(nil)
+}
+
+// verifyFinishedMAC checks a Finished verify-data value in constant time.
+func verifyFinishedMAC(master [masterSecretLen]byte, label string, transcript, got []byte) error {
+	want := finishedMAC(master, label, transcript)
+	if subtle.ConstantTimeCompare(want, got) != 1 {
+		return fmt.Errorf("%w: bad finished MAC", ErrHandshakeFailed)
+	}
+	return nil
+}
+
+// transcript accumulates the hash input of all handshake messages in order.
+type transcript struct {
+	h []byte
+}
+
+func (t *transcript) add(msg Handshake) {
+	t.h = append(t.h, msg.Encode()...)
+}
+
+func (t *transcript) bytes() []byte { return t.h }
+
+// aeadState is one direction of record protection: an AES-256-GCM AEAD with
+// a counter nonce. Sequence numbers are implicit (counted independently by
+// both ends), as in TLS.
+type aeadState struct {
+	aead cipher.AEAD
+	seq  uint64
+}
+
+func newAEADState(key [32]byte) (*aeadState, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("new record cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("new record AEAD: %w", err)
+	}
+	return &aeadState{aead: aead}, nil
+}
+
+func (s *aeadState) nonce() []byte {
+	n := make([]byte, 12)
+	binary.BigEndian.PutUint64(n[4:], s.seq)
+	s.seq++
+	return n
+}
+
+// seal encrypts an application payload. The record type is authenticated as
+// associated data so a middlebox cannot retype protected records.
+func (s *aeadState) seal(plaintext []byte) []byte {
+	return s.aead.Seal(nil, s.nonce(), plaintext, []byte{byte(ContentApplicationData)})
+}
+
+// open decrypts an application payload.
+func (s *aeadState) open(ciphertext []byte) ([]byte, error) {
+	pt, err := s.aead.Open(nil, s.nonce(), ciphertext, []byte{byte(ContentApplicationData)})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
+	}
+	return pt, nil
+}
+
+// ecdhKeypair generates an ephemeral X25519 key pair from rng.
+func ecdhKeypair(rng io.Reader) (*ecdh.PrivateKey, error) {
+	priv, err := ecdh.X25519().GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("generate X25519 key: %w", err)
+	}
+	return priv, nil
+}
+
+// ecdhShared computes the shared secret between priv and peerPublic bytes.
+func ecdhShared(priv *ecdh.PrivateKey, peerPublic []byte) ([]byte, error) {
+	pub, err := ecdh.X25519().NewPublicKey(peerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("peer X25519 key: %w", err)
+	}
+	shared, err := priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("X25519: %w", err)
+	}
+	return shared, nil
+}
+
+// keyExchangePayload is the byte string the server signs in its
+// ServerKeyExchange: both randoms and the ephemeral public key.
+func keyExchangePayload(clientRandom, serverRandom, pub []byte) []byte {
+	out := make([]byte, 0, len(keyExchangeContext)+2*randomLen+len(pub))
+	out = append(out, keyExchangeContext...)
+	out = append(out, clientRandom...)
+	out = append(out, serverRandom...)
+	return append(out, pub...)
+}

@@ -1,0 +1,368 @@
+package tlssim
+
+import (
+	"errors"
+	"fmt"
+
+	"ritm/internal/cert"
+	"ritm/internal/wire"
+)
+
+// HandshakeType labels a handshake message, mirroring TLS's values.
+type HandshakeType uint8
+
+// Handshake message types.
+const (
+	TypeClientHello       HandshakeType = 1
+	TypeServerHello       HandshakeType = 2
+	TypeNewSessionTicket  HandshakeType = 4
+	TypeCertificate       HandshakeType = 11
+	TypeServerKeyExchange HandshakeType = 12
+	TypeServerHelloDone   HandshakeType = 14
+	TypeClientKeyExchange HandshakeType = 16
+	TypeFinished          HandshakeType = 20
+)
+
+// String names the handshake type.
+func (ht HandshakeType) String() string {
+	switch ht {
+	case TypeClientHello:
+		return "ClientHello"
+	case TypeServerHello:
+		return "ServerHello"
+	case TypeNewSessionTicket:
+		return "NewSessionTicket"
+	case TypeCertificate:
+		return "Certificate"
+	case TypeServerKeyExchange:
+		return "ServerKeyExchange"
+	case TypeServerHelloDone:
+		return "ServerHelloDone"
+	case TypeClientKeyExchange:
+		return "ClientKeyExchange"
+	case TypeFinished:
+		return "Finished"
+	default:
+		return fmt.Sprintf("HandshakeType(%d)", uint8(ht))
+	}
+}
+
+// Extension identifiers carried in hello messages.
+const (
+	// ExtSessionTicket carries a resumption ticket (RFC 5077 analogue).
+	ExtSessionTicket uint16 = 35
+	// ExtRITMSupport marks a ClientHello as RITM-supporting: "I'm deploying
+	// RITM" in Fig 3. On-path RAs create connection state when they see it.
+	ExtRITMSupport uint16 = 0xFF01
+	// ExtRITMServerDeployed is the server-side deployment confirmation of
+	// §IV/§V: a TLS terminator that runs an RA sets it in the ServerHello,
+	// which the TLS handshake authenticates, defeating downgrade attacks.
+	ExtRITMServerDeployed uint16 = 0xFF02
+)
+
+// ErrBadHandshake reports a malformed handshake message.
+var ErrBadHandshake = errors.New("tlssim: malformed handshake message")
+
+// randomLen is the size of hello randoms, as in TLS.
+const randomLen = 32
+
+// Extension is one (type, data) extension pair.
+type Extension struct {
+	Type uint16
+	Data []byte
+}
+
+// extensionList helpers shared by both hellos.
+func encodeExtensions(e *wire.Encoder, exts []Extension) {
+	e.Uvarint(uint64(len(exts)))
+	for _, x := range exts {
+		e.Uint16(x.Type)
+		e.BytesField(x.Data)
+	}
+}
+
+func decodeExtensions(d *wire.Decoder) ([]Extension, error) {
+	count := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	const maxExts = 64
+	if count > maxExts {
+		return nil, fmt.Errorf("%w: %d extensions", ErrBadHandshake, count)
+	}
+	exts := make([]Extension, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var x Extension
+		x.Type = d.Uint16()
+		x.Data = d.BytesCopy()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		exts = append(exts, x)
+	}
+	return exts, nil
+}
+
+// findExtension returns the first extension of the given type.
+func findExtension(exts []Extension, typ uint16) ([]byte, bool) {
+	for _, x := range exts {
+		if x.Type == typ {
+			return x.Data, true
+		}
+	}
+	return nil, false
+}
+
+// Handshake is a parsed handshake message: the type plus the raw body. The
+// raw encoding (header + body) feeds the transcript hash, so it is kept.
+type Handshake struct {
+	Type HandshakeType
+	Body []byte
+}
+
+// Encode frames the message as type(1) | length(3) | body, the payload of a
+// handshake record.
+func (h Handshake) Encode() []byte {
+	out := make([]byte, 4+len(h.Body))
+	out[0] = byte(h.Type)
+	out[1] = byte(len(h.Body) >> 16)
+	out[2] = byte(len(h.Body) >> 8)
+	out[3] = byte(len(h.Body))
+	copy(out[4:], h.Body)
+	return out
+}
+
+// ParseHandshake parses a handshake record payload into one message. The
+// protocol emits exactly one handshake message per record.
+func ParseHandshake(payload []byte) (Handshake, error) {
+	if len(payload) < 4 {
+		return Handshake{}, fmt.Errorf("%w: short header", ErrBadHandshake)
+	}
+	n := int(payload[1])<<16 | int(payload[2])<<8 | int(payload[3])
+	if n != len(payload)-4 {
+		return Handshake{}, fmt.Errorf("%w: length %d in %d-byte payload", ErrBadHandshake, n, len(payload))
+	}
+	return Handshake{Type: HandshakeType(payload[0]), Body: payload[4:]}, nil
+}
+
+// ClientHello opens the negotiation (Fig 3 step 1).
+type ClientHello struct {
+	Random     [randomLen]byte
+	SessionID  []byte // non-empty to request session-ID resumption
+	Extensions []Extension
+}
+
+// SupportsRITM reports whether the hello carries the RITM extension.
+func (m *ClientHello) SupportsRITM() bool {
+	_, ok := findExtension(m.Extensions, ExtRITMSupport)
+	return ok
+}
+
+// SessionTicket returns the resumption ticket extension, if present.
+func (m *ClientHello) SessionTicket() ([]byte, bool) {
+	return findExtension(m.Extensions, ExtSessionTicket)
+}
+
+// Marshal encodes the message with its handshake framing.
+func (m *ClientHello) Marshal() Handshake {
+	e := wire.NewEncoder(128)
+	e.Raw(m.Random[:])
+	e.BytesField(m.SessionID)
+	encodeExtensions(e, m.Extensions)
+	return Handshake{Type: TypeClientHello, Body: e.Bytes()}
+}
+
+// ParseClientHello decodes a ClientHello body.
+func ParseClientHello(body []byte) (*ClientHello, error) {
+	d := wire.NewDecoder(body)
+	var m ClientHello
+	copy(m.Random[:], d.Raw(randomLen))
+	m.SessionID = d.BytesCopy()
+	exts, err := decodeExtensions(d)
+	if err != nil {
+		return nil, fmt.Errorf("ClientHello: %w", err)
+	}
+	m.Extensions = exts
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("ClientHello: %w", err)
+	}
+	return &m, nil
+}
+
+// ServerHello answers the ClientHello (Fig 3 step 3).
+type ServerHello struct {
+	Random [randomLen]byte
+	// SessionID echoes the client's ID on resumption, or names a new
+	// session the client may resume later. Empty disables ID resumption.
+	SessionID []byte
+	// Resumed is true when the server accepted resumption (by ID or
+	// ticket) and will skip the certificate and key-exchange flight.
+	Resumed    bool
+	Extensions []Extension
+}
+
+// DeploysRITM reports the server-side deployment confirmation (§IV).
+func (m *ServerHello) DeploysRITM() bool {
+	_, ok := findExtension(m.Extensions, ExtRITMServerDeployed)
+	return ok
+}
+
+// Marshal encodes the message with its handshake framing.
+func (m *ServerHello) Marshal() Handshake {
+	e := wire.NewEncoder(128)
+	e.Raw(m.Random[:])
+	e.BytesField(m.SessionID)
+	e.Bool(m.Resumed)
+	encodeExtensions(e, m.Extensions)
+	return Handshake{Type: TypeServerHello, Body: e.Bytes()}
+}
+
+// ParseServerHello decodes a ServerHello body.
+func ParseServerHello(body []byte) (*ServerHello, error) {
+	d := wire.NewDecoder(body)
+	var m ServerHello
+	copy(m.Random[:], d.Raw(randomLen))
+	m.SessionID = d.BytesCopy()
+	m.Resumed = d.Bool()
+	exts, err := decodeExtensions(d)
+	if err != nil {
+		return nil, fmt.Errorf("ServerHello: %w", err)
+	}
+	m.Extensions = exts
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("ServerHello: %w", err)
+	}
+	return &m, nil
+}
+
+// CertificateMsg carries the server chain, leaf first (Fig 3 step 3).
+type CertificateMsg struct {
+	Chain cert.Chain
+}
+
+// Marshal encodes the message with its handshake framing.
+func (m *CertificateMsg) Marshal() Handshake {
+	e := wire.NewEncoder(512)
+	m.Chain.EncodeTo(e)
+	return Handshake{Type: TypeCertificate, Body: e.Bytes()}
+}
+
+// ParseCertificateMsg decodes a Certificate body.
+func ParseCertificateMsg(body []byte) (*CertificateMsg, error) {
+	d := wire.NewDecoder(body)
+	ch, err := cert.DecodeChainFrom(d)
+	if err != nil {
+		return nil, fmt.Errorf("Certificate: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("Certificate: %w", err)
+	}
+	return &CertificateMsg{Chain: ch}, nil
+}
+
+// ServerKeyExchange carries the server's ephemeral X25519 public key signed
+// by the certificate key, binding the key exchange to the certificate.
+type ServerKeyExchange struct {
+	Public    []byte // 32-byte X25519 public key
+	Signature []byte // over client random ‖ server random ‖ public
+}
+
+// Marshal encodes the message with its handshake framing.
+func (m *ServerKeyExchange) Marshal() Handshake {
+	e := wire.NewEncoder(128)
+	e.BytesField(m.Public)
+	e.BytesField(m.Signature)
+	return Handshake{Type: TypeServerKeyExchange, Body: e.Bytes()}
+}
+
+// ParseServerKeyExchange decodes a ServerKeyExchange body.
+func ParseServerKeyExchange(body []byte) (*ServerKeyExchange, error) {
+	d := wire.NewDecoder(body)
+	var m ServerKeyExchange
+	m.Public = d.BytesCopy()
+	m.Signature = d.BytesCopy()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("ServerKeyExchange: %w", err)
+	}
+	return &m, nil
+}
+
+// ClientKeyExchange carries the client's ephemeral X25519 public key.
+type ClientKeyExchange struct {
+	Public []byte
+}
+
+// Marshal encodes the message with its handshake framing.
+func (m *ClientKeyExchange) Marshal() Handshake {
+	e := wire.NewEncoder(64)
+	e.BytesField(m.Public)
+	return Handshake{Type: TypeClientKeyExchange, Body: e.Bytes()}
+}
+
+// ParseClientKeyExchange decodes a ClientKeyExchange body.
+func ParseClientKeyExchange(body []byte) (*ClientKeyExchange, error) {
+	d := wire.NewDecoder(body)
+	var m ClientKeyExchange
+	m.Public = d.BytesCopy()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("ClientKeyExchange: %w", err)
+	}
+	return &m, nil
+}
+
+// Finished closes each side's handshake with a MAC over the transcript.
+type Finished struct {
+	VerifyData []byte
+}
+
+// Marshal encodes the message with its handshake framing.
+func (m *Finished) Marshal() Handshake {
+	e := wire.NewEncoder(48)
+	e.BytesField(m.VerifyData)
+	return Handshake{Type: TypeFinished, Body: e.Bytes()}
+}
+
+// ParseFinished decodes a Finished body.
+func ParseFinished(body []byte) (*Finished, error) {
+	d := wire.NewDecoder(body)
+	var m Finished
+	m.VerifyData = d.BytesCopy()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("Finished: %w", err)
+	}
+	return &m, nil
+}
+
+// NewSessionTicket delivers a resumption ticket (RFC 5077 analogue).
+type NewSessionTicket struct {
+	LifetimeSecs uint32
+	Ticket       []byte
+}
+
+// Marshal encodes the message with its handshake framing.
+func (m *NewSessionTicket) Marshal() Handshake {
+	e := wire.NewEncoder(64 + len(m.Ticket))
+	e.Uint32(m.LifetimeSecs)
+	e.BytesField(m.Ticket)
+	return Handshake{Type: TypeNewSessionTicket, Body: e.Bytes()}
+}
+
+// ParseNewSessionTicket decodes a NewSessionTicket body.
+func ParseNewSessionTicket(body []byte) (*NewSessionTicket, error) {
+	d := wire.NewDecoder(body)
+	var m NewSessionTicket
+	m.LifetimeSecs = d.Uint32()
+	m.Ticket = d.BytesCopy()
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("NewSessionTicket: %w", err)
+	}
+	return &m, nil
+}
+
+// ServerHelloDone marks the end of the server's first flight.
+type ServerHelloDone struct{}
+
+// Marshal encodes the message with its handshake framing.
+func (ServerHelloDone) Marshal() Handshake {
+	return Handshake{Type: TypeServerHelloDone}
+}

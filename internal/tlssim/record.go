@@ -1,0 +1,187 @@
+// Package tlssim implements the TLS substrate that RITM operates on: a
+// miniature TLS-1.2-style protocol with a plaintext negotiation phase, an
+// X25519 key exchange authenticated by the server's certificate chain,
+// AES-GCM-protected application records, and both session-identifier and
+// session-ticket resumption (RFC 5246/5077 analogues, §III of the paper).
+//
+// The protocol is deliberately parsable by an on-path middlebox: handshake
+// records are cleartext, the server certificate chain crosses the wire
+// unencrypted, and a dedicated record content type (ContentRITMStatus)
+// carries revocation statuses injected by Revocation Agents. This realizes
+// RA-to-client communication method 1/3 of §VIII — the status travels in
+// the TLS stream itself, with the middlebox adjusting the byte stream —
+// without the client confusing it for handshake or application data.
+//
+// It is a protocol simulator for research, not a secure TLS implementation:
+// the paper assumes "TLS and the cryptographic primitives are secure" and
+// this package exists so the rest of the system has a realistic, fully
+// inspectable TLS path to interpose on.
+package tlssim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ContentType labels a record, mirroring TLS content types.
+type ContentType uint8
+
+// Record content types. ContentRITMStatus is the dedicated type of §VIII
+// (method 1): clients that support RITM consume it, the TLS state machine
+// never sees it.
+const (
+	ContentAlert           ContentType = 21
+	ContentHandshake       ContentType = 22
+	ContentApplicationData ContentType = 23
+	ContentRITMStatus      ContentType = 100
+)
+
+// String names the content type for logs and errors.
+func (ct ContentType) String() string {
+	switch ct {
+	case ContentAlert:
+		return "alert"
+	case ContentHandshake:
+		return "handshake"
+	case ContentApplicationData:
+		return "application-data"
+	case ContentRITMStatus:
+		return "ritm-status"
+	default:
+		return fmt.Sprintf("ContentType(%d)", uint8(ct))
+	}
+}
+
+// Record layer constants.
+const (
+	// recordVersion is the legacy version field (TLS 1.2 = 0x0303).
+	recordVersionHi = 0x03
+	recordVersionLo = 0x03
+	// recordHeaderLen is type(1) + version(2) + length(2).
+	recordHeaderLen = 5
+	// MaxRecordPayload bounds one record's payload, mirroring TLS's 2^14
+	// plus expansion allowance.
+	MaxRecordPayload = 1<<14 + 2048
+)
+
+// Record layer errors.
+var (
+	// ErrRecordTooLarge reports a record exceeding MaxRecordPayload.
+	ErrRecordTooLarge = errors.New("tlssim: record exceeds maximum size")
+	// ErrBadRecord reports a malformed record header.
+	ErrBadRecord = errors.New("tlssim: malformed record")
+	// ErrAlert reports receipt of a fatal alert from the peer.
+	ErrAlert = errors.New("tlssim: fatal alert from peer")
+)
+
+// Record is one record-layer unit.
+type Record struct {
+	Type    ContentType
+	Payload []byte
+}
+
+// AppendRecord appends the record's wire encoding to dst and returns the
+// extended slice. Used by the RA proxy to splice statuses into the stream
+// without extra copies.
+func AppendRecord(dst []byte, rec Record) ([]byte, error) {
+	if len(rec.Payload) > MaxRecordPayload {
+		return dst, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec.Payload))
+	}
+	dst = append(dst, byte(rec.Type), recordVersionHi, recordVersionLo,
+		byte(len(rec.Payload)>>8), byte(len(rec.Payload)))
+	return append(dst, rec.Payload...), nil
+}
+
+// WriteRecord writes one record to w.
+func WriteRecord(w io.Writer, rec Record) error {
+	buf, err := AppendRecord(make([]byte, 0, recordHeaderLen+len(rec.Payload)), rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write %v record: %w", rec.Type, err)
+	}
+	return nil
+}
+
+// ReadRecord reads one record from r. The payload is freshly allocated.
+func ReadRecord(r io.Reader) (Record, error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("read record header: %w", err)
+	}
+	rec, n, err := parseRecordHeader(hdr[:])
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, rec.Payload); err != nil {
+		return Record{}, fmt.Errorf("read record payload: %w", err)
+	}
+	return rec, nil
+}
+
+// parseRecordHeader validates the 5-byte header and returns the (empty)
+// record plus the payload length.
+func parseRecordHeader(hdr []byte) (Record, int, error) {
+	if hdr[1] != recordVersionHi || hdr[2] != recordVersionLo {
+		return Record{}, 0, fmt.Errorf("%w: version %02x%02x", ErrBadRecord, hdr[1], hdr[2])
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n > MaxRecordPayload {
+		return Record{}, 0, fmt.Errorf("%w: length %d", ErrRecordTooLarge, n)
+	}
+	return Record{Type: ContentType(hdr[0])}, n, nil
+}
+
+// Alert payloads: one level byte (always fatal here) and one reason byte.
+type alertReason uint8
+
+const (
+	alertCloseNotify      alertReason = 0
+	alertHandshakeFailure alertReason = 40
+	alertBadCertificate   alertReason = 42
+	alertCertRevoked      alertReason = 44
+	alertDecryptError     alertReason = 51
+	alertRITMPolicy       alertReason = 120 // revocation status missing/stale
+)
+
+func (a alertReason) String() string {
+	switch a {
+	case alertCloseNotify:
+		return "close notify"
+	case alertHandshakeFailure:
+		return "handshake failure"
+	case alertBadCertificate:
+		return "bad certificate"
+	case alertCertRevoked:
+		return "certificate revoked"
+	case alertDecryptError:
+		return "decrypt error"
+	case alertRITMPolicy:
+		return "ritm policy violation"
+	default:
+		return fmt.Sprintf("alert(%d)", uint8(a))
+	}
+}
+
+// alertRecord builds an alert record.
+func alertRecord(reason alertReason) Record {
+	return Record{Type: ContentAlert, Payload: []byte{2 /* fatal */, byte(reason)}}
+}
+
+// parseAlert interprets an alert payload as an error.
+func parseAlert(payload []byte) error {
+	if len(payload) != 2 {
+		return fmt.Errorf("%w: bad alert payload", ErrBadRecord)
+	}
+	reason := alertReason(payload[1])
+	if reason == alertCloseNotify {
+		return io.EOF
+	}
+	return fmt.Errorf("%w: %v", ErrAlert, reason)
+}

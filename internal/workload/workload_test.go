@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeriesTotalPinned(t *testing.T) {
+	s := NewSeries(1)
+	if got := s.Total(); got != TotalRevocations {
+		t.Fatalf("total = %d, want %d", got, TotalRevocations)
+	}
+	if got := s.Days(); got != 546 {
+		t.Errorf("days = %d, want 546 (Jan 2014 – Jun 2015)", got)
+	}
+}
+
+func TestSeriesDeterministic(t *testing.T) {
+	a, b := NewSeries(7), NewSeries(7)
+	da, db := a.Daily(), b.Daily()
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("day %d differs: %d vs %d", i, da[i], db[i])
+		}
+	}
+	c := NewSeries(8)
+	diff := false
+	for i, d := range c.Daily() {
+		if d != da[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestSeriesHeartbleedShape(t *testing.T) {
+	s := NewSeries(1)
+	weekly := s.Weekly()
+
+	// Baseline weeks (before April 2014) sit in the ~16 k/week band.
+	for w := 0; w < 13; w++ {
+		if weekly[w] < 10_000 || weekly[w] > 25_000 {
+			t.Errorf("baseline week %d = %d, want 10k–25k", w, weekly[w])
+		}
+	}
+
+	// The Heartbleed week dominates every other week.
+	hbFrom, hbTo := HeartbleedWeek()
+	hbCount, err := s.Range(hbFrom, hbTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hbCount < 55_000 || hbCount > 100_000 {
+		t.Errorf("Heartbleed week = %d, want 55k–100k (Fig 4 peak)", hbCount)
+	}
+	maxWeek := 0
+	for _, w := range weekly {
+		if w > maxWeek {
+			maxWeek = w
+		}
+	}
+	if hbCount < maxWeek*8/10 {
+		t.Errorf("Heartbleed week (%d) is not the dominant peak (max %d)", hbCount, maxWeek)
+	}
+
+	// The peak day is April 16, 2014.
+	peak, err := s.Day(time.Date(2014, time.April, 16, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range s.Daily() {
+		if d > peak {
+			t.Fatalf("a day exceeds April 16 (%d > %d)", d, peak)
+		}
+	}
+}
+
+func TestSeriesHourlySumsToDay(t *testing.T) {
+	s := NewSeries(1)
+	for _, date := range []time.Time{
+		time.Date(2014, time.February, 3, 0, 0, 0, 0, time.UTC),
+		time.Date(2014, time.April, 16, 0, 0, 0, 0, time.UTC),
+	} {
+		day, err := s.Day(date)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hourly, err := s.Hourly(date)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, h := range hourly {
+			if h < 0 {
+				t.Fatalf("negative hourly count on %v", date)
+			}
+			sum += h
+		}
+		if sum != day {
+			t.Errorf("%v: hourly sum %d != day %d", date, sum, day)
+		}
+	}
+}
+
+func TestSeriesBinsMatchFig4Bottom(t *testing.T) {
+	s := NewSeries(1)
+	from := time.Date(2014, time.April, 16, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2014, time.April, 18, 0, 0, 0, 0, time.UTC)
+	bins, err := s.Bins(from, to, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 16 {
+		t.Fatalf("3-hour bins over two days = %d, want 16", len(bins))
+	}
+	peak := 0
+	for _, b := range bins {
+		if b > peak {
+			peak = b
+		}
+	}
+	// Fig 4 bottom: bursts reaching the 6k–10k band.
+	if peak < 4_000 || peak > 12_000 {
+		t.Errorf("peak 3-hour bin = %d, want 4k–12k", peak)
+	}
+}
+
+func TestSeriesRangeErrors(t *testing.T) {
+	s := NewSeries(1)
+	if _, err := s.Day(time.Date(2013, time.December, 31, 0, 0, 0, 0, time.UTC)); err == nil {
+		t.Error("date before series accepted")
+	}
+	if _, err := s.Day(SeriesEnd); err == nil {
+		t.Error("date at series end accepted")
+	}
+}
+
+func TestCorpusAggregates(t *testing.T) {
+	c := NewCorpus(1)
+	if c.Len() != NumCRLs {
+		t.Fatalf("len = %d, want %d", c.Len(), NumCRLs)
+	}
+	if c.Size(0) != LargestCRLEntries {
+		t.Errorf("largest = %d, want %d", c.Size(0), LargestCRLEntries)
+	}
+	// The ≥1-entry floor may add a handful of entries over the pinned
+	// total; it must stay within NumCRLs of it.
+	if diff := c.Total() - TotalRevocations; diff < 0 || diff > NumCRLs {
+		t.Errorf("total = %d, want %d (+≤%d)", c.Total(), TotalRevocations, NumCRLs)
+	}
+	if avg := c.Average(); avg < 5_000 || avg > 6_000 {
+		t.Errorf("average = %f, want ≈%d", avg, AvgCRLEntries)
+	}
+	// Sizes are descending-ish: the head dominates the tail.
+	if c.Size(1) >= c.Size(0) {
+		t.Error("second CRL not smaller than the largest")
+	}
+	if c.Size(NumCRLs-1) < 1 {
+		t.Error("tail CRL is empty")
+	}
+}
+
+func TestCorpusBytes(t *testing.T) {
+	c := NewCorpus(1)
+	if eb := EntryBytes(); eb < 20 || eb > 25 {
+		t.Errorf("entry bytes = %f, want ≈22 (7.5 MB / 339,557)", eb)
+	}
+	if got := c.CRLBytes(0); got < 7_400_000 || got > 7_600_000 {
+		t.Errorf("largest CRL bytes = %d, want ≈7.5 MB", got)
+	}
+}
+
+func TestCorpusSerials(t *testing.T) {
+	c := NewCorpus(1)
+	i := c.Len() - 1 // smallest list: cheap to materialize
+	serials := c.Serials(i)
+	if len(serials) != c.Size(i) {
+		t.Fatalf("materialized %d serials, want %d", len(serials), c.Size(i))
+	}
+	// Deterministic regeneration.
+	again := c.Serials(i)
+	for j := range serials {
+		if !serials[j].Equal(again[j]) {
+			t.Fatal("serial generation not deterministic")
+		}
+	}
+	// Absent samples are really absent.
+	absent := c.SampleAbsent(i, 10)
+	seen := make(map[string]bool)
+	for _, sn := range serials {
+		seen[string(sn.Raw())] = true
+	}
+	for _, sn := range absent {
+		if seen[string(sn.Raw())] {
+			t.Fatalf("sampled 'absent' serial %v is present", sn)
+		}
+	}
+}
+
+func TestSerialSizeHistogramMode(t *testing.T) {
+	hist := SerialSizeHistogram(1, 100_000)
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	mode3 := float64(hist[3]) / float64(total)
+	if mode3 < 0.30 || mode3 > 0.34 {
+		t.Errorf("3-byte share = %f, want ≈0.32 (§VII-A)", mode3)
+	}
+	for size, n := range hist {
+		if n > hist[3] && size != 3 {
+			t.Errorf("mode is %d bytes, want 3", size)
+		}
+	}
+}
+
+func TestCitiesAggregates(t *testing.T) {
+	c := NewCities(1)
+	if c.Len() != NumCities {
+		t.Fatalf("cities = %d, want %d", c.Len(), NumCities)
+	}
+	if c.TotalPopulation() != TotalPopulation {
+		t.Fatalf("population = %d, want %d", c.TotalPopulation(), TotalPopulation)
+	}
+	// §VII-C: 10 clients per RA → 230 M RAs.
+	if ras := c.RAs(10); ras != 230_000_000 {
+		t.Errorf("RAs at 10 clients each = %d, want 230,000,000", ras)
+	}
+	// Every pricing region is populated and shares roughly follow the
+	// configured distribution.
+	byRegion := c.RAsByRegion(10)
+	var sum int64
+	for _, r := range Regions() {
+		if byRegion[r] <= 0 {
+			t.Errorf("region %v has no RAs", r)
+		}
+		sum += byRegion[r]
+	}
+	if diff := sum - 230_000_000; diff > int64(numRegions) || diff < -230_000_000/100 {
+		t.Errorf("regional RAs sum to %d", sum)
+	}
+	// MaxMind's coverage skew: US + Europe carry the majority.
+	west := float64(c.RegionPopulation(RegionUnitedStates)+c.RegionPopulation(RegionEurope)) /
+		float64(TotalPopulation)
+	if west < 0.55 || west > 0.75 {
+		t.Errorf("US+EU share = %f, want ≈0.65", west)
+	}
+}

@@ -1,0 +1,233 @@
+// Package ritm is a complete implementation of RITM ("Revocation in the
+// Middle", Szalachowski, Chuat, Lee, Perrig — ICDCS 2016): a certificate-
+// revocation framework in which network middleboxes (Revocation Agents)
+// store authenticated revocation dictionaries, disseminated by a CDN, and
+// piggyback fresh revocation statuses onto TLS connections, so that clients
+// and servers store and fetch nothing.
+//
+// The package is a facade over the subsystem implementations:
+//
+//   - certification authorities issuing certificates and maintaining
+//     append-only authenticated dictionaries (internal/ca, internal/dictionary)
+//   - the CDN dissemination network: distribution point, edge servers with
+//     TTL caches, and an HTTP transport (internal/cdn)
+//   - the Revocation Agent middlebox: dictionary replication, DPI, and the
+//     status-injecting TCP proxy (internal/ra)
+//   - the RITM-supported client enforcing the 2∆ freshness policy and the
+//     mid-connection revocation check (internal/ritmclient)
+//   - consistency checking and CA-misbehavior proofs (internal/monitor)
+//   - the TLS substrate with a plaintext, middlebox-parsable negotiation
+//     (internal/tlssim)
+//
+// # Quickstart
+//
+// Wire a CA to a distribution point, replicate it on an RA, and protect a
+// connection:
+//
+//	dp := ritm.NewDistributionPoint(nil)
+//	ca, _ := ritm.NewCA(ritm.CAConfig{ID: "MyCA", Delta: 10 * time.Second, Publisher: dp})
+//	dp.RegisterCA("MyCA", ca.PublicKey())
+//	ca.PublishRoot()
+//
+//	agent, _ := ritm.NewRA(ritm.RAConfig{
+//		Roots:  []*ritm.Certificate{ca.RootCertificate()},
+//		Origin: ritm.NewEdgeServer(dp, 0, nil),
+//		Delta:  10 * time.Second,
+//	})
+//	agent.SyncOnce()
+//	proxy, _ := agent.NewProxy("127.0.0.1:0", serverAddr)
+//
+//	conn, err := ritm.Dial("tcp", proxy.Addr().String(), "example.com", &ritm.ClientConfig{
+//		Pool:          pool,
+//		RequireStatus: true,
+//	})
+//
+// See examples/ for complete programs, and DESIGN.md for the map from the
+// paper's sections to packages.
+package ritm
+
+import (
+	"time"
+
+	"ritm/internal/baseline"
+	"ritm/internal/ca"
+	"ritm/internal/cdn"
+	"ritm/internal/cert"
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
+	"ritm/internal/experiments"
+	"ritm/internal/monitor"
+	"ritm/internal/ra"
+	"ritm/internal/ritmclient"
+	"ritm/internal/serial"
+	"ritm/internal/tlssim"
+)
+
+// Certification authority (§III).
+type (
+	// CA issues certificates and maintains the revocation dictionary.
+	CA = ca.CA
+	// CAConfig configures a CA.
+	CAConfig = ca.Config
+	// Publisher is the CA's interface to the dissemination network.
+	Publisher = ca.Publisher
+)
+
+// NewCA creates a certification authority.
+func NewCA(cfg CAConfig) (*CA, error) { return ca.New(cfg) }
+
+// Authenticated dictionary artifacts (§III, Fig 2).
+type (
+	// CAID identifies a CA and its dictionary.
+	CAID = dictionary.CAID
+	// SignedRoot is Eq (1): {root, n, Hᵐ(v), t} signed by the CA.
+	SignedRoot = dictionary.SignedRoot
+	// FreshnessStatement is Eq (2): the per-∆ hash-chain heartbeat.
+	FreshnessStatement = dictionary.FreshnessStatement
+	// Status is Eq (3): proof + signed root + freshness statement.
+	Status = dictionary.Status
+	// Proof is a presence/absence proof against a signed root.
+	Proof = dictionary.Proof
+	// MisbehaviorProof is transferable evidence of CA equivocation (§V).
+	MisbehaviorProof = dictionary.MisbehaviorProof
+	// ShardedAuthority is the §VIII "ever-growing dictionaries" extension:
+	// one dictionary per certificate-expiry bucket, pruned after expiry.
+	ShardedAuthority = dictionary.ShardedAuthority
+	// ShardConfig configures a ShardedAuthority.
+	ShardConfig = dictionary.ShardConfig
+)
+
+// NewShardedAuthority creates an expiry-sharded dictionary space (§VIII).
+func NewShardedAuthority(cfg ShardConfig) (*ShardedAuthority, error) {
+	return dictionary.NewShardedAuthority(cfg)
+}
+
+// Status check outcomes.
+const (
+	// CheckValid: the certificate is proven not revoked, freshly.
+	CheckValid = dictionary.CheckValid
+	// CheckRevoked: the certificate is proven revoked.
+	CheckRevoked = dictionary.CheckRevoked
+)
+
+// Dissemination network (§III "Dissemination").
+type (
+	// DistributionPoint is the CDN origin fed by CAs.
+	DistributionPoint = cdn.DistributionPoint
+	// EdgeServer replicates an origin with a TTL cache.
+	EdgeServer = cdn.EdgeServer
+	// Origin is the pull API spoken across the network.
+	Origin = cdn.Origin
+	// HTTPClient is an Origin over the HTTP transport.
+	HTTPClient = cdn.HTTPClient
+)
+
+// NewDistributionPoint creates a CDN origin. now is the clock used to
+// validate ingested freshness statements (nil = time.Now).
+func NewDistributionPoint(now func() time.Time) *DistributionPoint {
+	return cdn.NewDistributionPoint(now)
+}
+
+// NewEdgeServer creates an edge server caching upstream responses for ttl
+// (zero disables caching — the Fig 5 worst case). now is the cache clock
+// (nil = time.Now).
+func NewEdgeServer(upstream Origin, ttl time.Duration, now func() time.Time) *EdgeServer {
+	return cdn.NewEdgeServer(upstream, ttl, now)
+}
+
+// Revocation Agent (§III, §VI).
+type (
+	// RA is the revocation-agent middlebox.
+	RA = ra.RA
+	// RAConfig configures an RA.
+	RAConfig = ra.Config
+	// RAProxy is the RA's status-injecting TCP data path.
+	RAProxy = ra.Proxy
+)
+
+// NewRA creates a Revocation Agent.
+func NewRA(cfg RAConfig) (*RA, error) { return ra.New(cfg) }
+
+// RITM-supported client (§III steps 5–7).
+type (
+	// ClientConfig configures the RITM client policy.
+	ClientConfig = ritmclient.Config
+	// ClientConn is a RITM-protected connection.
+	ClientConn = ritmclient.Conn
+	// Verifier checks injected revocation statuses.
+	Verifier = ritmclient.Verifier
+)
+
+// Dial establishes a RITM-protected connection.
+func Dial(network, addr, serverName string, cfg *ClientConfig) (*ClientConn, error) {
+	return ritmclient.Dial(network, addr, serverName, cfg)
+}
+
+// Certificates and trust anchors.
+type (
+	// Certificate is the simplified X.509 equivalent RITM operates on.
+	Certificate = cert.Certificate
+	// Chain is a leaf-first certificate chain.
+	Chain = cert.Chain
+	// Pool is a set of trusted root CA certificates.
+	Pool = cert.Pool
+	// SerialNumber is an RFC 5280-style certificate serial number.
+	SerialNumber = serial.Number
+	// Signer is an Ed25519 signing identity.
+	Signer = cryptoutil.Signer
+)
+
+// NewPool returns a pool trusting the given self-signed roots.
+func NewPool(roots ...*Certificate) (*Pool, error) { return cert.NewPool(roots...) }
+
+// NewSigner generates an Ed25519 identity (nil rng = crypto/rand).
+func NewSigner() (*Signer, error) { return cryptoutil.NewSigner(nil) }
+
+// TLS substrate (§III "Validation").
+type (
+	// TLSConfig configures a TLS-sim endpoint.
+	TLSConfig = tlssim.Config
+	// TLSConn is a TLS-sim connection.
+	TLSConn = tlssim.Conn
+)
+
+// Consistency checking (§III, §V).
+type (
+	// Auditor accumulates signed roots and detects equivocation.
+	Auditor = monitor.Auditor
+	// MapServer is the registry of parties exchanging dictionary views.
+	MapServer = monitor.MapServer
+	// RootSource provides latest signed roots for auditing.
+	RootSource = monitor.RootSource
+)
+
+// NewAuditor creates an auditor trusting the CA keys in pool.
+func NewAuditor(pool *Pool) *Auditor { return monitor.NewAuditor(pool) }
+
+// NewMapServer creates an empty source registry.
+func NewMapServer() *MapServer { return monitor.NewMapServer() }
+
+// CrossCheck audits every registered source's view of one dictionary.
+func CrossCheck(m *MapServer, a *Auditor, caID CAID) *monitor.CrossCheckResult {
+	return monitor.CrossCheck(m, a, caID)
+}
+
+// Baseline schemes and the Table IV comparison model (§II, §VII-E).
+type (
+	// BaselineScheme is one Table IV row.
+	BaselineScheme = baseline.Scheme
+	// BaselineParams instantiates the Table IV symbols.
+	BaselineParams = baseline.Params
+)
+
+// BaselineSchemes returns every Table IV row.
+func BaselineSchemes() []BaselineScheme { return baseline.Schemes() }
+
+// RunExperiment regenerates one of the paper's tables/figures by id (see
+// internal/experiments for the registry).
+func RunExperiment(id string, quick bool) (*experiments.Table, error) {
+	return experiments.Run(id, quick)
+}
+
+// ExperimentIDs lists the available experiment identifiers.
+func ExperimentIDs() []string { return experiments.IDs() }
