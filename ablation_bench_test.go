@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"ritm/internal/cdn"
+	"ritm/internal/cert"
 	"ritm/internal/cryptoutil"
 	"ritm/internal/dictionary"
+	"ritm/internal/ra"
 	"ritm/internal/serial"
 )
 
@@ -160,6 +162,91 @@ func BenchmarkAblationEdgeTTL(b *testing.B) {
 			if total := st.Hits + st.Misses; total > 0 {
 				b.ReportMetric(float64(st.Hits)/float64(total), "cache-hit-ratio")
 			}
+		})
+	}
+}
+
+// BenchmarkAblationStatusCache isolates the per-∆ status cache: the same
+// Zipf-free repeated-serial stream against one RA store, once through the
+// uncached Prove path (O(log n) proof construction + encoding per call)
+// and once through the cached Status path (a sharded map read while the
+// snapshot generation is unchanged). The reported cache-hit-rate makes
+// the memoization visible next to the time/op delta.
+func BenchmarkAblationStatusCache(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 339_557} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			signer, err := cryptoutil.NewSigner(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := time.Now().Unix()
+			caID := dictionary.CAID("ablate-cache-ca")
+			auth, err := dictionary.NewAuthority(dictionary.AuthorityConfig{
+				CA:     caID,
+				Signer: signer,
+				Delta:  10 * time.Second,
+			}, now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := serial.NewGenerator(uint64(n)^0xCACE, nil)
+			if _, err := auth.Insert(gen.NextN(n), now); err != nil {
+				b.Fatal(err)
+			}
+			root, err := cert.Issue(caID, signer, cert.Template{
+				SerialNumber: serial.FromUint64(1),
+				Subject:      string(caID),
+				NotBefore:    now - 1,
+				NotAfter:     now + 1<<30,
+				PublicKey:    signer.Public(),
+				IsCA:         true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := ra.NewStore(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			replica, err := store.Replica(caID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			log, err := auth.LogSuffix(0, auth.Count())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := replica.Update(&dictionary.IssuanceMessage{Serials: log, Root: auth.SignedRoot()}); err != nil {
+				b.Fatal(err)
+			}
+			queries := gen.NextN(256) // absent: the deeper (two-leaf) proofs
+
+			b.Run("prove", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					st, err := store.Prove(caID, queries[i%len(queries)])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(st.Encode()) == 0 {
+						b.Fatal("empty status")
+					}
+				}
+			})
+			b.Run("cached", func(b *testing.B) {
+				before := store.CacheStats()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := store.Status(caID, queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				after := store.CacheStats()
+				d := ra.CacheStats{Hits: after.Hits - before.Hits, Misses: after.Misses - before.Misses}
+				b.ReportMetric(d.HitRate(), "cache-hit-rate")
+				b.ReportMetric(float64(store.SnapshotSwaps()), "snapshot-swaps")
+			})
 		})
 	}
 }

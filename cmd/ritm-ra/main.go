@@ -61,7 +61,7 @@ func run(caURL, listen, target string, delta time.Duration) error {
 		return err
 	}
 	defer proxy.Close()
-	proxy.OnError = func(err error) { log.Printf("proxy: %v", err) }
+	proxy.SetOnError(func(err error) { log.Printf("proxy: %v", err) })
 	log.Printf("ritm-ra: replicating %s (∆=%v), proxying %s → %s",
 		root.Issuer, delta, proxy.Addr(), target)
 

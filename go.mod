@@ -1,0 +1,3 @@
+module ritm
+
+go 1.22

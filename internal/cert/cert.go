@@ -303,6 +303,18 @@ func (p *Pool) AddRoot(root *Certificate) error {
 	return nil
 }
 
+// Clone returns a pool with the same roots that shares no mutable state:
+// later AddRoot calls on either pool are invisible to the other. The RA
+// store's copy-on-write views rely on this to keep published views
+// immutable without re-verifying every root self-signature.
+func (p *Pool) Clone() *Pool {
+	roots := make(map[dictionary.CAID]*Certificate, len(p.roots))
+	for ca, c := range p.roots {
+		roots[ca] = c
+	}
+	return &Pool{roots: roots}
+}
+
 // Root returns the trusted certificate for a CA, if any.
 func (p *Pool) Root(ca dictionary.CAID) (*Certificate, bool) {
 	c, ok := p.roots[ca]

@@ -4,6 +4,7 @@ import (
 	"crypto/ed25519"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ritm/internal/cryptoutil"
 	"ritm/internal/serial"
@@ -12,57 +13,71 @@ import (
 // Replica is the RA side of a dictionary: a full copy of one CA's
 // dictionary that is updated only through verified issuance messages
 // (Fig 2, update) and freshness statements, and that produces revocation
-// statuses for clients (Fig 2, prove). Replica is safe for concurrent use:
-// the RA's fetcher goroutine updates it while DPI goroutines prove against
-// it.
+// statuses for clients (Fig 2, prove).
+//
+// Replica is safe for concurrent use and optimized for the RA's workload:
+// one fetcher goroutine writing every ∆, thousands of DPI goroutines
+// proving on the TLS handshake path. Writers serialize on an internal
+// mutex, rebuild the tree copy-on-write, and publish the result as an
+// immutable Snapshot through an atomic pointer; readers load the pointer
+// and never block — a Prove observes either the previous or the new
+// version, both of which verify against a CA-signed root.
 type Replica struct {
 	ca  CAID
 	pub ed25519.PublicKey
 
-	mu        sync.RWMutex
+	// snap is the current published version; never nil (the initial
+	// snapshot is empty with a nil signed root).
+	snap atomic.Pointer[Snapshot]
+
+	mu        sync.Mutex
 	tree      *Tree
 	root      *SignedRoot     // latest verified signed root, nil until first update
 	freshness cryptoutil.Hash // latest verified freshness statement value
 	freshPer  int             // period the statement was verified for
+	gen       uint64          // publication counter behind the snapshots
 }
 
 // NewReplica creates an empty replica of the dictionary of the given CA.
 // The public key is the trust anchor against which every signed root is
 // verified; it normally comes from the CA's certificate.
 func NewReplica(ca CAID, pub ed25519.PublicKey) *Replica {
-	return &Replica{ca: ca, pub: pub, tree: NewTree()}
+	r := &Replica{ca: ca, pub: pub, tree: NewTree()}
+	r.snap.Store(newSnapshot(ca, r.tree, nil, cryptoutil.Hash{}, 0, 0))
+	return r
 }
+
+// publish freezes the current state as the next snapshot. Caller holds mu.
+func (r *Replica) publish() {
+	r.gen++
+	r.snap.Store(newSnapshot(r.ca, r.tree, r.root, r.freshness, r.freshPer, r.gen))
+}
+
+// Snapshot returns the current published version. The result is immutable
+// and remains provable forever; callers needing several consistent reads
+// (root + proof + freshness) should take one snapshot and use it for all
+// of them.
+func (r *Replica) Snapshot() *Snapshot { return r.snap.Load() }
 
 // CA returns the CA whose dictionary this replica mirrors.
 func (r *Replica) CA() CAID { return r.ca }
 
 // Count returns the replica's revocation count n.
-func (r *Replica) Count() uint64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.tree.Count()
-}
+func (r *Replica) Count() uint64 { return r.snap.Load().Count() }
 
 // Root returns the latest verified signed root, or nil before the first
 // successful update.
-func (r *Replica) Root() *SignedRoot {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.root
-}
+func (r *Replica) Root() *SignedRoot { return r.snap.Load().Root() }
 
 // Revoked reports whether s is revoked in the replica's current view.
-func (r *Replica) Revoked(s serial.Number) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	_, ok := r.tree.Revoked(s)
-	return ok
-}
+func (r *Replica) Revoked(s serial.Number) bool { return r.snap.Load().Revoked(s) }
 
 // Update applies an issuance message (Fig 2, update): it verifies the
 // signature, checks that the batch extends the local count contiguously,
 // replays the insertions, and commits only if the rebuilt root and count
 // equal the signed values. On any failure the replica is left unchanged.
+// On success the new version is published atomically; in-flight Prove
+// calls keep using the previous snapshot, which stays valid.
 //
 // A count gap (the message starts beyond our log) returns
 // ErrDesynchronized; the caller should resynchronize via the sync protocol
@@ -87,6 +102,15 @@ func (r *Replica) Update(msg *IssuanceMessage) error {
 		// Root-only refresh (chain rotation with no new revocations).
 		if !msg.Root.Root.Equal(r.tree.Root()) {
 			return fmt.Errorf("%w: rotated root differs at n=%d", ErrRootMismatch, have)
+		}
+		if msg.Root.Equal(r.root) {
+			// The dissemination network re-delivered the root we already
+			// hold (every pull carries the latest root). Publishing would
+			// bump the snapshot generation and flush every cached status
+			// of this CA for nothing — and regress the freshness value to
+			// the anchor until the statement is re-applied. Keep the
+			// current snapshot.
+			return nil
 		}
 	case want != have+uint64(len(msg.Serials)):
 		if want > have+uint64(len(msg.Serials)) {
@@ -113,13 +137,14 @@ func (r *Replica) Update(msg *IssuanceMessage) error {
 	// anchor doubles as the period-0 statement.
 	r.freshness = msg.Root.Anchor
 	r.freshPer = 0
+	r.publish()
 	return nil
 }
 
 // ApplyFreshness verifies a freshness statement for the current period and,
-// if valid, replaces the stored one (§III "Dissemination"). The statement
-// is accepted for period p or p−1 relative to now, mirroring the client's
-// 2∆ tolerance.
+// if valid, replaces the stored one (§III "Dissemination"), publishing a
+// new snapshot generation. The statement is accepted for period p or p−1
+// relative to now, mirroring the client's 2∆ tolerance.
 func (r *Replica) ApplyFreshness(st *FreshnessStatement, now int64) error {
 	if st == nil {
 		return fmt.Errorf("dictionary: nil freshness statement")
@@ -141,8 +166,12 @@ func (r *Replica) ApplyFreshness(st *FreshnessStatement, now int64) error {
 			continue
 		}
 		if cryptoutil.VerifyChainValue(r.root.Anchor, st.Value, cand) == nil {
+			if cand == r.freshPer && st.Value.Equal(r.freshness) {
+				return nil // no change; keep the published generation
+			}
 			r.freshness = st.Value
 			r.freshPer = cand
+			r.publish()
 			return nil
 		}
 	}
@@ -151,45 +180,36 @@ func (r *Replica) ApplyFreshness(st *FreshnessStatement, now int64) error {
 
 // Prove produces the revocation status for s (Fig 2, prove): the
 // presence/absence proof, the signed root, and the latest freshness
-// statement. It fails with ErrDesynchronized before the first update.
+// statement, all read from one consistent snapshot with no locking. It
+// fails with ErrDesynchronized before the first update.
 func (r *Replica) Prove(s serial.Number) (*Status, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.root == nil {
-		return nil, fmt.Errorf("%w: replica has no signed root", ErrDesynchronized)
-	}
-	return &Status{
-		Proof:     r.tree.Prove(s),
-		Root:      r.root,
-		Freshness: r.freshness,
-	}, nil
+	return r.snap.Load().Prove(s)
 }
 
 // FreshnessAge returns how many periods old the stored freshness statement
 // is relative to now; RAs use it to decide whether a new status must be
 // pushed on established connections (§III step 6).
 func (r *Replica) FreshnessAge(now int64) (int, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if r.root == nil {
+	snap := r.snap.Load()
+	if snap.Root() == nil {
 		return 0, fmt.Errorf("%w: replica has no signed root", ErrDesynchronized)
 	}
-	return r.root.Period(now) - r.freshPer, nil
+	return snap.Root().Period(now) - snap.FreshnessPeriod(), nil
 }
 
 // Log returns a copy of the replica's issuance log (for consistency
 // checking and resynchronization serving between RAs).
 func (r *Replica) Log() []serial.Number {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.tree.Log()
 }
 
 // LogSuffix returns the serials with revocation numbers in (from, to]; the
 // distribution point serves it to resynchronize lagging replicas (§III).
 func (r *Replica) LogSuffix(from, to uint64) ([]serial.Number, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.tree.LogSuffix(from, to)
 }
 
@@ -197,22 +217,20 @@ func (r *Replica) LogSuffix(from, to uint64) ([]serial.Number, error) {
 // any statement arrives it is the signed root's anchor (the period-0 value),
 // and before the first update it is the zero hash.
 func (r *Replica) Freshness() cryptoutil.Hash {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.freshness
+	return r.snap.Load().Freshness()
 }
 
 // SerializedSize reports the canonical serialized size of the replica's
 // dictionary (the §VII-D storage-overhead metric).
 func (r *Replica) SerializedSize() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.tree.SerializedSize()
 }
 
 // MemoryFootprint estimates resident memory of the replica's tree.
 func (r *Replica) MemoryFootprint() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.tree.MemoryFootprint()
 }

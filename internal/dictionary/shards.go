@@ -3,6 +3,8 @@ package dictionary
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -64,6 +66,24 @@ func (s *ShardedAuthority) bucketStart(notAfter int64) int64 {
 // network's CA listing; the encoding is stable and human-readable.
 func (s *ShardedAuthority) ShardIDFor(notAfter int64) ShardID {
 	return ShardID(fmt.Sprintf("%s/exp-%d", s.cfg.Base.CA, s.bucketStart(notAfter)))
+}
+
+// ParseShardID splits a shard identifier produced by ShardIDFor into the
+// base CA and the expiry-bucket start (Unix seconds). ok is false for
+// identifiers of unsharded dictionaries. RAs use it to decide when a
+// replicated shard can be dropped: a shard whose bucket ended in the past
+// covers only expired certificates (see ra.Store.RemoveExpired).
+func ParseShardID(id CAID) (base CAID, bucketStart int64, ok bool) {
+	s := string(id)
+	i := strings.LastIndex(s, "/exp-")
+	if i < 0 {
+		return "", 0, false
+	}
+	start, err := strconv.ParseInt(s[i+len("/exp-"):], 10, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return CAID(s[:i]), start, true
 }
 
 // shardFor returns (creating on demand) the authority for notAfter.

@@ -1,0 +1,94 @@
+package dictionary
+
+import (
+	"fmt"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// Snapshot is one immutable, self-contained version of a replicated
+// dictionary: the sorted leaves and interior hash levels of the tree, the
+// signed root they verify against, and the freshness statement for the
+// period the snapshot was published in. A Replica publishes a new Snapshot
+// atomically after every verified update or freshness refresh; readers
+// obtain one with Replica.Snapshot and may then call Prove, Revoked, and
+// the accessors with zero locking, forever — the arrays are never written
+// again (Tree's copy-on-write rebuild guarantees it).
+//
+// The paper's observation that makes snapshots worthwhile (§III, §VI): a
+// revocation status is immutable for a whole ∆ window. Proof, signed root,
+// and freshness statement only change when a new root or freshness
+// statement arrives, so one Generation value summarizes everything a
+// status depends on. Caches key on (CA, serial) and compare generations:
+// equal generation ⇒ byte-identical status.
+type Snapshot struct {
+	ca        CAID
+	view      treeView
+	root      *SignedRoot // nil until the replica's first verified update
+	freshness cryptoutil.Hash
+	freshPer  int    // period the freshness value was verified for
+	gen       uint64 // publication counter; strictly increasing per replica
+}
+
+// newSnapshot freezes the tree's current version together with the
+// authentication state. The caller (Replica) must hold its writer lock so
+// that tree, root, and freshness are mutually consistent.
+func newSnapshot(ca CAID, t *Tree, root *SignedRoot, freshness cryptoutil.Hash, freshPer int, gen uint64) *Snapshot {
+	return &Snapshot{
+		ca:        ca,
+		view:      t.view(),
+		root:      root,
+		freshness: freshness,
+		freshPer:  freshPer,
+		gen:       gen,
+	}
+}
+
+// CA returns the CA whose dictionary the snapshot belongs to.
+func (s *Snapshot) CA() CAID { return s.ca }
+
+// Generation returns the snapshot's publication counter. Generations are
+// strictly increasing per replica; two statuses proved from snapshots of
+// equal generation are identical, which is the cache-invalidation contract
+// the RA's status cache builds on.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Root returns the signed root the snapshot's proofs verify against, or
+// nil for the initial (never-updated) snapshot.
+func (s *Snapshot) Root() *SignedRoot { return s.root }
+
+// Freshness returns the freshness-statement value current at publication.
+func (s *Snapshot) Freshness() cryptoutil.Hash { return s.freshness }
+
+// FreshnessPeriod returns the period index the freshness value was
+// verified for.
+func (s *Snapshot) FreshnessPeriod() int { return s.freshPer }
+
+// Count returns the number of revocations in the snapshot.
+func (s *Snapshot) Count() uint64 { return uint64(len(s.view.leaves)) }
+
+// RootHash returns the tree root hash of the snapshot.
+func (s *Snapshot) RootHash() cryptoutil.Hash { return s.view.root() }
+
+// Revoked reports whether sn is revoked in this version.
+func (s *Snapshot) Revoked(sn serial.Number) bool {
+	_, ok := s.view.revoked(sn)
+	return ok
+}
+
+// Prove produces the revocation status for sn (Fig 2, prove) from the
+// frozen version: presence/absence proof, signed root, and freshness
+// statement. It takes no locks and allocates only the proof itself. It
+// fails with ErrDesynchronized on the initial snapshot, before the
+// replica's first verified update.
+func (s *Snapshot) Prove(sn serial.Number) (*Status, error) {
+	if s.root == nil {
+		return nil, fmt.Errorf("%w: replica has no signed root", ErrDesynchronized)
+	}
+	return &Status{
+		Proof:     s.view.prove(sn),
+		Root:      s.root,
+		Freshness: s.freshness,
+	}, nil
+}

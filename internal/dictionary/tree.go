@@ -82,14 +82,68 @@ func (l Leaf) hash() cryptoutil.Hash {
 //
 // The tree keeps every level of interior hashes so that audit paths are
 // produced in O(log n) without recomputation. A batch insert merges the new
-// leaves into the sorted order and rebuilds the interior levels in O(n),
-// mirroring the paper's "insert sₓ,n into the tree and rebuild it".
+// leaves into the sorted order and recomputes interior levels incrementally:
+// every node left of the first changed leaf position is copied from the
+// previous version, and only nodes at or right of it are rehashed. A batch
+// landing at the right edge of the serial space therefore costs
+// O(k·log n); a batch landing at position p costs O(n−p) (positions shift,
+// so everything to the right re-pairs), with the full O(n) of the paper's
+// "insert sₓ,n into the tree and rebuild it" as the worst case.
+//
+// Mutations are copy-on-write: InsertBatch never writes into the leaf,
+// leaf-hash, or level arrays of the previous version, so a treeView taken
+// before a mutation (see Snapshot) stays valid and immutable forever.
 type Tree struct {
 	leaves     []Leaf            // sorted by serial
-	leafHashes []cryptoutil.Hash // parallel to leaves
+	leafHashes []cryptoutil.Hash // parallel to leaves; == levels[0]
 	levels     [][]cryptoutil.Hash
 	bySerial   map[string]uint64 // canonical serial bytes -> revocation number
 	log        []serial.Number   // issuance order; log[i] has Num == i+1
+}
+
+// treeView is one immutable version of the tree's proving state: the sorted
+// leaves plus every interior level. Tree exposes its current version via
+// view(); Snapshot freezes one. All methods are read-only and therefore safe
+// for unsynchronized concurrent use as long as the arrays are never written
+// again — which the copy-on-write discipline of InsertBatch guarantees.
+type treeView struct {
+	leaves []Leaf
+	levels [][]cryptoutil.Hash
+}
+
+// view returns the tree's current immutable proving state.
+func (t *Tree) view() treeView { return treeView{leaves: t.leaves, levels: t.levels} }
+
+// root returns the view's root hash (EmptyRoot when empty).
+func (v treeView) root() cryptoutil.Hash {
+	if len(v.leaves) == 0 {
+		return EmptyRoot
+	}
+	return v.levels[len(v.levels)-1][0]
+}
+
+// revoked reports whether s is a leaf of the view, by binary search (the
+// view carries no serial index; O(log n) is fine for its read-only users).
+func (v treeView) revoked(s serial.Number) (uint64, bool) {
+	lo := v.searchLeaf(s)
+	if lo < len(v.leaves) && v.leaves[lo].Serial.Equal(s) {
+		return v.leaves[lo].Num, true
+	}
+	return 0, false
+}
+
+// searchLeaf returns the index of the first leaf with Serial >= s.
+func (v treeView) searchLeaf(s serial.Number) int {
+	lo, hi := 0, len(v.leaves)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.leaves[mid].Serial.Compare(s) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // NewTree returns an empty dictionary tree.
@@ -166,9 +220,13 @@ func (t *Tree) InsertBatch(serials []serial.Number) error {
 		t.log = append(t.log, s)
 	}
 	// Sort the batch by serial, then merge with the existing sorted leaves.
+	// The merge writes into fresh arrays (copy-on-write): the previous
+	// version's arrays — possibly aliased by a published Snapshot — are
+	// never touched.
 	sortLeaves(newLeaves)
 	merged := make([]Leaf, 0, len(t.leaves)+len(newLeaves))
 	mergedHashes := make([]cryptoutil.Hash, 0, cap(merged))
+	firstChanged := -1 // merged index of the first new leaf
 	i, j := 0, 0
 	for i < len(t.leaves) && j < len(newLeaves) {
 		if t.leaves[i].Serial.Compare(newLeaves[j].Serial) < 0 {
@@ -176,6 +234,9 @@ func (t *Tree) InsertBatch(serials []serial.Number) error {
 			mergedHashes = append(mergedHashes, t.leafHashes[i])
 			i++
 		} else {
+			if firstChanged < 0 {
+				firstChanged = len(merged)
+			}
 			merged = append(merged, newLeaves[j])
 			mergedHashes = append(mergedHashes, newLeaves[j].hash())
 			j++
@@ -186,12 +247,16 @@ func (t *Tree) InsertBatch(serials []serial.Number) error {
 		mergedHashes = append(mergedHashes, t.leafHashes[i])
 	}
 	for ; j < len(newLeaves); j++ {
+		if firstChanged < 0 {
+			firstChanged = len(merged)
+		}
 		merged = append(merged, newLeaves[j])
 		mergedHashes = append(mergedHashes, newLeaves[j].hash())
 	}
+	oldLevels := t.levels
 	t.leaves = merged
 	t.leafHashes = mergedHashes
-	t.rebuild()
+	t.rebuildFrom(oldLevels, firstChanged)
 	return nil
 }
 
@@ -206,39 +271,74 @@ func (t *Tree) RebuildFromLog(log []serial.Number) error {
 	return nil
 }
 
-// rebuild recomputes all interior levels from the leaf hashes. A level with
-// an odd node count promotes its last node unchanged to the next level; the
-// verifier reproduces the same rule from (index, size) alone.
-func (t *Tree) rebuild() {
+// rebuildFrom recomputes the interior levels from the (already replaced)
+// leaf hashes, reusing every node left of leaf index firstChanged from
+// oldLevels: those nodes cover only unchanged, unshifted leaves, so their
+// values — including the odd-promotion rule, which depends only on indices
+// below them — are identical. Fresh arrays are allocated for every level,
+// never written through oldLevels, preserving snapshot immutability.
+//
+// A negative firstChanged (no leaf changed) still rebuilds everything, as
+// does 0; callers pass the merge position of the first inserted leaf.
+func (t *Tree) rebuildFrom(oldLevels [][]cryptoutil.Hash, firstChanged int) {
 	if len(t.leafHashes) == 0 {
 		t.levels = nil
 		return
 	}
-	levels := t.levels[:0]
-	levels = append(levels, t.leafHashes)
+	if firstChanged < 0 {
+		firstChanged = 0
+	}
+	levels := make([][]cryptoutil.Hash, 1, 2+bitsLen(len(t.leafHashes)))
+	levels[0] = t.leafHashes
 	cur := t.leafHashes
-	for len(cur) > 1 {
+	dirty := firstChanged // first index of cur that differs from oldLevels
+	for lvl := 0; len(cur) > 1; lvl++ {
 		next := make([]cryptoutil.Hash, (len(cur)+1)/2)
-		for k := 0; k+1 < len(cur); k += 2 {
-			next[k/2] = cryptoutil.HashNode(cur[k], cur[k+1])
+		// A parent k is unchanged iff both children are below dirty, i.e.
+		// 2k+1 < dirty — and the old level must actually hold it.
+		keep := dirty / 2
+		if lvl+1 < len(oldLevels) {
+			if n := len(oldLevels[lvl+1]); keep > n {
+				keep = n
+			}
+			copy(next[:keep], oldLevels[lvl+1])
+		} else {
+			keep = 0
 		}
-		if len(cur)%2 == 1 {
-			next[len(next)-1] = cur[len(cur)-1]
+		for k := keep; k < len(next); k++ {
+			if 2*k+1 < len(cur) {
+				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
+			} else {
+				// Odd rightmost node: promoted unchanged; the verifier
+				// reproduces the same rule from (index, size) alone.
+				next[k] = cur[len(cur)-1]
+			}
 		}
 		levels = append(levels, next)
 		cur = next
+		dirty = keep
 	}
 	t.levels = levels
 }
 
+// bitsLen returns ⌈log₂(n)⌉-ish capacity hint for the level slice.
+func bitsLen(n int) int {
+	b := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		b++
+	}
+	return b
+}
+
 // path returns the audit path for the leaf at index idx.
-func (t *Tree) path(idx int) []cryptoutil.Hash {
-	if len(t.leaves) == 0 || idx < 0 || idx >= len(t.leaves) {
+func (v treeView) path(idx int) []cryptoutil.Hash {
+	if len(v.leaves) == 0 || idx < 0 || idx >= len(v.leaves) {
 		return nil
 	}
-	path := make([]cryptoutil.Hash, 0, len(t.levels))
-	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
-		nodes := t.levels[lvl]
+	path := make([]cryptoutil.Hash, 0, len(v.levels))
+	for lvl := 0; lvl < len(v.levels)-1; lvl++ {
+		nodes := v.levels[lvl]
 		sib := idx ^ 1
 		if sib < len(nodes) {
 			path = append(path, nodes[sib])
@@ -250,46 +350,43 @@ func (t *Tree) path(idx int) []cryptoutil.Hash {
 }
 
 // proofLeaf builds the ProofLeaf for index idx.
-func (t *Tree) proofLeaf(idx int) *ProofLeaf {
+func (v treeView) proofLeaf(idx int) *ProofLeaf {
 	return &ProofLeaf{
-		Serial: t.leaves[idx].Serial,
-		Num:    t.leaves[idx].Num,
+		Serial: v.leaves[idx].Serial,
+		Num:    v.leaves[idx].Num,
 		Index:  uint64(idx),
-		Path:   t.path(idx),
+		Path:   v.path(idx),
+	}
+}
+
+// prove produces a presence or absence proof for s against the view. The
+// proof verifies against root() and the leaf count.
+func (v treeView) prove(s serial.Number) *Proof {
+	n := len(v.leaves)
+	if n == 0 {
+		return &Proof{Kind: ProofAbsenceEmpty}
+	}
+	lo := v.searchLeaf(s)
+	if lo < n && v.leaves[lo].Serial.Equal(s) {
+		return &Proof{Kind: ProofPresence, Left: v.proofLeaf(lo)}
+	}
+	switch {
+	case lo == 0:
+		// s precedes every leaf: the first leaf bounds it from above.
+		return &Proof{Kind: ProofAbsence, Right: v.proofLeaf(0)}
+	case lo == n:
+		// s follows every leaf: the last leaf bounds it from below.
+		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(n - 1)}
+	default:
+		// s falls strictly between two adjacent leaves.
+		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(lo - 1), Right: v.proofLeaf(lo)}
 	}
 }
 
 // Prove produces a presence or absence proof for s against the current tree
 // (Fig 2, prove step 1). The proof verifies against Root() and Count().
 func (t *Tree) Prove(s serial.Number) *Proof {
-	n := len(t.leaves)
-	if n == 0 {
-		return &Proof{Kind: ProofAbsenceEmpty}
-	}
-	// Binary search for the first leaf with Serial >= s.
-	lo, hi := 0, n
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if t.leaves[mid].Serial.Compare(s) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < n && t.leaves[lo].Serial.Equal(s) {
-		return &Proof{Kind: ProofPresence, Left: t.proofLeaf(lo)}
-	}
-	switch {
-	case lo == 0:
-		// s precedes every leaf: the first leaf bounds it from above.
-		return &Proof{Kind: ProofAbsence, Right: t.proofLeaf(0)}
-	case lo == n:
-		// s follows every leaf: the last leaf bounds it from below.
-		return &Proof{Kind: ProofAbsence, Left: t.proofLeaf(n - 1)}
-	default:
-		// s falls strictly between two adjacent leaves.
-		return &Proof{Kind: ProofAbsence, Left: t.proofLeaf(lo - 1), Right: t.proofLeaf(lo)}
-	}
+	return t.view().prove(s)
 }
 
 // SerializedSize returns the size in bytes of the canonical serialized form

@@ -263,9 +263,13 @@ func TestLatencyQuick(t *testing.T) {
 			t.Errorf("overhead cell %q", tbl.Rows[i][1])
 		}
 	}
-	// Computation alone stays under the paper's 1 % bound.
+	// Computation alone stays under the paper's 1 % bound. The race
+	// detector skews the measured sections non-uniformly, so the wall-clock
+	// bound only holds on uninstrumented builds.
 	pct, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[5][1], "%"), 64)
-	if err != nil || pct >= 1.0 {
+	if err != nil {
+		t.Errorf("computation overhead cell %q", tbl.Rows[5][1])
+	} else if pct >= 1.0 && !raceDetectorEnabled {
 		t.Errorf("computation overhead = %v%%, want < 1%%", pct)
 	}
 }

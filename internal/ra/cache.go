@@ -1,0 +1,165 @@
+package ra
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// statusCache memoizes encoded revocation statuses per (CA, serial) for as
+// long as the source snapshot's generation is unchanged — which, per the
+// paper's freshness model, is a whole ∆ window: proof, signed root, and
+// freshness statement are all functions of the replica's current snapshot.
+// Under a Zipf-like serial popularity distribution (a few certificates
+// carry most of the traffic), this turns almost every handshake-path
+// Status call into a single sharded map read instead of an O(log n) proof
+// construction plus encoding.
+//
+// Invalidation is by generation comparison, not by sweeping: an entry is
+// served only when its generation equals the generation of the replica's
+// current snapshot, so a status whose root has been superseded is never
+// served — at worst a status computed from the snapshot that was current
+// when the lookup began is returned, which is exactly the guarantee an
+// uncached Prove gives too.
+type statusCache struct {
+	seed   maphash.Seed
+	shards [cacheShardCount]cacheShard
+}
+
+// cacheShardCount spreads the hot path over independent locks. 64 shards
+// keep contention negligible up to a few hundred data-path goroutines.
+const cacheShardCount = 64
+
+// cacheShardCap bounds each shard; a full shard is reset wholesale (the
+// resumption table uses the same policy). 4096 × 64 shards ≈ 256 k live
+// statuses, plenty above any realistic per-∆ working set.
+const cacheShardCap = 4096
+
+// cacheShard counts its own hits and misses: a single global counter pair
+// would put one contended cache line back onto the very path the sharding
+// de-serializes, while the shard's own line is already touched by its
+// RWMutex.
+type cacheShard struct {
+	mu     sync.RWMutex
+	m      map[cacheKey]*cacheEntry
+	hits   atomic.Int64
+	misses atomic.Int64
+	resets atomic.Int64
+}
+
+type cacheKey struct {
+	ca dictionary.CAID
+	sn string // canonical serial bytes
+}
+
+// cacheEntry is an immutable memoized status: the Status struct and its
+// encoding are shared across goroutines and must never be mutated. The
+// entry records which replica instance produced it, not just the
+// generation: generations restart at zero when a CA is removed and
+// re-added (Remove purges the cache, but an in-flight Status may put an
+// old-replica entry back afterwards), so a generation match alone could
+// eventually alias a dead dictionary's status.
+type cacheEntry struct {
+	replica *dictionary.Replica
+	gen     uint64
+	status  *dictionary.Status
+	encoded []byte
+}
+
+func newStatusCache() *statusCache {
+	return &statusCache{seed: maphash.MakeSeed()}
+}
+
+func (c *statusCache) shardFor(key cacheKey) *cacheShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(string(key.ca))
+	h.WriteByte(0)
+	h.WriteString(key.sn)
+	return &c.shards[h.Sum64()%cacheShardCount]
+}
+
+// get returns the entry for key if it matches the replica instance and
+// generation, counting hit/miss.
+func (c *statusCache) get(key cacheKey, r *dictionary.Replica, gen uint64) (*cacheEntry, bool) {
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e := sh.m[key]
+	sh.mu.RUnlock()
+	if e != nil && e.replica == r && e.gen == gen {
+		sh.hits.Add(1)
+		return e, true
+	}
+	sh.misses.Add(1)
+	return nil, false
+}
+
+// put stores an entry, resetting the shard when it is full of (mostly
+// stale) entries.
+func (c *statusCache) put(key cacheKey, e *cacheEntry) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[cacheKey]*cacheEntry)
+	} else if len(sh.m) >= cacheShardCap {
+		sh.m = make(map[cacheKey]*cacheEntry)
+		sh.resets.Add(1)
+	}
+	sh.m[key] = e
+	sh.mu.Unlock()
+}
+
+// purgeCA drops every entry of one CA, used when a dictionary (for
+// example an expired shard) is removed from the store.
+func (c *statusCache) purgeCA(ca dictionary.CAID) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			if k.ca == ca {
+				delete(sh.m, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// CacheStats reports the status cache's effectiveness; benchmarks surface
+// HitRate and the snapshot-swap count so the hot-path trajectory is
+// trackable across PRs.
+type CacheStats struct {
+	// Hits counts lookups served from the cache.
+	Hits int64
+	// Misses counts lookups that recomputed a proof (cold key or stale
+	// generation).
+	Misses int64
+	// ShardResets counts wholesale shard evictions on overflow.
+	ShardResets int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (c *statusCache) stats() CacheStats {
+	var out CacheStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		out.Hits += sh.hits.Load()
+		out.Misses += sh.misses.Load()
+		out.ShardResets += sh.resets.Load()
+	}
+	return out
+}
+
+func cacheKeyFor(ca dictionary.CAID, sn serial.Number) cacheKey {
+	return cacheKey{ca: ca, sn: string(sn.Raw())}
+}

@@ -116,7 +116,7 @@ func TestProxyUnreachableUpstream(t *testing.T) {
 	}
 	defer proxy.Close()
 	var proxyErr atomic.Value
-	proxy.OnError = func(err error) { proxyErr.Store(err) }
+	proxy.SetOnError(func(err error) { proxyErr.Store(err) })
 
 	conn, err := net.Dial("tcp", proxy.Addr().String())
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"ritm/internal/cert"
 	"ritm/internal/dictionary"
@@ -33,10 +34,10 @@ type Proxy struct {
 	ln   net.Listener
 	dial func() (net.Conn, error)
 
-	// OnError, if non-nil, receives per-connection data-path errors that
-	// the proxy absorbs (it never stops serving because one connection
-	// misbehaved).
-	OnError func(error)
+	// onErr holds the callback installed by SetOnError; read by handler
+	// goroutines, so it is atomic rather than a bare field (the seed's
+	// exported field was a data race waiting for its first -race run).
+	onErr atomic.Pointer[func(error)]
 
 	mu     sync.Mutex
 	closed bool
@@ -64,6 +65,25 @@ func (ra *RA) NewProxy(listenAddr, target string) (*Proxy, error) {
 
 // Addr returns the proxy's listening address (clients connect here).
 func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+// SetOnError installs a callback receiving per-connection data-path errors
+// that the proxy absorbs (it never stops serving because one connection
+// misbehaved). Safe to call at any time, including while serving; nil
+// uninstalls.
+func (p *Proxy) SetOnError(fn func(error)) {
+	if fn == nil {
+		p.onErr.Store(nil)
+		return
+	}
+	p.onErr.Store(&fn)
+}
+
+// reportError delivers err to the installed callback, if any.
+func (p *Proxy) reportError(err error) {
+	if fn := p.onErr.Load(); fn != nil {
+		(*fn)(err)
+	}
+}
 
 // Close stops accepting, closes every active connection, and waits for all
 // handlers to exit.
@@ -99,8 +119,8 @@ func (p *Proxy) acceptLoop() {
 		go func() {
 			defer p.wg.Done()
 			defer p.untrack(conn)
-			if err := p.handle(conn); err != nil && p.OnError != nil {
-				p.OnError(err)
+			if err := p.handle(conn); err != nil {
+				p.reportError(err)
 			}
 		}()
 	}
@@ -125,7 +145,7 @@ func (p *Proxy) untrack(c net.Conn) {
 
 // handle runs one proxied connection to completion.
 func (p *Proxy) handle(client net.Conn) error {
-	p.ra.bumpStats(func(s *ProxyStats) { s.ConnectionsTotal++ })
+	p.ra.stats.connectionsTotal.Add(1)
 
 	server, err := p.dial()
 	if err != nil {
@@ -143,7 +163,7 @@ func (p *Proxy) handle(client net.Conn) error {
 	// forwarded as opaque byte pipes.
 	hdr, err := clientBuf.Peek(RecordHeaderLen)
 	if err != nil || !isRecord(hdr) {
-		p.ra.bumpStats(func(s *ProxyStats) { s.NonTLSConnections++ })
+		p.ra.stats.nonTLSConnections.Add(1)
 		return p.pipeRaw(client, clientBuf, server)
 	}
 
@@ -293,7 +313,7 @@ func (s *proxySession) clientToServer(src *bufio.Reader) error {
 			closeWrite(s.server)
 			return err
 		}
-		s.ra.bumpStats(func(ps *ProxyStats) { ps.RecordsInspected++ })
+		s.ra.stats.recordsInspected.Add(1)
 		if rec.Type == tlssim.ContentHandshake {
 			if msg, err := ParseHandshakeRecord(rec.Payload); err == nil && msg.Type == tlssim.TypeClientHello {
 				s.onClientHello(msg.Body)
@@ -323,7 +343,7 @@ func (s *proxySession) onClientHello(body []byte) {
 		s.clientTicket = append([]byte(nil), ch.SessionID...)
 	}
 	s.mu.Unlock()
-	s.ra.bumpStats(func(ps *ProxyStats) { ps.ConnectionsSupported++ })
+	s.ra.stats.connectionsSupported.Add(1)
 }
 
 // serverToClient is the injection path: it tracks the handshake stage,
@@ -336,7 +356,7 @@ func (s *proxySession) serverToClient(src *bufio.Reader) error {
 			closeWrite(s.client)
 			return err
 		}
-		s.ra.bumpStats(func(ps *ProxyStats) { ps.RecordsInspected++ })
+		s.ra.stats.recordsInspected.Add(1)
 
 		st := s.currentState()
 		if st == nil {
@@ -486,24 +506,25 @@ func (s *proxySession) identsForChain(chain cert.Chain) []connIdentity {
 	return ids
 }
 
-// injectStatuses builds the revocation status for every identity of the
+// injectStatuses obtains the revocation status for every identity of the
 // connection (the leaf, plus the chain's CA certificates when the §VIII
-// extension is on) and splices them into the client-bound stream. It
-// reports whether at least one status was written; failures (unknown CA,
-// replica not yet synchronized) leave the stream untouched for that
-// identity and the client's policy in charge.
+// extension is on) — from the per-∆ status cache on the overwhelmingly
+// common repeated-certificate path — and splices the memoized encodings
+// into the client-bound stream. It reports whether at least one status was
+// written; failures (unknown CA, replica not yet synchronized) leave the
+// stream untouched for that identity and the client's policy in charge.
 func (s *proxySession) injectStatuses(st *ConnState) bool {
 	wrote := false
 	for _, id := range s.statusIdents(st) {
-		status, err := s.ra.Status(id.ca, id.sn)
+		_, encoded, err := s.ra.StatusEncoded(id.ca, id.sn)
 		if err != nil {
 			continue
 		}
-		rec := tlssim.Record{Type: tlssim.ContentRITMStatus, Payload: status.Encode()}
+		rec := tlssim.Record{Type: tlssim.ContentRITMStatus, Payload: encoded}
 		if err := tlssim.WriteRecord(s.client, rec); err != nil {
 			return wrote
 		}
-		s.ra.bumpStats(func(ps *ProxyStats) { ps.StatusesInjected++ })
+		s.ra.stats.statusesInjected.Add(1)
 		wrote = true
 	}
 	return wrote
@@ -524,18 +545,18 @@ func (s *proxySession) forwardUpstreamStatus(st *ConnState, rec tlssim.Record) e
 	if !ok {
 		return tlssim.WriteRecord(s.client, rec)
 	}
-	ours, ourErr := s.ra.Status(id.ca, id.sn)
+	ours, oursEncoded, ourErr := s.ra.StatusEncoded(id.ca, id.sn)
 	if ourErr == nil && newerRoot(ours.Root, theirs.Root) {
-		out := tlssim.Record{Type: tlssim.ContentRITMStatus, Payload: ours.Encode()}
+		out := tlssim.Record{Type: tlssim.ContentRITMStatus, Payload: oursEncoded}
 		if err := tlssim.WriteRecord(s.client, out); err != nil {
 			return err
 		}
-		s.ra.bumpStats(func(ps *ProxyStats) { ps.StatusesReplaced++ })
+		s.ra.stats.statusesReplaced.Add(1)
 	} else {
 		if err := tlssim.WriteRecord(s.client, rec); err != nil {
 			return err
 		}
-		s.ra.bumpStats(func(ps *ProxyStats) { ps.StatusesForwarded++ })
+		s.ra.stats.statusesForwarded.Add(1)
 	}
 	st.markStatus(s.ra.now().Unix())
 	return nil

@@ -3,7 +3,7 @@ package ra
 import (
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"ritm/internal/cdn"
@@ -31,7 +31,11 @@ type Config struct {
 	Now func() time.Time
 }
 
-// RA is a Revocation Agent. It is safe for concurrent use.
+// RA is a Revocation Agent. It is safe for concurrent use: the data path
+// (proxy goroutines, one per connection direction) shares no locks — the
+// status cache and the resumption table are sharded, the dictionary store
+// is read through atomic snapshots, and the activity counters are
+// atomics.
 type RA struct {
 	store       *Store
 	origin      cdn.Origin
@@ -39,10 +43,8 @@ type RA struct {
 	chainProofs bool
 	now         func() time.Time
 	table       *Table
-
-	mu       sync.Mutex
-	sessions map[string][]connIdentity // resumption cache: session ID / ticket → identities
-	stats    ProxyStats
+	sessions    *sessionTable // resumption cache: session ID / ticket → identities
+	stats       proxyCounters
 }
 
 // connIdentity is what the RA must remember about a TLS session to support
@@ -78,7 +80,7 @@ func New(cfg Config) (*RA, error) {
 		chainProofs: cfg.ChainProofs,
 		now:         cfg.Now,
 		table:       NewTable(),
-		sessions:    make(map[string][]connIdentity),
+		sessions:    newSessionTable(),
 	}, nil
 }
 
@@ -133,15 +135,21 @@ func (ra *RA) syncCA(ca dictionary.CAID) error {
 }
 
 // Status produces the revocation status for (ca, sn) from the RA's
-// replica. The status carries sn as its subject so that clients receiving
-// several chain statuses can route each to the right certificate (§VIII).
+// replica, served from the per-∆ status cache when the dictionary
+// snapshot is unchanged. The status carries sn as its subject so that
+// clients receiving several chain statuses can route each to the right
+// certificate (§VIII). The result is shared with other callers and must
+// be treated as immutable.
 func (ra *RA) Status(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, error) {
-	st, err := ra.store.Prove(ca, sn)
-	if err != nil {
-		return nil, err
-	}
-	st.Subject = sn
-	return st, nil
+	st, _, err := ra.store.Status(ca, sn)
+	return st, err
+}
+
+// StatusEncoded is Status plus the memoized wire encoding — the proxy's
+// injection path, which writes the encoding straight into the TLS-sim
+// stream without re-serializing. The bytes are shared; do not modify.
+func (ra *RA) StatusEncoded(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, []byte, error) {
+	return ra.store.Status(ca, sn)
 }
 
 // rememberSession records the identities behind a resumption handle
@@ -150,27 +158,12 @@ func (ra *RA) Status(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, 
 // "RITM supports two mechanisms of TLS resumption"). With chain proofs
 // enabled the whole chain's identities are remembered.
 func (ra *RA) rememberSession(handle []byte, ids []connIdentity) {
-	if len(handle) == 0 || len(ids) == 0 || ids[0].ca == "" {
-		return
-	}
-	ra.mu.Lock()
-	defer ra.mu.Unlock()
-	const maxSessions = 1 << 16 // bound memory; old entries simply miss
-	if len(ra.sessions) >= maxSessions {
-		ra.sessions = make(map[string][]connIdentity)
-	}
-	ra.sessions[string(handle)] = ids
+	ra.sessions.remember(handle, ids)
 }
 
 // lookupSession resolves a resumption handle to certificate identities.
 func (ra *RA) lookupSession(handle []byte) ([]connIdentity, bool) {
-	if len(handle) == 0 {
-		return nil, false
-	}
-	ra.mu.Lock()
-	defer ra.mu.Unlock()
-	ids, ok := ra.sessions[string(handle)]
-	return ids, ok
+	return ra.sessions.lookup(handle)
 }
 
 // Fetcher is the RA's background pull loop.
@@ -235,15 +228,34 @@ type ProxyStats struct {
 	StatusesReplaced int64
 }
 
-// Stats returns a copy of the RA's data-path counters.
-func (ra *RA) Stats() ProxyStats {
-	ra.mu.Lock()
-	defer ra.mu.Unlock()
-	return ra.stats
+// proxyCounters is the lock-free backing store for ProxyStats. The seed
+// kept these under the RA's global mutex, which put a lock acquisition on
+// every inspected record; per-counter atomics cost one uncontended
+// instruction instead.
+type proxyCounters struct {
+	connectionsTotal     atomic.Int64
+	connectionsSupported atomic.Int64
+	recordsInspected     atomic.Int64
+	nonTLSConnections    atomic.Int64
+	statusesInjected     atomic.Int64
+	statusesForwarded    atomic.Int64
+	statusesReplaced     atomic.Int64
 }
 
-func (ra *RA) bumpStats(f func(*ProxyStats)) {
-	ra.mu.Lock()
-	defer ra.mu.Unlock()
-	f(&ra.stats)
+// Stats returns a copy of the RA's data-path counters. Each counter is
+// read atomically; the copy is not a single consistent cut across
+// counters, which no caller needs.
+func (ra *RA) Stats() ProxyStats {
+	return ProxyStats{
+		ConnectionsTotal:     ra.stats.connectionsTotal.Load(),
+		ConnectionsSupported: ra.stats.connectionsSupported.Load(),
+		RecordsInspected:     ra.stats.recordsInspected.Load(),
+		NonTLSConnections:    ra.stats.nonTLSConnections.Load(),
+		StatusesInjected:     ra.stats.statusesInjected.Load(),
+		StatusesForwarded:    ra.stats.statusesForwarded.Load(),
+		StatusesReplaced:     ra.stats.statusesReplaced.Load(),
+	}
 }
+
+// CacheStats reports the RA's status-cache effectiveness.
+func (ra *RA) CacheStats() CacheStats { return ra.store.CacheStats() }

@@ -1,0 +1,73 @@
+package ra
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// sessionTable is the RA's resumption cache: session ID / ticket bytes →
+// the certificate identities observed in plaintext during the full
+// handshake, so that abbreviated handshakes (where no certificate crosses
+// the wire) can still be supported (§III "RITM supports two mechanisms of
+// TLS resumption").
+//
+// The table is sharded: every proxied full handshake writes one entry and
+// every resumption reads one, so a single global mutex (the seed's design)
+// serializes the whole data path at high connection rates. 64
+// independently locked shards keep the table contention-free alongside
+// the status cache.
+type sessionTable struct {
+	seed   maphash.Seed
+	shards [sessionShardCount]sessionShard
+}
+
+const sessionShardCount = 64
+
+// sessionShardCap bounds each shard's memory; a full shard is reset
+// wholesale and old entries simply miss (the client then falls back to a
+// full handshake's certificate flight). 64 × 1024 matches the seed's
+// 1<<16 global bound.
+const sessionShardCap = 1024
+
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[string][]connIdentity
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{seed: maphash.MakeSeed()}
+}
+
+func (t *sessionTable) shardFor(handle string) *sessionShard {
+	return &t.shards[maphash.String(t.seed, handle)%sessionShardCount]
+}
+
+// remember records the identities behind a resumption handle.
+func (t *sessionTable) remember(handle []byte, ids []connIdentity) {
+	if len(handle) == 0 || len(ids) == 0 || ids[0].ca == "" {
+		return
+	}
+	key := string(handle)
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string][]connIdentity)
+	} else if len(sh.m) >= sessionShardCap {
+		sh.m = make(map[string][]connIdentity)
+	}
+	sh.m[key] = ids
+	sh.mu.Unlock()
+}
+
+// lookup resolves a resumption handle to certificate identities.
+func (t *sessionTable) lookup(handle []byte) ([]connIdentity, bool) {
+	if len(handle) == 0 {
+		return nil, false
+	}
+	key := string(handle)
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	ids, ok := sh.m[key]
+	sh.mu.Unlock()
+	return ids, ok
+}

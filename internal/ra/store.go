@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ritm/internal/cert"
 	"ritm/internal/dictionary"
@@ -36,11 +38,29 @@ var (
 
 // Store holds the RA's copies of all CA dictionaries ("every RA stores
 // copies of all the dictionaries", §III) together with the trust anchors
-// used to verify them. It is safe for concurrent use: the fetcher updates
-// replicas while DPI handlers prove against them.
+// used to verify them, and the per-∆ status cache the data path serves
+// from.
+//
+// The store is RCU-structured for the RA's read-dominated workload: the
+// CA→replica map, the sorted CA list, and the trust pool live in one
+// immutable storeView behind an atomic pointer. Readers (Prove, Status,
+// Replica, CAs, LatestRoot — every handshake-path operation) load the
+// pointer and never take a lock; the rare writers (AddCA, Remove,
+// RemoveExpired) build the next view under a mutex and swap it in. Each
+// replica in turn publishes lock-free snapshots, so a status is produced
+// without acquiring any lock anywhere on the path.
 type Store struct {
-	mu       sync.RWMutex
+	view  atomic.Pointer[storeView]
+	wmu   sync.Mutex // serializes view writers
+	cache *statusCache
+}
+
+// storeView is one immutable configuration of the store. All fields —
+// including the pool — are replaced wholesale, never mutated, once the
+// view is published.
+type storeView struct {
 	replicas map[dictionary.CAID]*dictionary.Replica
+	cas      []dictionary.CAID // sorted
 	pool     *cert.Pool
 }
 
@@ -51,10 +71,11 @@ func NewStore(roots ...*cert.Certificate) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{
-		replicas: make(map[dictionary.CAID]*dictionary.Replica, len(roots)),
+	s := &Store{cache: newStatusCache()}
+	s.view.Store(&storeView{
+		replicas: map[dictionary.CAID]*dictionary.Replica{},
 		pool:     pool,
-	}
+	})
 	for _, r := range roots {
 		if err := s.AddCA(r); err != nil {
 			return nil, err
@@ -63,70 +84,123 @@ func NewStore(roots ...*cert.Certificate) (*Store, error) {
 	return s, nil
 }
 
+// clone copies the view's map and CA list so a writer can mutate them
+// before publishing. The pool is cloned too: published views must never
+// observe later AddRoot calls.
+func (v *storeView) clone() *storeView {
+	next := &storeView{
+		replicas: make(map[dictionary.CAID]*dictionary.Replica, len(v.replicas)+1),
+		pool:     v.pool.Clone(),
+	}
+	for ca, r := range v.replicas {
+		next.replicas[ca] = r
+	}
+	return next
+}
+
+// rebuildCAs recomputes the sorted CA list; caller publishes next.
+func (v *storeView) rebuildCAs() {
+	v.cas = make([]dictionary.CAID, 0, len(v.replicas))
+	for ca := range v.replicas {
+		v.cas = append(v.cas, ca)
+	}
+	sort.Slice(v.cas, func(i, j int) bool { return v.cas[i] < v.cas[j] })
+}
+
 // AddCA starts replicating one more CA's dictionary, trusting the given
 // self-signed root certificate (the bootstrapping manifest of §VIII).
 func (s *Store) AddCA(root *cert.Certificate) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.pool.AddRoot(root); err != nil {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	next := s.view.Load().clone()
+	if err := next.pool.AddRoot(root); err != nil {
 		return fmt.Errorf("ra: add CA: %w", err)
 	}
-	if _, dup := s.replicas[root.Issuer]; !dup {
-		s.replicas[root.Issuer] = dictionary.NewReplica(root.Issuer, root.PublicKey)
+	if _, dup := next.replicas[root.Issuer]; !dup {
+		next.replicas[root.Issuer] = dictionary.NewReplica(root.Issuer, root.PublicKey)
 	}
+	next.rebuildCAs()
+	s.view.Store(next)
 	return nil
 }
 
-// Remove stops replicating a dictionary and frees its replica. With
-// expiry-sharded dictionaries (§VIII "Ever-growing dictionaries"), RAs
-// call it for shards whose certificates have all expired, reclaiming the
-// storage. The trust anchor stays in the pool: removal is about storage,
-// not trust.
+// Remove stops replicating a dictionary, frees its replica, and purges its
+// cached statuses. With expiry-sharded dictionaries (§VIII "Ever-growing
+// dictionaries"), RAs call it — normally through RemoveExpired — for
+// shards whose certificates have all expired, reclaiming the storage. The
+// trust anchor stays in the pool: removal is about storage, not trust.
 func (s *Store) Remove(ca dictionary.CAID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.replicas, ca)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.view.Load()
+	if _, ok := cur.replicas[ca]; !ok {
+		return
+	}
+	next := cur.clone()
+	delete(next.replicas, ca)
+	next.rebuildCAs()
+	s.view.Store(next)
+	s.cache.purgeCA(ca)
+}
+
+// RemoveExpired walks the replicated dictionaries and removes every
+// expiry shard (an identifier produced by dictionary.ShardIDFor) whose
+// bucket — of the given width — ended at or before now: every certificate
+// such a shard covers has expired, so its revocation status is moot and
+// the replica's storage is reclaimed (§VIII "Ever-growing dictionaries").
+// Dictionaries without the shard suffix are never touched. It returns the
+// removed shard identifiers.
+//
+// Caveat: shards are recognized purely by the "<ca>/exp-<unixtime>"
+// identifier convention, so that suffix namespace is reserved — an
+// unsharded CA whose identifier happens to end in "/exp-<integer>" would
+// be pruned as if it were a shard. Deployments that cannot guarantee the
+// convention must call Remove per shard themselves instead.
+func (s *Store) RemoveExpired(now int64, width time.Duration) []dictionary.CAID {
+	w := int64(width / time.Second)
+	if w <= 0 {
+		return nil
+	}
+	var removed []dictionary.CAID
+	for _, ca := range s.CAs() {
+		_, bucketStart, ok := dictionary.ParseShardID(ca)
+		if !ok || bucketStart+w > now {
+			continue
+		}
+		s.Remove(ca)
+		removed = append(removed, ca)
+	}
+	return removed
 }
 
 // Replica returns the replica for ca.
 func (s *Store) Replica(ca dictionary.CAID) (*dictionary.Replica, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.replicas[ca]
+	r, ok := s.view.Load().replicas[ca]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoDictionary, ca)
 	}
 	return r, nil
 }
 
-// CAs lists the replicated CAs, sorted.
+// CAs lists the replicated CAs, sorted. The returned slice is shared and
+// must not be modified.
 func (s *Store) CAs() []dictionary.CAID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]dictionary.CAID, 0, len(s.replicas))
-	for ca := range s.replicas {
-		out = append(out, ca)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s.view.Load().cas
 }
 
 // Pool returns the trust anchor pool (shared, read-only use).
 func (s *Store) Pool() *cert.Pool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.pool
+	return s.view.Load().pool
 }
 
 // CAKey returns the trusted public key for ca.
 func (s *Store) CAKey(ca dictionary.CAID) (ed25519.PublicKey, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.pool.CAKey(ca)
+	return s.view.Load().pool.CAKey(ca)
 }
 
 // Prove produces the revocation status for (ca, sn) from the RA's replica
-// (Fig 2, prove; Fig 3 step 4).
+// (Fig 2, prove; Fig 3 step 4), bypassing the status cache — each call
+// constructs a fresh proof. The data path uses Status instead.
 func (s *Store) Prove(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, error) {
 	r, err := s.Replica(ca)
 	if err != nil {
@@ -137,6 +211,58 @@ func (s *Store) Prove(ca dictionary.CAID, sn serial.Number) (*dictionary.Status,
 		return nil, fmt.Errorf("ra: prove %v against %s: %w", sn, ca, err)
 	}
 	return st, nil
+}
+
+// Status produces the revocation status for (ca, sn) with its wire
+// encoding, memoized per snapshot generation: while the replica's signed
+// root and freshness statement are unchanged (a whole ∆ window), repeated
+// requests for the same serial are served from the sharded cache as one
+// map read. The returned Status has Subject set to sn and is shared —
+// callers must treat it, and the encoded bytes, as immutable.
+func (s *Store) Status(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, []byte, error) {
+	r, err := s.Replica(ca)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := r.Snapshot()
+	key := cacheKeyFor(ca, sn)
+	if e, ok := s.cache.get(key, r, snap.Generation()); ok {
+		return e.status, e.encoded, nil
+	}
+	st, err := snap.Prove(sn)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ra: prove %v against %s: %w", sn, ca, err)
+	}
+	st.Subject = sn
+	e := &cacheEntry{replica: r, gen: snap.Generation(), status: st, encoded: st.Encode()}
+	s.cache.put(key, e)
+	// A concurrent Remove may have purged this CA between our view load
+	// and the put, in which case the entry just stored aliases a removed
+	// replica: unservable (the replica check in get fails) but pinning the
+	// dead dictionary's arrays until a shard reset. Re-check the current
+	// view and purge again if we raced; one of the two purges necessarily
+	// observes the entry.
+	if cur, ok := s.view.Load().replicas[ca]; !ok || cur != r {
+		s.cache.purgeCA(ca)
+	}
+	return e.status, e.encoded, nil
+}
+
+// CacheStats reports the status cache's hit/miss counters.
+func (s *Store) CacheStats() CacheStats { return s.cache.stats() }
+
+// SnapshotSwaps sums the snapshot generations across all replicas: the
+// total number of atomic snapshot publications (updates + freshness
+// refreshes) the store has absorbed. Benchmarks report it next to the
+// cache hit rate, since every swap invalidates the affected CA's cached
+// statuses.
+func (s *Store) SnapshotSwaps() uint64 {
+	var total uint64
+	v := s.view.Load()
+	for _, r := range v.replicas {
+		total += r.Snapshot().Generation()
+	}
+	return total
 }
 
 // LatestRoot returns the newest verified signed root for ca. It satisfies
@@ -157,10 +283,8 @@ func (s *Store) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
 // SerializedSize sums the canonical serialized sizes of all replicas
 // (§VII-D storage overhead).
 func (s *Store) SerializedSize() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	total := 0
-	for _, r := range s.replicas {
+	for _, r := range s.view.Load().replicas {
 		total += r.SerializedSize()
 	}
 	return total
@@ -168,10 +292,8 @@ func (s *Store) SerializedSize() int {
 
 // MemoryFootprint sums the estimated resident sizes of all replicas.
 func (s *Store) MemoryFootprint() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	total := 0
-	for _, r := range s.replicas {
+	for _, r := range s.view.Load().replicas {
 		total += r.MemoryFootprint()
 	}
 	return total
