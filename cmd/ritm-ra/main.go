@@ -29,15 +29,17 @@ func main() {
 		listen = flag.String("listen", "127.0.0.1:8443", "address clients connect to")
 		target = flag.String("target", "127.0.0.1:9443", "upstream server address")
 		delta  = flag.Duration("delta", 10*time.Second, "pull interval ∆")
+		jitter = flag.Duration("jitter", 0, "max random per-CA pull delay each cycle (avoids fleet-wide stampedes)")
+		expire = flag.Duration("expire-shards", 0, "expiry-shard bucket width; >0 drops fully expired shards every cycle")
 	)
 	flag.Parse()
-	if err := run(*caURL, *listen, *target, *delta); err != nil {
+	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(caURL, listen, target string, delta time.Duration) error {
+func run(caURL, listen, target string, delta, jitter, expire time.Duration) error {
 	root, err := fetchRoot(caURL)
 	if err != nil {
 		return err
@@ -50,10 +52,18 @@ func run(caURL, listen, target string, delta time.Duration) error {
 	if err != nil {
 		return err
 	}
+	// Fail fast if the dissemination endpoint is unreachable; the fetcher
+	// also syncs immediately on start, so a transient race here only costs
+	// one extra (edge-cached) pull.
 	if err := agent.SyncOnce(); err != nil {
 		return fmt.Errorf("initial sync: %w", err)
 	}
-	fetcher := agent.StartFetcher(func(err error) { log.Printf("sync: %v", err) })
+	fetcher := agent.StartFetcherWith(ritm.FetcherOptions{
+		Interval:    delta,
+		Jitter:      jitter,
+		ShardExpiry: expire,
+		OnError:     func(err error) { log.Printf("sync: %v", err) },
+	})
 	defer fetcher.Shutdown()
 
 	proxy, err := agent.NewProxy(listen, target)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ritm/internal/dictionary"
@@ -43,6 +44,11 @@ var (
 // desynchronization-recovery protocol of §III with a single request shape:
 // the puller always states the count n it has, the origin always answers
 // with the suffix after n.
+//
+// A response is immutable once constructed: edge servers cache it and hand
+// the same instance to every puller at the same count, and the wire
+// encoding is memoized (Encoded) so that the HTTP handler and the edge's
+// byte accounting serialize it once, not once per reader.
 type PullResponse struct {
 	// Issuance carries serials (puller's n, origin's n] with the latest
 	// signed root. It is nil when the puller is current and the stored root
@@ -55,25 +61,39 @@ type PullResponse struct {
 	// Freshness is the current freshness statement (nil before the CA's
 	// first publication).
 	Freshness *dictionary.FreshnessStatement
+
+	encOnce sync.Once
+	enc     []byte
 }
 
-// Encode serializes the response for the HTTP transport.
-func (pr *PullResponse) Encode() []byte {
-	e := wire.NewEncoder(512)
-	if pr.Issuance != nil {
-		e.Bool(true)
-		e.BytesField(pr.Issuance.Encode())
-	} else {
-		e.Bool(false)
-	}
-	if pr.Freshness != nil {
-		e.Bool(true)
-		e.BytesField(pr.Freshness.Encode())
-	} else {
-		e.Bool(false)
-	}
-	return e.Bytes()
+// Encoded returns the wire encoding of the response, computed once and
+// shared by every caller: the HTTP handler writes it, the edge server's
+// byte accounting measures it, and a cached response is encoded exactly
+// once no matter how many RAs pull it. The returned bytes are shared and
+// must be treated as immutable.
+func (pr *PullResponse) Encoded() []byte {
+	pr.encOnce.Do(func() {
+		e := wire.NewEncoder(512)
+		if pr.Issuance != nil {
+			e.Bool(true)
+			e.BytesField(pr.Issuance.Encode())
+		} else {
+			e.Bool(false)
+		}
+		if pr.Freshness != nil {
+			e.Bool(true)
+			e.BytesField(pr.Freshness.Encode())
+		} else {
+			e.Bool(false)
+		}
+		pr.enc = e.Bytes()
+	})
+	return pr.enc
 }
+
+// Encode serializes the response for the HTTP transport. It returns the
+// same memoized (shared, immutable) buffer as Encoded.
+func (pr *PullResponse) Encode() []byte { return pr.Encoded() }
 
 // DecodePullResponse parses a response encoded by Encode.
 func DecodePullResponse(buf []byte) (*PullResponse, error) {
@@ -96,12 +116,17 @@ func DecodePullResponse(buf []byte) (*PullResponse, error) {
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decode pull response: %w", err)
 	}
+	// Seed the memoized encoding with (a copy of) the bytes just parsed:
+	// decoding is deterministic, so re-encoding would reproduce them, and
+	// a decoded response that is re-served (an edge running the HTTP client
+	// against its upstream) must not pay a second serialization.
+	pr.encOnce.Do(func() { pr.enc = append([]byte(nil), buf...) })
 	return &pr, nil
 }
 
 // Size returns the encoded size in bytes; the bandwidth experiments (Fig 7)
-// sum it per pull.
-func (pr *PullResponse) Size() int { return len(pr.Encode()) }
+// sum it per pull. It shares Encoded's memoization.
+func (pr *PullResponse) Size() int { return len(pr.Encoded()) }
 
 // Origin is the pull API spoken throughout the dissemination network: RAs
 // pull from edge servers, edge servers pull from the distribution point,
@@ -118,25 +143,33 @@ type Origin interface {
 	CAs() ([]dictionary.CAID, error)
 }
 
-// dictState is the distribution point's record of one CA's dictionary: the
-// full issuance log (to serve any suffix), the latest signed root, and the
-// latest freshness statement. The log is verified by replaying it through a
-// Replica, so a distribution point never propagates a message whose root
-// does not match its content.
-type dictState struct {
-	replica   *dictionary.Replica
-	freshness *dictionary.FreshnessStatement
-}
-
 // DistributionPoint is the origin of the dissemination network. CAs publish
 // to it (it implements the ca.Publisher interface) and edge servers pull
-// from it. It is safe for concurrent use.
+// from it. Each CA's record is a dictionary.Replica: the full issuance log
+// (to serve any suffix), the latest signed root, and the latest freshness
+// statement, all carried by the replica's immutable snapshots — and every
+// ingested message is verified by replaying it through the replica, so a
+// distribution point never propagates a message whose root does not match
+// its content.
+//
+// It is safe for concurrent use; the read path (Pull, LatestRoot) takes
+// only a brief read lock on the CA map — counters are atomics and
+// per-dictionary state is read through the replica's lock-free snapshots,
+// so pulls from a whole RA fleet never serialize behind one mutex.
 type DistributionPoint struct {
 	now func() time.Time
 
-	mu    sync.RWMutex
-	dicts map[dictionary.CAID]*dictState
-	stats Stats
+	mu    sync.RWMutex // guards dicts (registration vs lookup)
+	dicts map[dictionary.CAID]*dictionary.Replica
+
+	stats distCounters
+}
+
+// distCounters is the lock-free backing store for Stats.
+type distCounters struct {
+	issuancesIngested atomic.Int64
+	freshnessIngested atomic.Int64
+	pulls             atomic.Int64
 }
 
 // NewDistributionPoint creates an empty origin. now is the clock used to
@@ -147,7 +180,7 @@ func NewDistributionPoint(now func() time.Time) *DistributionPoint {
 	}
 	return &DistributionPoint{
 		now:   now,
-		dicts: make(map[dictionary.CAID]*dictState),
+		dicts: make(map[dictionary.CAID]*dictionary.Replica),
 	}
 }
 
@@ -163,7 +196,7 @@ func (dp *DistributionPoint) RegisterCA(ca dictionary.CAID, pub []byte) error {
 	if _, dup := dp.dicts[ca]; dup {
 		return fmt.Errorf("cdn: CA %s already registered", ca)
 	}
-	dp.dicts[ca] = &dictState{replica: dictionary.NewReplica(ca, pub)}
+	dp.dicts[ca] = dictionary.NewReplica(ca, pub)
 	return nil
 }
 
@@ -177,17 +210,16 @@ func (dp *DistributionPoint) PublishIssuance(msg *dictionary.IssuanceMessage) er
 	}
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
-	st, ok := dp.dicts[msg.Root.CA]
+	r, ok := dp.dicts[msg.Root.CA]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownCA, msg.Root.CA)
 	}
-	if err := st.replica.Update(msg); err != nil {
+	if err := r.Update(msg); err != nil {
 		return fmt.Errorf("cdn: ingest issuance for %s: %w", msg.Root.CA, err)
 	}
-	// A new signed root restarts the freshness chain; its anchor is the
-	// period-0 statement.
-	st.freshness = &dictionary.FreshnessStatement{CA: msg.Root.CA, Value: msg.Root.Anchor}
-	dp.stats.IssuancesIngested++
+	// A new signed root restarts the freshness chain; the replica's
+	// snapshot now carries its anchor as the period-0 statement.
+	dp.stats.issuancesIngested.Add(1)
 	return nil
 }
 
@@ -199,43 +231,50 @@ func (dp *DistributionPoint) PublishFreshness(st *dictionary.FreshnessStatement)
 	}
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
-	ds, ok := dp.dicts[st.CA]
+	r, ok := dp.dicts[st.CA]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownCA, st.CA)
 	}
-	if err := ds.replica.ApplyFreshness(st, dp.now().Unix()); err != nil {
+	if err := r.ApplyFreshness(st, dp.now().Unix()); err != nil {
 		return fmt.Errorf("cdn: ingest freshness for %s: %w", st.CA, err)
 	}
-	ds.freshness = st
-	dp.stats.FreshnessIngested++
+	dp.stats.freshnessIngested.Add(1)
 	return nil
 }
 
 var _ Origin = (*DistributionPoint)(nil)
 
-// Pull implements Origin.
+// Pull implements Origin. It is the fleet's hot path: after a read-locked
+// map lookup everything is atomics and snapshot reads, so concurrent
+// pullers never serialize on the distribution point (the seed took the
+// exclusive write lock here just to bump a counter).
 func (dp *DistributionPoint) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
-	dp.mu.Lock()
-	st, ok := dp.dicts[ca]
-	if ok {
-		dp.stats.Pulls++
-	}
-	dp.mu.Unlock()
+	dp.mu.RLock()
+	r, ok := dp.dicts[ca]
+	dp.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownCA, ca)
 	}
+	dp.stats.pulls.Add(1)
 
-	root := st.replica.Root()
-	have := st.replica.Count()
+	// One snapshot for root, count, suffix, AND freshness: reading them
+	// from separate loads can tear across a concurrent publish — a suffix
+	// extending past its signed root, or a freshness statement from a
+	// rotated chain paired with the old root. Either torn response would be
+	// rejected by every RA and cached by the edge for a full TTL.
+	snap := r.Snapshot()
+	root := snap.Root()
+	have := snap.Count()
 	if from > have {
 		return nil, fmt.Errorf("%w: from=%d, origin has %d", ErrAhead, from, have)
 	}
-	resp := &PullResponse{Freshness: dp.freshnessOf(ca)}
+	resp := &PullResponse{}
 	if root == nil {
 		// The CA has published nothing yet.
 		return resp, nil
 	}
-	suffix, err := st.replica.LogSuffix(from, have)
+	resp.Freshness = &dictionary.FreshnessStatement{CA: ca, Value: snap.Freshness()}
+	suffix, err := snap.LogSuffix(from, have)
 	if err != nil {
 		return nil, fmt.Errorf("cdn: pull %s: %w", ca, err)
 	}
@@ -245,26 +284,15 @@ func (dp *DistributionPoint) Pull(ca dictionary.CAID, from uint64) (*PullRespons
 	return resp, nil
 }
 
-func (dp *DistributionPoint) freshnessOf(ca dictionary.CAID) *dictionary.FreshnessStatement {
-	dp.mu.RLock()
-	defer dp.mu.RUnlock()
-	st, ok := dp.dicts[ca]
-	if !ok || st.freshness == nil {
-		return nil
-	}
-	cp := *st.freshness
-	return &cp
-}
-
 // LatestRoot implements Origin.
 func (dp *DistributionPoint) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
 	dp.mu.RLock()
-	st, ok := dp.dicts[ca]
+	r, ok := dp.dicts[ca]
 	dp.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownCA, ca)
 	}
-	root := st.replica.Root()
+	root := r.Root()
 	if root == nil {
 		return nil, fmt.Errorf("cdn: %s has not published a root yet", ca)
 	}
@@ -291,9 +319,13 @@ type Stats struct {
 	Pulls             int
 }
 
-// Stats returns a copy of the origin's counters.
+// Stats returns a copy of the origin's counters. Each counter is read
+// atomically; the copy is not a single consistent cut across counters,
+// which no caller needs.
 func (dp *DistributionPoint) Stats() Stats {
-	dp.mu.RLock()
-	defer dp.mu.RUnlock()
-	return dp.stats
+	return Stats{
+		IssuancesIngested: int(dp.stats.issuancesIngested.Load()),
+		FreshnessIngested: int(dp.stats.freshnessIngested.Load()),
+		Pulls:             int(dp.stats.pulls.Load()),
+	}
 }

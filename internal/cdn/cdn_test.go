@@ -335,6 +335,61 @@ func TestHTTPTransport(t *testing.T) {
 	}
 }
 
+// TestHTTPTransportHostileCAIDs round-trips CA identifiers that would
+// corrupt a naively concatenated query string: expiry-shard ids (the
+// "<ca>/exp-<unixtime>" convention of §VIII) and ids containing '&', '+',
+// '#', '=', '?', and spaces. The (ca, from) pair is the CDN cache key, so
+// any lossy encoding would silently merge or split cache entries.
+func TestHTTPTransportHostileCAIDs(t *testing.T) {
+	ids := []dictionary.CAID{
+		"Acme CA/exp-1700000000",
+		"ca&from=0#frag",
+		"a+b c?d=e",
+	}
+	for _, id := range ids {
+		t.Run(string(id), func(t *testing.T) {
+			tc := newTestCA(t, id)
+			tc.revoke(t, 3)
+			srv := httptest.NewServer(Handler(tc.dp))
+			defer srv.Close()
+			client := &HTTPClient{BaseURL: srv.URL}
+
+			cas, err := client.CAs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cas) != 1 || cas[0] != id {
+				t.Fatalf("CAs() = %v, want [%s]", cas, id)
+			}
+			resp, err := client.Pull(id, 0)
+			if err != nil {
+				t.Fatalf("pull: %v", err)
+			}
+			if resp.Issuance == nil || len(resp.Issuance.Serials) != 3 {
+				t.Fatalf("pull through HTTP lost serials: %+v", resp.Issuance)
+			}
+			if resp.Issuance.Root.CA != id {
+				t.Errorf("root CA = %q, want %q", resp.Issuance.Root.CA, id)
+			}
+			root, err := client.LatestRoot(id)
+			if err != nil {
+				t.Fatalf("latest root: %v", err)
+			}
+			if root.N != 3 || root.CA != id {
+				t.Errorf("root = (ca=%q, n=%d), want (%q, 3)", root.CA, root.N, id)
+			}
+			// A suffix pull keys a different cache entry and still resolves.
+			suffix, err := client.Pull(id, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(suffix.Issuance.Serials) != 1 {
+				t.Errorf("suffix pull returned %d serials, want 1", len(suffix.Issuance.Serials))
+			}
+		})
+	}
+}
+
 func TestEndToEndReplicaSyncThroughEdge(t *testing.T) {
 	// CA → distribution point → edge → replica, with incremental updates
 	// and a freshness refresh, exercising the full dissemination path.

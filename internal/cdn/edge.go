@@ -2,11 +2,17 @@ package cdn
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"ritm/internal/dictionary"
 )
+
+// defaultEdgeMaxEntries bounds the edge cache when the operator does not
+// choose a limit. One entry per (CA, from) pair is live at a time per RA
+// cohort, so even large multi-shard fleets stay far below this.
+const defaultEdgeMaxEntries = 4096
 
 // EdgeServer replicates an upstream Origin (the distribution point, or
 // another edge in a hierarchy) with a pull-through TTL cache, the dominant
@@ -19,14 +25,27 @@ import (
 // bytes, which is what makes CDN dissemination scale with the number of
 // RAs. Entries expire after the TTL, bounding staleness; the client-side 2∆
 // policy tolerates exactly one period of such staleness (§V).
+//
+// The cache is bounded: a sweep (amortized over pulls, at most once per
+// TTL unless the entry cap is exceeded) drops entries past their TTL and
+// entries at stale from-offsets — once the fleet advances to a higher
+// count for a CA, the superseded keys can never be pulled again by an
+// up-to-date RA, so keeping them would leak memory proportional to
+// revocation history × pull cadence. Concurrent misses for the same key
+// are collapsed into one upstream fetch (singleflight), so an origin sees
+// at most one pull per (CA, from) per TTL no matter how many RAs stampede.
 type EdgeServer struct {
 	upstream Origin
 	ttl      time.Duration
 	now      func() time.Time
 
-	mu    sync.Mutex
-	cache map[edgeKey]*edgeEntry
-	stats EdgeStats
+	mu         sync.Mutex
+	cache      map[edgeKey]*edgeEntry
+	inflight   map[edgeKey]*edgeCall
+	latest     map[dictionary.CAID]uint64 // highest live from per CA (clamped by origin count)
+	lastSweep  time.Time
+	maxEntries int
+	stats      EdgeStats
 }
 
 type edgeKey struct {
@@ -39,6 +58,14 @@ type edgeEntry struct {
 	fetched time.Time
 }
 
+// edgeCall is one in-flight upstream fetch; concurrent pulls for the same
+// key park on done and share the result instead of stampeding the origin.
+type edgeCall struct {
+	done chan struct{}
+	resp *PullResponse
+	err  error
+}
+
 // NewEdgeServer creates an edge server caching upstream responses for ttl.
 // A zero ttl disables caching. now is the cache clock (nil = time.Now).
 func NewEdgeServer(upstream Origin, ttl time.Duration, now func() time.Time) *EdgeServer {
@@ -46,45 +73,191 @@ func NewEdgeServer(upstream Origin, ttl time.Duration, now func() time.Time) *Ed
 		now = time.Now
 	}
 	return &EdgeServer{
-		upstream: upstream,
-		ttl:      ttl,
-		now:      now,
-		cache:    make(map[edgeKey]*edgeEntry),
+		upstream:   upstream,
+		ttl:        ttl,
+		now:        now,
+		cache:      make(map[edgeKey]*edgeEntry),
+		inflight:   make(map[edgeKey]*edgeCall),
+		latest:     make(map[dictionary.CAID]uint64),
+		maxEntries: defaultEdgeMaxEntries,
+	}
+}
+
+// SetMaxEntries bounds the cache to n entries (0 restores the default).
+// When the cap is exceeded a sweep runs immediately and, if expiry and
+// stale-offset eviction are not enough, the oldest entries are dropped.
+func (e *EdgeServer) SetMaxEntries(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n <= 0 {
+		n = defaultEdgeMaxEntries
+	}
+	e.maxEntries = n
+	if len(e.cache) > e.maxEntries {
+		e.sweepLocked(e.now())
 	}
 }
 
 var _ Origin = (*EdgeServer)(nil)
 
-// Pull implements Origin with pull-through caching.
+// Pull implements Origin with pull-through caching and singleflight miss
+// collapsing.
 func (e *EdgeServer) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	if e.ttl <= 0 {
+		// Caching disabled (the Fig 5 worst case): every request reaches
+		// the origin, including concurrent ones — that is the point of the
+		// configuration, so no singleflight either.
+		resp, err := e.upstream.Pull(ca, from)
+		if err != nil {
+			e.mu.Lock()
+			e.stats.Errors++
+			e.mu.Unlock()
+			return nil, fmt.Errorf("edge pull: %w", err)
+		}
+		size := int64(resp.Size())
+		e.mu.Lock()
+		e.stats.Misses++
+		e.stats.BytesServed += size
+		e.stats.BytesFetched += size
+		e.mu.Unlock()
+		return resp, nil
+	}
+
 	key := edgeKey{ca: ca, from: from}
 	now := e.now()
 
-	if e.ttl > 0 {
-		e.mu.Lock()
-		if ent, ok := e.cache[key]; ok && now.Sub(ent.fetched) < e.ttl {
-			e.stats.Hits++
-			e.stats.BytesServed += int64(ent.resp.Size())
-			resp := ent.resp
-			e.mu.Unlock()
-			return resp, nil
-		}
+	e.mu.Lock()
+	e.maybeSweepLocked(now)
+	if ent, ok := e.cache[key]; ok && now.Sub(ent.fetched) < e.ttl {
+		e.stats.Hits++
+		e.stats.BytesServed += int64(ent.resp.Size())
+		resp := ent.resp
 		e.mu.Unlock()
+		return resp, nil
 	}
+	if call, ok := e.inflight[key]; ok {
+		// Someone else is already fetching this key: park and share.
+		e.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			e.mu.Lock()
+			e.stats.Errors++
+			e.mu.Unlock()
+			return nil, call.err
+		}
+		e.mu.Lock()
+		e.stats.CollapsedPulls++
+		e.stats.BytesServed += int64(call.resp.Size())
+		e.mu.Unlock()
+		return call.resp, nil
+	}
+	call := &edgeCall{done: make(chan struct{})}
+	e.inflight[key] = call
+	e.mu.Unlock()
 
 	resp, err := e.upstream.Pull(ca, from)
+	var size int64
 	if err != nil {
-		return nil, fmt.Errorf("edge pull: %w", err)
+		call.err = fmt.Errorf("edge pull: %w", err)
+	} else {
+		call.resp = resp
+		// Serialize (memoize) outside the lock: a large suffix takes
+		// milliseconds to encode and must not block concurrent hits.
+		size = int64(resp.Size())
 	}
+
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Misses++
-	e.stats.BytesServed += int64(resp.Size())
-	e.stats.BytesFetched += int64(resp.Size())
-	if e.ttl > 0 {
-		e.cache[key] = &edgeEntry{resp: resp, fetched: now}
+	delete(e.inflight, key)
+	if err != nil {
+		e.stats.Errors++
+	} else {
+		e.stats.Misses++
+		e.stats.BytesServed += size
+		e.stats.BytesFetched += size
+		// Stamp with the post-fetch clock: dating the entry before the
+		// upstream round trip would shorten its effective TTL by the
+		// fetch latency.
+		e.cache[key] = &edgeEntry{resp: resp, fetched: e.now()}
+		if from > e.latest[ca] {
+			e.latest[ca] = from
+		}
+		// The served root's count bounds what the origin can answer: after
+		// an origin regression (restart with a shorter history — the
+		// scenario ra.Resync recovers from) a monotone high-water mark
+		// would keep sweeping the fleet's new, lower-from entries forever.
+		// Clamp it so post-regression keys are live again; the dead
+		// higher-from entries age out by TTL.
+		originN := from
+		if resp.Issuance != nil && resp.Issuance.Root != nil {
+			originN = resp.Issuance.Root.N
+		}
+		if e.latest[ca] > originN {
+			e.latest[ca] = originN
+		}
+		if len(e.cache) > e.maxEntries {
+			e.sweepLocked(now)
+		}
+	}
+	e.mu.Unlock()
+	close(call.done)
+
+	if err != nil {
+		return nil, call.err
 	}
 	return resp, nil
+}
+
+// maybeSweepLocked runs an eviction sweep when one is due: at most once
+// per TTL in the steady state, immediately when the entry cap is blown.
+// Caller holds mu.
+func (e *EdgeServer) maybeSweepLocked(now time.Time) {
+	if now.Sub(e.lastSweep) < e.ttl && len(e.cache) <= e.maxEntries {
+		return
+	}
+	e.sweepLocked(now)
+}
+
+// sweepLocked drops expired entries and entries at stale from-offsets
+// (superseded by a higher cached from for the same CA — the fleet has
+// advanced, so those keys are dead). If the cache is still over the cap,
+// the oldest entries go too — down to 90% of the cap, so a workload whose
+// live keys exceed the cap pays the O(n log n) age sort once per ~cap/10
+// inserts instead of on every miss. Stale-offset bookkeeping for CAs with
+// no remaining entries (rotated-out expiry shards) is pruned so the edge
+// holds no per-CA state for dictionaries it no longer serves. Caller
+// holds mu.
+func (e *EdgeServer) sweepLocked(now time.Time) {
+	e.lastSweep = now
+	for k, ent := range e.cache {
+		if now.Sub(ent.fetched) >= e.ttl || k.from < e.latest[k.ca] {
+			delete(e.cache, k)
+			e.stats.Evictions++
+		}
+	}
+	if over := len(e.cache) - (e.maxEntries - e.maxEntries/10); over > 0 && len(e.cache) > e.maxEntries {
+		type aged struct {
+			key     edgeKey
+			fetched time.Time
+		}
+		entries := make([]aged, 0, len(e.cache))
+		for k, ent := range e.cache {
+			entries = append(entries, aged{k, ent.fetched})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].fetched.Before(entries[j].fetched) })
+		for _, a := range entries[:over] {
+			delete(e.cache, a.key)
+			e.stats.Evictions++
+		}
+	}
+	live := make(map[dictionary.CAID]struct{}, len(e.latest))
+	for k := range e.cache {
+		live[k.ca] = struct{}{}
+	}
+	for ca := range e.latest {
+		if _, ok := live[ca]; !ok {
+			delete(e.latest, ca)
+		}
+	}
 }
 
 // LatestRoot implements Origin; roots are never cached so that consistency
@@ -98,17 +271,33 @@ func (e *EdgeServer) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, err
 func (e *EdgeServer) CAs() ([]dictionary.CAID, error) { return e.upstream.CAs() }
 
 // Flush drops every cached entry (operator action, or tests moving virtual
-// time backwards).
+// time backwards). In-flight fetches complete and repopulate the cache.
 func (e *EdgeServer) Flush() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache = make(map[edgeKey]*edgeEntry)
+	e.latest = make(map[dictionary.CAID]uint64)
 }
 
 // EdgeStats counts edge-server activity.
 type EdgeStats struct {
-	Hits         int
-	Misses       int
+	Hits   int
+	Misses int
+	// CollapsedPulls counts pulls served by joining another puller's
+	// in-flight upstream fetch for the same (CA, from) — requests the
+	// origin never saw. A fleet syncing in lockstep shows up here.
+	CollapsedPulls int
+	// Evictions counts cache entries dropped by sweeps (TTL expiry, stale
+	// from-offsets, or the entry cap).
+	Evictions int
+	// Errors counts pulls that returned an error to their caller (leader
+	// fetches, parked waiters sharing a failed fetch, and uncached pulls
+	// alike) — without it, hit-rate metrics read 100%-healthy during an
+	// upstream outage in which zero requests succeed.
+	Errors int
+	// Entries is the number of live cache entries at the time Stats was
+	// called; eviction tests assert it stays O(live keys).
+	Entries      int
 	BytesServed  int64 // toward RAs
 	BytesFetched int64 // from upstream
 }
@@ -117,5 +306,7 @@ type EdgeStats struct {
 func (e *EdgeServer) Stats() EdgeStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.stats
+	st.Entries = len(e.cache)
+	return st
 }

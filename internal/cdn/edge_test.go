@@ -1,0 +1,359 @@
+package cdn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ritm/internal/dictionary"
+)
+
+// TestEdgeEvictionBounded drives an edge through 120 ∆ cycles of an
+// advancing fleet (one revocation + one pull at the new count per cycle)
+// and asserts the cache stays O(live keys): without eviction the cache
+// would hold one entry per historical count forever — the memory leak of
+// the seed implementation.
+func TestEdgeEvictionBounded(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	edge := NewEdgeServer(tc.dp, 30*time.Second, tc.clock.now)
+
+	var from uint64
+	const cycles = 120
+	for i := 0; i < cycles; i++ {
+		tc.revoke(t, 1)
+		tc.clock.advance(10 * time.Second)
+		resp, err := edge.Pull("CA1", from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Issuance == nil {
+			t.Fatalf("cycle %d: no issuance", i)
+		}
+		from = resp.Issuance.Root.N
+	}
+
+	st := edge.Stats()
+	if st.Entries > 8 {
+		t.Errorf("cache holds %d entries after %d cycles, want O(live keys) (≤8)", st.Entries, cycles)
+	}
+	if st.Entries+st.Evictions != st.Misses {
+		t.Errorf("entries (%d) + evictions (%d) != inserts (%d): entries leaked",
+			st.Entries, st.Evictions, st.Misses)
+	}
+	if st.Evictions < cycles-10 {
+		t.Errorf("evictions = %d, want ≈%d (every superseded from evicted)", st.Evictions, cycles)
+	}
+}
+
+// TestEdgeMaxEntriesCap fills an edge with more distinct live keys than
+// the configured cap (one key per CA, so TTL and stale-offset sweeps
+// cannot reclaim anything) and asserts the oldest entries are dropped.
+func TestEdgeMaxEntriesCap(t *testing.T) {
+	clock := newTestClock()
+	dp := NewDistributionPoint(clock.now)
+	const cas = 20
+	ids := make([]dictionary.CAID, cas)
+	for i := range ids {
+		tc := newTestCA(t, dictionary.CAID([]byte{'C', 'A', byte('A' + i)}))
+		ids[i] = dictionary.CAID([]byte{'C', 'A', byte('A' + i)})
+		if err := dp.RegisterCA(ids[i], tc.auth.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := tc.auth.Insert(tc.gen.NextN(1), clock.now().Unix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dp.PublishIssuance(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	edge := NewEdgeServer(dp, time.Hour, clock.now)
+	edge.SetMaxEntries(8)
+	for _, id := range ids {
+		if _, err := edge.Pull(id, 0); err != nil {
+			t.Fatal(err)
+		}
+		clock.advance(time.Second) // distinct ages for deterministic oldest-first drops
+	}
+	st := edge.Stats()
+	if st.Entries > 8 {
+		t.Errorf("cache holds %d entries, cap is 8", st.Entries)
+	}
+	if st.Evictions < cas-8 {
+		t.Errorf("evictions = %d, want ≥%d (%d inserts, cap 8)", st.Evictions, cas-8, cas)
+	}
+	// The newest key must have survived the oldest-first cap eviction.
+	if _, err := edge.Pull(ids[cas-1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if after := edge.Stats(); after.Hits != st.Hits+1 {
+		t.Error("newest entry was evicted before older ones")
+	}
+}
+
+// gatedOrigin blocks every Pull until released, counting upstream calls —
+// the stampede scenario: many RAs miss the same key at the same instant.
+type gatedOrigin struct {
+	Origin
+	release chan struct{}
+	calls   atomic.Int64
+}
+
+func (g *gatedOrigin) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	g.calls.Add(1)
+	<-g.release
+	return g.Origin.Pull(ca, from)
+}
+
+// TestEdgeSingleflightCollapse stampedes one edge key with 16 concurrent
+// pulls and asserts the origin is contacted exactly once; everyone else is
+// served by joining the in-flight fetch or from the freshly filled cache.
+// Run under -race: the singleflight bookkeeping is the point.
+func TestEdgeSingleflightCollapse(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 5)
+	gate := &gatedOrigin{Origin: tc.dp, release: make(chan struct{})}
+	edge := NewEdgeServer(gate, time.Hour, tc.clock.now)
+
+	const pullers = 16
+	var started, wg sync.WaitGroup
+	errs := make([]error, pullers)
+	resps := make([]*PullResponse, pullers)
+	started.Add(pullers)
+	wg.Add(pullers)
+	for i := 0; i < pullers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			resps[i], errs[i] = edge.Pull("CA1", 0)
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(100 * time.Millisecond) // let the pullers pile onto the in-flight call
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < pullers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("puller %d: %v", i, errs[i])
+		}
+		if got := len(resps[i].Issuance.Serials); got != 5 {
+			t.Fatalf("puller %d got %d serials, want 5", i, got)
+		}
+	}
+	if calls := gate.calls.Load(); calls != 1 {
+		t.Errorf("origin saw %d pulls, want 1 (stampede not collapsed)", calls)
+	}
+	st := edge.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.CollapsedPulls != pullers-1 {
+		t.Errorf("hits (%d) + collapsed (%d) = %d, want %d",
+			st.Hits, st.CollapsedPulls, st.Hits+st.CollapsedPulls, pullers-1)
+	}
+	if st.CollapsedPulls == 0 {
+		t.Error("no pulls collapsed onto the in-flight fetch")
+	}
+}
+
+// TestEdgeSingleflightErrorNotCached verifies a failed collapsed fetch
+// propagates the error to every waiter and is not cached: the next pull
+// retries the upstream.
+func TestEdgeSingleflightErrorNotCached(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 1)
+	flaky := &flakyOrigin{Origin: tc.dp}
+	edge := NewEdgeServer(flaky, time.Hour, tc.clock.now)
+
+	flaky.broken.Store(true)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = edge.Pull("CA1", 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("puller %d succeeded through a broken upstream", i)
+		}
+	}
+	// Every failed pull is visible in the stats — outage health must not
+	// read as 100% hit rate.
+	if st := edge.Stats(); st.Errors != 4 {
+		t.Errorf("errors = %d, want 4", st.Errors)
+	}
+	flaky.broken.Store(false)
+	resp, err := edge.Pull("CA1", 0)
+	if err != nil {
+		t.Fatalf("pull after upstream recovery: %v", err)
+	}
+	if len(resp.Issuance.Serials) != 1 {
+		t.Errorf("recovered pull returned %d serials, want 1", len(resp.Issuance.Serials))
+	}
+}
+
+// swapOrigin lets a test replace the edge's upstream mid-flight,
+// simulating an origin restart behind a long-lived edge.
+type swapOrigin struct {
+	mu sync.Mutex
+	o  Origin
+}
+
+func (s *swapOrigin) set(o Origin) { s.mu.Lock(); s.o = o; s.mu.Unlock() }
+func (s *swapOrigin) get() Origin  { s.mu.Lock(); defer s.mu.Unlock(); return s.o }
+
+func (s *swapOrigin) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	return s.get().Pull(ca, from)
+}
+func (s *swapOrigin) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	return s.get().LatestRoot(ca)
+}
+func (s *swapOrigin) CAs() ([]dictionary.CAID, error) { return s.get().CAs() }
+
+// TestEdgeStaleFromClampAfterOriginRegression: an origin restart with a
+// shorter history must not leave the edge's stale-from high-water mark
+// pointing at the old count — that would make every sweep evict the
+// fleet's new, lower-from entries forever. The clamp derives the live
+// bound from the served root's count.
+func TestEdgeStaleFromClampAfterOriginRegression(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 5)
+
+	up := &swapOrigin{o: tc.dp}
+	const ttl = 30 * time.Second
+	edge := NewEdgeServer(up, ttl, tc.clock.now)
+	if _, err := edge.Pull("CA1", 5); err != nil { // latest[CA1] = 5
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh, empty distribution point — the fleet Resyncs to
+	// count 0 and pulls (CA1, 0) from now on.
+	dp2 := NewDistributionPoint(tc.clock.now)
+	if err := dp2.RegisterCA("CA1", tc.auth.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	up.set(dp2)
+
+	tc.clock.advance(ttl - time.Second)
+	if _, err := edge.Pull("CA1", 0); err != nil { // cached fresh, clamps latest → 0
+		t.Fatal(err)
+	}
+	// Past the TTL boundary the next pull sweeps: the dead (CA1, 5) entry
+	// expires, but the 2s-old (CA1, 0) entry must survive — without the
+	// clamp it is evicted as stale (0 < 5) and every post-regression pull
+	// re-fetches from the origin until an operator Flush.
+	tc.clock.advance(2 * time.Second)
+	before := edge.Stats()
+	if _, err := edge.Pull("CA1", 0); err != nil {
+		t.Fatal(err)
+	}
+	after := edge.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Errorf("post-regression (CA1, 0) entry was swept as stale: hits %d → %d (stats %+v)",
+			before.Hits, after.Hits, after)
+	}
+	if after.Evictions < 1 {
+		t.Errorf("dead pre-regression entry not evicted: %+v", after)
+	}
+}
+
+// TestPullResponseEncodedMemoized asserts the response's wire encoding is
+// computed once and shared: the seed re-serialized on every Encode call —
+// twice per edge miss just for byte accounting, once more in the HTTP
+// handler.
+func TestPullResponseEncodedMemoized(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 3)
+	resp, err := tc.dp.Pull("CA1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := resp.Encoded(), resp.Encoded()
+	if len(a) == 0 {
+		t.Fatal("empty encoding")
+	}
+	if &a[0] != &b[0] {
+		t.Error("Encoded re-serialized instead of returning the memoized buffer")
+	}
+	if c := resp.Encode(); &c[0] != &a[0] {
+		t.Error("Encode did not share the memoized buffer")
+	}
+	if resp.Size() != len(a) {
+		t.Errorf("Size = %d, want %d", resp.Size(), len(a))
+	}
+
+	// A decoded response is seeded with the parsed bytes.
+	decoded, err := DecodePullResponse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := decoded.Encoded(), decoded.Encoded()
+	if &d1[0] != &d2[0] {
+		t.Error("decoded response re-serialized instead of reusing the parsed buffer")
+	}
+	if string(d1) != string(a) {
+		t.Error("decoded response's seeded encoding differs from the original")
+	}
+}
+
+// TestDistributionPointParallelPull hammers the origin's read path from
+// many goroutines while a publisher ingests, exercising the atomic
+// counters and the atomic freshness pointer under -race (the seed
+// serialized every pull behind the exclusive write lock).
+func TestDistributionPointParallelPull(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 10)
+
+	const (
+		pullers  = 8
+		perPull  = 200
+		refreshN = 20
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < pullers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perPull; j++ {
+				resp, err := tc.dp.Pull("CA1", 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.Issuance == nil {
+					t.Error("pull lost issuance")
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent ingest: freshness refreshes race the pulls. (Not
+	// tc.refresh: t.Fatal must not run off the test goroutine.)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < refreshN; j++ {
+			st, err := tc.auth.Statement(tc.clock.now().Unix())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tc.dp.PublishFreshness(st); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := tc.dp.Stats().Pulls; got != pullers*perPull {
+		t.Errorf("pull counter = %d, want %d", got, pullers*perPull)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -53,7 +54,7 @@ func Handler(origin Origin) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(resp.Encode())
+		w.Write(resp.Encoded())
 	})
 	mux.HandleFunc("GET /v1/root", func(w http.ResponseWriter, r *http.Request) {
 		ca := dictionary.CAID(r.URL.Query().Get("ca"))
@@ -125,9 +126,16 @@ func (h *HTTPClient) get(path string) ([]byte, error) {
 	}
 }
 
-// Pull implements Origin.
+// Pull implements Origin. The CA id is query-escaped: shard identifiers
+// ("ca/exp-123") and ids containing '&', '+', '#', or spaces must survive
+// the URL round trip unchanged, since the (ca, from) pair is the CDN cache
+// key.
 func (h *HTTPClient) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
-	body, err := h.get(fmt.Sprintf("/v1/pull?ca=%s&from=%d", string(ca), from))
+	q := url.Values{
+		"ca":   {string(ca)},
+		"from": {strconv.FormatUint(from, 10)},
+	}
+	body, err := h.get("/v1/pull?" + q.Encode())
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +144,8 @@ func (h *HTTPClient) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 
 // LatestRoot implements Origin.
 func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
-	body, err := h.get("/v1/root?ca=" + string(ca))
+	q := url.Values{"ca": {string(ca)}}
+	body, err := h.get("/v1/root?" + q.Encode())
 	if err != nil {
 		return nil, err
 	}

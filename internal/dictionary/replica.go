@@ -62,6 +62,11 @@ func (r *Replica) Snapshot() *Snapshot { return r.snap.Load() }
 // CA returns the CA whose dictionary this replica mirrors.
 func (r *Replica) CA() CAID { return r.ca }
 
+// PublicKey returns the trust anchor every signed root is verified
+// against. Recovery paths use it to build a replacement replica with the
+// same trust relationship (see ra.RA.Resync).
+func (r *Replica) PublicKey() ed25519.PublicKey { return r.pub }
+
 // Count returns the replica's revocation count n.
 func (r *Replica) Count() uint64 { return r.snap.Load().Count() }
 
@@ -198,19 +203,20 @@ func (r *Replica) FreshnessAge(now int64) (int, error) {
 }
 
 // Log returns a copy of the replica's issuance log (for consistency
-// checking and resynchronization serving between RAs).
+// checking and resynchronization serving between RAs). It reads the
+// published snapshot, lock-free: a mid-update, not-yet-verified log is
+// never exposed.
 func (r *Replica) Log() []serial.Number {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.tree.Log()
+	return r.snap.Load().Log()
 }
 
 // LogSuffix returns the serials with revocation numbers in (from, to]; the
 // distribution point serves it to resynchronize lagging replicas (§III).
+// Like Log it reads the published snapshot without locking; callers
+// needing the suffix consistent with a root should take one Snapshot and
+// use its accessors.
 func (r *Replica) LogSuffix(from, to uint64) ([]serial.Number, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.tree.LogSuffix(from, to)
+	return r.snap.Load().LogSuffix(from, to)
 }
 
 // Freshness returns the latest verified freshness-statement value. Before

@@ -25,7 +25,8 @@ import (
 type Snapshot struct {
 	ca        CAID
 	view      treeView
-	root      *SignedRoot // nil until the replica's first verified update
+	log       []serial.Number // issuance order, length == Count(); immutable
+	root      *SignedRoot     // nil until the replica's first verified update
 	freshness cryptoutil.Hash
 	freshPer  int    // period the freshness value was verified for
 	gen       uint64 // publication counter; strictly increasing per replica
@@ -33,11 +34,15 @@ type Snapshot struct {
 
 // newSnapshot freezes the tree's current version together with the
 // authentication state. The caller (Replica) must hold its writer lock so
-// that tree, root, and freshness are mutually consistent.
+// that tree, root, and freshness are mutually consistent. The log slice is
+// shared with the tree: InsertBatch only ever appends (and a failed-update
+// rollback replaces the whole array), so the first Count() elements this
+// header covers are never written again.
 func newSnapshot(ca CAID, t *Tree, root *SignedRoot, freshness cryptoutil.Hash, freshPer int, gen uint64) *Snapshot {
 	return &Snapshot{
 		ca:        ca,
 		view:      t.view(),
+		log:       t.log,
 		root:      root,
 		freshness: freshness,
 		freshPer:  freshPer,
@@ -70,6 +75,24 @@ func (s *Snapshot) Count() uint64 { return uint64(len(s.view.leaves)) }
 
 // RootHash returns the tree root hash of the snapshot.
 func (s *Snapshot) RootHash() cryptoutil.Hash { return s.view.root() }
+
+// Log returns a copy of the issuance-ordered serial log of this version.
+func (s *Snapshot) Log() []serial.Number {
+	return append([]serial.Number(nil), s.log...)
+}
+
+// LogSuffix returns the serials with revocation numbers in (from, to] of
+// this version, lock-free: the dissemination network serves catch-up
+// suffixes from the same frozen version as the signed root and freshness
+// statement, so a response can never tear across a concurrent update.
+func (s *Snapshot) LogSuffix(from, to uint64) ([]serial.Number, error) {
+	if from > to || to > uint64(len(s.log)) {
+		return nil, fmt.Errorf("dictionary: log suffix (%d, %d] of %d", from, to, len(s.log))
+	}
+	out := make([]serial.Number, to-from)
+	copy(out, s.log[from:to])
+	return out, nil
+}
 
 // Revoked reports whether sn is revoked in this version.
 func (s *Snapshot) Revoked(sn serial.Number) bool {

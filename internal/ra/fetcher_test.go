@@ -1,0 +1,256 @@
+package ra
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ritm/internal/ca"
+	"ritm/internal/cdn"
+	"ritm/internal/cert"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// TestFetcherSyncsImmediately asserts the first sync does not wait for the
+// first tick: the seed fetcher slept a full interval before pulling, so a
+// freshly started RA served ErrDesynchronized statuses for up to ∆.
+func TestFetcherSyncsImmediately(t *testing.T) {
+	e := newEnv(t, 10*time.Second)
+	if _, err := e.ca.Revoke(serial.NewGenerator(3, nil).NextN(2)...); err != nil {
+		t.Fatal(err)
+	}
+	// Interval of an hour: only the immediate first sync can catch up.
+	f := e.ra.StartFetcherWith(FetcherOptions{Interval: time.Hour})
+	defer f.Shutdown()
+	waitFor(t, 2*time.Second, func() bool {
+		r, err := e.ra.Store().Replica("CA1")
+		return err == nil && r.Count() == 2
+	}, "immediate first sync")
+	if st := f.Stats(); st.Syncs < 1 {
+		t.Errorf("syncs = %d, want ≥1", st.Syncs)
+	}
+}
+
+// TestFetcherJitterStillSyncs runs a jittered fetcher and asserts syncing
+// proceeds (jitter delays pulls within a cycle, it must not lose them).
+func TestFetcherJitterStillSyncs(t *testing.T) {
+	e := newEnv(t, 10*time.Second)
+	if _, err := e.ca.Revoke(serial.NewGenerator(4, nil).NextN(3)...); err != nil {
+		t.Fatal(err)
+	}
+	f := e.ra.StartFetcherWith(FetcherOptions{Interval: 30 * time.Millisecond, Jitter: 10 * time.Millisecond})
+	defer f.Shutdown()
+	waitFor(t, 2*time.Second, func() bool {
+		r, err := e.ra.Store().Replica("CA1")
+		return err == nil && r.Count() == 3
+	}, "jittered sync")
+}
+
+// TestSyncOnceSurfacesErrAhead asserts the plain sync path still reports
+// the origin regression instead of recovering silently: recovery is the
+// fetcher's (opt-out) policy, not SyncOnce semantics.
+func TestSyncOnceSurfacesErrAhead(t *testing.T) {
+	e := newEnv(t, 10*time.Second)
+	if _, err := e.ca.Revoke(serial.NewGenerator(5, nil).NextN(2)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ra.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the origin: a fresh, entirely empty distribution point —
+	// fewer revocations than the RA already holds.
+	dp2 := cdn.NewDistributionPoint(nil)
+	if err := dp2.RegisterCA("CA1", e.ca.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	e.ra.origin = dp2
+	if err := e.ra.SyncOnce(); !errors.Is(err, cdn.ErrAhead) {
+		t.Fatalf("sync against restarted origin: err = %v, want ErrAhead", err)
+	}
+
+	// Resync against the still-rootless origin must refuse to trade a
+	// verifiable dictionary for an empty one (the trigger is unsigned; an
+	// origin mid-restart re-publishes seconds later).
+	if err := e.ra.Resync("CA1"); err == nil {
+		t.Fatal("Resync adopted a rootless origin")
+	}
+	if r, _ := e.ra.Store().Replica("CA1"); r.Count() != 2 {
+		t.Errorf("replica wiped by refused resync: count = %d, want 2", r.Count())
+	}
+}
+
+// TestFetcherRecoversFromOriginRestart is the §III desynchronization story
+// in the direction the seed could not handle: the origin restarts with a
+// shorter (but CA-signed) history, every pull returns ErrAhead forever,
+// and the fetcher must re-resolve from origin state instead of erroring
+// until the heat death of the deployment.
+func TestFetcherRecoversFromOriginRestart(t *testing.T) {
+	e := newEnv(t, 10*time.Second)
+	gen := serial.NewGenerator(6, nil)
+	msg1, err := e.ca.Revoke(gen.NextN(2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg2, err := e.ca.Revoke(gen.NextN(3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ra.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := e.ra.Store().Replica("CA1"); r.Count() != 5 {
+		t.Fatalf("pre-restart count = %d, want 5", r.Count())
+	}
+
+	// Origin restart: dp2 was re-fed only the first issuance message.
+	dp2 := cdn.NewDistributionPoint(nil)
+	if err := dp2.RegisterCA("CA1", e.ca.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp2.PublishIssuance(msg1); err != nil {
+		t.Fatal(err)
+	}
+	e.ra.origin = dp2
+
+	f := e.ra.StartFetcherWith(FetcherOptions{Interval: 20 * time.Millisecond})
+	defer f.Shutdown()
+
+	// Recovery: the replica re-resolves to the origin's (shorter) state.
+	waitFor(t, 2*time.Second, func() bool {
+		r, err := e.ra.Store().Replica("CA1")
+		return err == nil && r.Count() == 2
+	}, "ErrAhead recovery")
+	if st := f.Stats(); st.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want ≥1", st.Recoveries)
+	}
+
+	// The recovered replica still proves statuses (same trust anchor).
+	if _, err := e.ra.Status("CA1", serial.NewGenerator(99, nil).Next()); err != nil {
+		t.Errorf("status after recovery: %v", err)
+	}
+
+	// The origin catches back up; the fetcher follows without further
+	// recovery gymnastics.
+	if err := dp2.PublishIssuance(msg2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		r, err := e.ra.Store().Replica("CA1")
+		return err == nil && r.Count() == 5
+	}, "post-recovery catch-up")
+}
+
+// TestFetcherDisableRecovery asserts the opt-out: with recovery disabled
+// the ErrAhead surfaces through OnError on every cycle and the replica is
+// left untouched.
+func TestFetcherDisableRecovery(t *testing.T) {
+	e := newEnv(t, 10*time.Second)
+	if _, err := e.ca.Revoke(serial.NewGenerator(8, nil).NextN(2)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ra.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	dp2 := cdn.NewDistributionPoint(nil)
+	if err := dp2.RegisterCA("CA1", e.ca.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	e.ra.origin = dp2
+
+	errs := make(chan error, 64)
+	f := e.ra.StartFetcherWith(FetcherOptions{
+		Interval:        20 * time.Millisecond,
+		DisableRecovery: true,
+		OnError: func(err error) {
+			select {
+			case errs <- err:
+			default: // the test stops draining after the first error
+			}
+		},
+	})
+	defer f.Shutdown()
+
+	select {
+	case err := <-errs:
+		if !errors.Is(err, cdn.ErrAhead) {
+			t.Fatalf("surfaced error = %v, want ErrAhead", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ErrAhead never surfaced with recovery disabled")
+	}
+	if r, _ := e.ra.Store().Replica("CA1"); r.Count() != 2 {
+		t.Errorf("replica mutated with recovery disabled: count = %d, want 2", r.Count())
+	}
+	if st := f.Stats(); st.Recoveries != 0 {
+		t.Errorf("recoveries = %d, want 0", st.Recoveries)
+	}
+}
+
+// TestFetcherShardExpiry wires the §VIII "ever-growing dictionaries"
+// story end to end: an RA replicating an expiry shard whose bucket lies
+// in the past drops it on the fetcher's expiry sweep, while unsharded
+// dictionaries are untouched.
+func TestFetcherShardExpiry(t *testing.T) {
+	const width = time.Hour
+	now := time.Now()
+	// A shard bucket that ended two hours ago: everything it covers has
+	// expired.
+	bucket := (now.Add(-3*width).Unix() / 3600) * 3600
+	shardID := dictionary.CAID(fmt.Sprintf("ShardCA/exp-%d", bucket))
+
+	dp := cdn.NewDistributionPoint(nil)
+	newCA := func(id dictionary.CAID) *ca.CA {
+		t.Helper()
+		authority, err := ca.New(ca.Config{ID: id, Delta: 10 * time.Second, Publisher: dp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dp.RegisterCA(id, authority.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		if err := authority.PublishRoot(); err != nil {
+			t.Fatal(err)
+		}
+		return authority
+	}
+	shardCA := newCA(shardID)
+	liveCA := newCA("LiveCA")
+
+	agent, err := New(Config{
+		Roots:  []*cert.Certificate{shardCA.RootCertificate(), liveCA.RootCertificate()},
+		Origin: dp,
+		Delta:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(agent.Store().CAs()); got != 2 {
+		t.Fatalf("replicating %d dictionaries, want 2", got)
+	}
+
+	f := agent.StartFetcherWith(FetcherOptions{Interval: 20 * time.Millisecond, ShardExpiry: width})
+	defer f.Shutdown()
+	waitFor(t, 2*time.Second, func() bool {
+		cas := agent.Store().CAs()
+		return len(cas) == 1 && cas[0] == "LiveCA"
+	}, "expired shard removal")
+	if st := f.Stats(); st.ShardsExpired != 1 {
+		t.Errorf("shards expired = %d, want 1", st.ShardsExpired)
+	}
+}

@@ -3,6 +3,7 @@ package ra
 import (
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sync/atomic"
 	"time"
 
@@ -166,41 +167,228 @@ func (ra *RA) lookupSession(handle []byte) ([]connIdentity, bool) {
 	return ra.sessions.lookup(handle)
 }
 
+// Resync rebuilds the replica of ca from the origin's current state: a
+// fresh replica (same CA, same trust anchor) is synchronized from count 0
+// off to the side and, only once it verifies, swapped into the store
+// atomically. This is the recovery path for cdn.ErrAhead — the origin
+// holds fewer revocations than we do, typically because it was restarted
+// and re-fed a shorter (but still CA-signed) history; without recovery
+// every subsequent pull errors forever.
+//
+// Security: the replacement accepts only messages whose signed root
+// verifies against the same trust anchor as before, so a malicious origin
+// cannot use this path to inject state it could not also have served to a
+// freshly booted RA. What it can do is serve an older-but-valid view; the
+// client-side 2∆ freshness policy converts that staleness into connection
+// interruption, exactly as for any stale dissemination (§V).
+//
+// The swap only happens when the rebuilt history is genuinely shorter
+// than the current one; a rebuild at least as long means the origin
+// caught back up (normal sync resumes next cycle) or an edge cache served
+// a stale pre-restart response, and is reported as an error instead of
+// swapped.
+func (ra *RA) Resync(ca dictionary.CAID) error {
+	old, err := ra.store.Replica(ca)
+	if err != nil {
+		return err
+	}
+	fresh := dictionary.NewReplica(ca, old.PublicKey())
+	resp, err := ra.origin.Pull(ca, 0)
+	if err != nil {
+		return fmt.Errorf("ra: resync %s: %w", ca, err)
+	}
+	if resp.Issuance != nil {
+		if err := fresh.Update(resp.Issuance); err != nil {
+			return fmt.Errorf("ra: resync %s: %w", ca, err)
+		}
+	}
+	if resp.Freshness != nil {
+		if err := fresh.ApplyFreshness(resp.Freshness, ra.now().Unix()); err != nil &&
+			!errors.Is(err, dictionary.ErrStale) {
+			return fmt.Errorf("ra: resync %s: %w", ca, err)
+		}
+	}
+	// Never trade a verifiable dictionary for a rootless one: an origin
+	// that was restarted but not yet re-fed by its CA answers (ca, 0) with
+	// an empty response, and the trigger (ErrAhead + empty body) is
+	// entirely unsigned — swapping would let a malicious edge wipe RA
+	// state on demand, and even an honest race would turn every status
+	// into ErrDesynchronized seconds before the CA re-publishes. Keep the
+	// old replica (its statuses stay verifiable within the client's 2∆
+	// tolerance) and retry next cycle.
+	if fresh.Root() == nil {
+		return fmt.Errorf("ra: resync %s: origin has no published root yet; keeping current replica", ca)
+	}
+	// Resync exists to adopt a SHORTER origin history. Receiving one at
+	// least as long as ours means either the origin already caught back up
+	// (the normal suffix pull will succeed next cycle) or an edge cache
+	// served a stale pre-restart (ca, 0) response — swapping that in would
+	// reinstate the exact state that produced ErrAhead and livelock the
+	// recovery (purging the status cache every cycle) until the entry
+	// expires. Either way: don't swap, report, retry next cycle.
+	if fresh.Count() >= old.Count() {
+		return fmt.Errorf("ra: resync %s: origin returned %d revocations, not behind our %d (stale edge cache or origin recovered); deferring",
+			ca, fresh.Count(), old.Count())
+	}
+	return ra.store.ReplaceReplica(ca, fresh)
+}
+
+// FetcherOptions configures the RA's background pull loop. The zero value
+// is a production-reasonable fetcher: sync every ∆ starting immediately,
+// recover from origin restarts, no jitter, no shard expiry.
+type FetcherOptions struct {
+	// Interval is the pull cadence (0 = the RA's ∆). Pulling more often
+	// than ∆ satisfies the protocol ("at least every ∆", §III) and
+	// tightens the freshness of injected statuses.
+	Interval time.Duration
+	// Jitter, when positive, delays each CA's pull within a cycle by a
+	// uniformly random duration in [0, Jitter). A fleet of RAs started
+	// together otherwise pulls every dictionary at the same instants,
+	// turning every ∆ boundary into a synchronized stampede; jitter smears
+	// the load across the interval. The per-CA draw is clamped to
+	// Interval/len(CAs), so a cycle's accumulated jitter never exceeds the
+	// interval — the "at least every ∆" contract (§III) degrades to at
+	// most one skipped tick, never unbounded drift, no matter how many
+	// shard dictionaries the RA replicates. Pair jitter with
+	// Interval ≤ ∆/2 for strict compliance.
+	Jitter time.Duration
+	// OnError receives sync errors (nil = dropped). Recovery from
+	// cdn.ErrAhead happens before OnError is consulted; only errors that
+	// survive recovery are reported.
+	OnError func(error)
+	// ShardExpiry, when positive, runs Store.RemoveExpired with this
+	// bucket width after every sync cycle, dropping expiry shards whose
+	// certificates have all expired (§VIII "Ever-growing dictionaries").
+	// Use the same width the CAs shard with (dictionary.ShardConfig.Width).
+	ShardExpiry time.Duration
+	// DisableRecovery turns off the automatic Resync on cdn.ErrAhead;
+	// such errors then surface through OnError on every cycle, which is
+	// only useful for deployments that treat an origin regression as an
+	// incident requiring operator action.
+	DisableRecovery bool
+}
+
+// fetcherSeq distinguishes jitter seeds of fetchers started in the same
+// nanosecond (a fleet booted in one process).
+var fetcherSeq atomic.Int64
+
 // Fetcher is the RA's background pull loop.
 type Fetcher struct {
 	stop chan struct{}
 	done chan struct{}
+
+	stats fetcherCounters
+}
+
+// fetcherCounters is the lock-free backing store for FetcherStats.
+type fetcherCounters struct {
+	syncs         atomic.Int64
+	errors        atomic.Int64
+	recoveries    atomic.Int64
+	shardsExpired atomic.Int64
+}
+
+// FetcherStats counts fetcher-lifecycle activity.
+type FetcherStats struct {
+	// Syncs counts completed sync cycles (all CAs attempted).
+	Syncs int64
+	// Errors counts per-CA sync failures that survived recovery.
+	Errors int64
+	// Recoveries counts automatic Resync attempts triggered by
+	// cdn.ErrAhead.
+	Recoveries int64
+	// ShardsExpired counts expiry shards dropped by the ShardExpiry sweep.
+	ShardsExpired int64
+}
+
+// Stats returns a copy of the fetcher's counters.
+func (f *Fetcher) Stats() FetcherStats {
+	return FetcherStats{
+		Syncs:         f.stats.syncs.Load(),
+		Errors:        f.stats.errors.Load(),
+		Recoveries:    f.stats.recoveries.Load(),
+		ShardsExpired: f.stats.shardsExpired.Load(),
+	}
 }
 
 // StartFetcher launches the pull loop, contacting the origin every ∆.
 // Errors go to onErr (may be nil).
 func (ra *RA) StartFetcher(onErr func(error)) *Fetcher {
-	return ra.StartFetcherEvery(ra.delta, onErr)
+	return ra.StartFetcherWith(FetcherOptions{OnError: onErr})
 }
 
-// StartFetcherEvery launches the pull loop at a custom interval. Pulling
-// more often than ∆ satisfies the protocol ("at least every ∆", §III) and
-// tightens the freshness of injected statuses, which matters for small ∆
-// where the publish → pull → piggyback pipeline can otherwise accumulate
-// close to the client's full 2∆ tolerance.
+// StartFetcherEvery launches the pull loop at a custom interval.
 func (ra *RA) StartFetcherEvery(interval time.Duration, onErr func(error)) *Fetcher {
+	return ra.StartFetcherWith(FetcherOptions{Interval: interval, OnError: onErr})
+}
+
+// StartFetcherWith launches the pull loop with full lifecycle control. The
+// first sync runs immediately (a freshly started RA must not serve
+// ErrDesynchronized statuses for a whole interval waiting for the first
+// tick), then every Interval.
+func (ra *RA) StartFetcherWith(opts FetcherOptions) *Fetcher {
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = ra.delta
+	}
 	f := &Fetcher{stop: make(chan struct{}), done: make(chan struct{})}
 	go func() {
 		defer close(f.done)
+		// Jitter source: per-fetcher, so a fleet sharing one binary still
+		// draws independent offsets.
+		rng := mrand.New(mrand.NewSource(time.Now().UnixNano() + fetcherSeq.Add(1)<<32))
+		ra.syncCycle(f, opts, interval, rng)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
 			case <-ticker.C:
-				if err := ra.SyncOnce(); err != nil && onErr != nil {
-					onErr(err)
-				}
+				ra.syncCycle(f, opts, interval, rng)
 			case <-f.stop:
 				return
 			}
 		}
 	}()
 	return f
+}
+
+// syncCycle runs one fetcher cycle: every CA pulled (with optional per-CA
+// jitter), ErrAhead recovery, then the shard-expiry sweep.
+func (ra *RA) syncCycle(f *Fetcher, opts FetcherOptions, interval time.Duration, rng *mrand.Rand) {
+	cas := ra.store.CAs()
+	jitter := opts.Jitter
+	if n := len(cas); n > 0 && jitter > interval/time.Duration(n) {
+		// Clamp so the cycle's worst-case accumulated jitter stays within
+		// one interval (see FetcherOptions.Jitter).
+		jitter = interval / time.Duration(n)
+	}
+	for _, ca := range cas {
+		if jitter > 0 {
+			timer := time.NewTimer(time.Duration(rng.Int63n(int64(jitter))))
+			select {
+			case <-timer.C:
+			case <-f.stop:
+				timer.Stop()
+				return
+			}
+		}
+		err := ra.syncCA(ca)
+		if err != nil && errors.Is(err, cdn.ErrAhead) && !opts.DisableRecovery {
+			f.stats.recoveries.Add(1)
+			err = ra.Resync(ca)
+		}
+		if err != nil {
+			f.stats.errors.Add(1)
+			if opts.OnError != nil {
+				opts.OnError(err)
+			}
+		}
+	}
+	f.stats.syncs.Add(1)
+	if opts.ShardExpiry > 0 {
+		removed := ra.store.RemoveExpired(ra.now().Unix(), opts.ShardExpiry)
+		f.stats.shardsExpired.Add(int64(len(removed)))
+	}
 }
 
 // Shutdown stops the fetcher and waits for it to exit.

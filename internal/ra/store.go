@@ -173,6 +173,30 @@ func (s *Store) RemoveExpired(now int64, width time.Duration) []dictionary.CAID 
 	return removed
 }
 
+// ReplaceReplica atomically substitutes the replica for ca with r and
+// purges the CA's cached statuses. It is the commit step of
+// desynchronization recovery (ra.RA.Resync): the replacement is built and
+// fully synchronized off to the side, then swapped in, so the data path
+// never observes a half-rebuilt dictionary. It fails if ca is not
+// currently replicated or r mirrors a different CA.
+func (s *Store) ReplaceReplica(ca dictionary.CAID, r *dictionary.Replica) error {
+	if r == nil || r.CA() != ca {
+		return fmt.Errorf("ra: replace replica: replacement does not mirror %s", ca)
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.view.Load()
+	if _, ok := cur.replicas[ca]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoDictionary, ca)
+	}
+	next := cur.clone()
+	next.replicas[ca] = r
+	next.rebuildCAs()
+	s.view.Store(next)
+	s.cache.purgeCA(ca)
+	return nil
+}
+
 // Replica returns the replica for ca.
 func (s *Store) Replica(ca dictionary.CAID) (*dictionary.Replica, error) {
 	r, ok := s.view.Load().replicas[ca]

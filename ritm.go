@@ -143,6 +143,16 @@ type (
 	RAConfig = ra.Config
 	// RAProxy is the RA's status-injecting TCP data path.
 	RAProxy = ra.Proxy
+	// Fetcher is the RA's background pull loop.
+	Fetcher = ra.Fetcher
+	// FetcherOptions controls the pull loop's lifecycle: interval, per-CA
+	// jitter, ErrAhead recovery, and the §VIII shard-expiry sweep.
+	FetcherOptions = ra.FetcherOptions
+	// FetcherStats counts fetcher-lifecycle activity.
+	FetcherStats = ra.FetcherStats
+	// EdgeStats counts edge-server activity (hits, collapsed pulls,
+	// evictions); the fleet benchmark reads it.
+	EdgeStats = cdn.EdgeStats
 )
 
 // NewRA creates a Revocation Agent.
