@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,22 +32,53 @@ func main() {
 		delta  = flag.Duration("delta", 10*time.Second, "pull interval ∆")
 		jitter = flag.Duration("jitter", 0, "max random per-CA pull delay each cycle (avoids fleet-wide stampedes)")
 		expire = flag.Duration("expire-shards", 0, "expiry-shard bucket width; >0 drops fully expired shards every cycle")
+		chain  = flag.String("edge-chain", "", "comma-separated TTLs of local caching edge layers over the dissemination endpoint, nearest first (e.g. \"5s,30s\" = PoP-style 5s cache in front of a 30s regional-style cache); each layer also negative-caches unknown CAs for its TTL")
 	)
 	flag.Parse()
-	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire); err != nil {
+	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(caURL, listen, target string, delta, jitter, expire time.Duration) error {
+// buildEdgeChain layers in-process caching edges over base, mirroring the
+// PoP → regional tiers of a CDN hierarchy inside one RA process. ttls is
+// nearest-layer-first ("5s,30s" caches 5s in front of 30s); each layer
+// negative-caches unknown CAs for its TTL, so a misconfigured trust list
+// cannot hammer the remote endpoint either.
+func buildEdgeChain(base ritm.Origin, ttls string) (ritm.Origin, error) {
+	if ttls == "" {
+		return base, nil
+	}
+	parts := strings.Split(ttls, ",")
+	origin := base
+	for i := len(parts) - 1; i >= 0; i-- {
+		ttl, err := time.ParseDuration(strings.TrimSpace(parts[i]))
+		if err != nil {
+			return nil, fmt.Errorf("edge-chain layer %d: %w", i, err)
+		}
+		if ttl <= 0 {
+			return nil, fmt.Errorf("edge-chain layer %d: TTL %v must be positive", i, ttl)
+		}
+		edge := ritm.NewEdgeServer(origin, ttl, nil)
+		edge.SetNegativeTTL(ttl)
+		origin = edge
+	}
+	return origin, nil
+}
+
+func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string) error {
 	root, err := fetchRoot(caURL)
+	if err != nil {
+		return err
+	}
+	origin, err := buildEdgeChain(&ritm.HTTPClient{BaseURL: caURL}, chain)
 	if err != nil {
 		return err
 	}
 	agent, err := ritm.NewRA(ritm.RAConfig{
 		Roots:  []*ritm.Certificate{root},
-		Origin: &ritm.HTTPClient{BaseURL: caURL},
+		Origin: origin,
 		Delta:  delta,
 	})
 	if err != nil {

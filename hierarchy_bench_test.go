@@ -1,0 +1,225 @@
+// Hierarchy benchmarks: the two-tier dissemination topology (regions ×
+// PoPs) under a full RA fleet. The contract being measured is the fan-out
+// arithmetic of §VI: per ∆ cycle the origin sees at most one pull per
+// REGIONAL edge — origin load O(regions), independent of PoP count and RA
+// count — while the PoP tier absorbs the fleet. The netsim companion
+// metrics translate the measured hit rates into the client-visible
+// latency distribution of the paper's Fig 5 testbed.
+package ritm_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ritm"
+	"ritm/internal/netsim"
+	"ritm/internal/serial"
+)
+
+// hierarchyFleet is one origin, an R×P topology, and RAs spread evenly
+// across the PoPs (region-major).
+type hierarchyFleet struct {
+	dp     *ritm.DistributionPoint
+	ca     *ritm.CA
+	topo   *ritm.Topology
+	agents []*ritm.RA
+	gen    *serial.Generator
+}
+
+func newHierarchyFleet(tb testing.TB, regions, pops, ras int, popTTL, regionalTTL time.Duration) *hierarchyFleet {
+	tb.Helper()
+	if ras%(regions*pops) != 0 {
+		tb.Fatalf("%d RAs do not spread evenly over %d×%d PoPs", ras, regions, pops)
+	}
+	dp := ritm.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: "HierCA", Delta: 10 * time.Second, Publisher: dp})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := dp.RegisterCA("HierCA", authority.PublicKey()); err != nil {
+		tb.Fatal(err)
+	}
+	if err := authority.PublishRoot(); err != nil {
+		tb.Fatal(err)
+	}
+	topo, err := ritm.NewTopology(dp, ritm.TopologyConfig{
+		Regions:       regions,
+		PoPsPerRegion: pops,
+		PoPTTL:        popTTL,
+		RegionalTTL:   regionalTTL,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	perPoP := ras / (regions * pops)
+	agents := make([]*ritm.RA, 0, ras)
+	for r := 0; r < regions; r++ {
+		for p := 0; p < pops; p++ {
+			for i := 0; i < perPoP; i++ {
+				agent, err := ritm.NewRA(ritm.RAConfig{
+					Roots:  []*ritm.Certificate{authority.RootCertificate()},
+					Origin: topo.PoP(r, p),
+					Delta:  10 * time.Second,
+				})
+				if err != nil {
+					tb.Fatal(err)
+				}
+				agents = append(agents, agent)
+			}
+		}
+	}
+	return &hierarchyFleet{
+		dp:     dp,
+		ca:     authority,
+		topo:   topo,
+		agents: agents,
+		gen:    serial.NewGenerator(0x41E6E, nil),
+	}
+}
+
+// cycle publishes one revocation batch and syncs the whole fleet
+// concurrently — one ∆ boundary of a lockstep deployment.
+func (f *hierarchyFleet) cycle(tb testing.TB, revocations int) {
+	tb.Helper()
+	if revocations > 0 {
+		if _, err := f.ca.Revoke(f.gen.NextN(revocations)...); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	errs := make(chan error, len(f.agents))
+	var wg sync.WaitGroup
+	for _, a := range f.agents {
+		wg.Add(1)
+		go func(a *ritm.RA) {
+			defer wg.Done()
+			if err := a.SyncOnce(); err != nil {
+				errs <- err
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		tb.Fatal(err)
+	}
+}
+
+// TestHierarchyFanOutMath is the acceptance contract of the hierarchy,
+// checked on the full stack (real RAs, real stores): 2 regions × 4 PoPs
+// × 32 RAs over `cycles` ∆ boundaries cost the origin at most
+// regions·cycles pulls, with per-tier hit rates at their combinatorial
+// floors.
+func TestHierarchyFanOutMath(t *testing.T) {
+	const (
+		regions = 2
+		pops    = 4
+		ras     = 32
+		cycles  = 12
+	)
+	f := newHierarchyFleet(t, regions, pops, ras, time.Hour, time.Hour)
+	for i := 0; i < cycles; i++ {
+		f.cycle(t, 50)
+	}
+
+	if origin := f.dp.Stats().Pulls; origin > regions*cycles {
+		t.Errorf("origin saw %d pulls for %d keys, want ≤ %d (one per regional edge per key)",
+			origin, cycles, regions*cycles)
+	}
+	st := f.topo.Stats()
+	popTotal := st.PoP.Hits + st.PoP.Misses + st.PoP.CollapsedPulls
+	if want := ras * cycles; popTotal != want {
+		t.Fatalf("PoP tier served %d pulls, want %d", popTotal, want)
+	}
+	if st.PoP.Misses > regions*pops*cycles {
+		t.Errorf("PoP misses = %d, want ≤ %d", st.PoP.Misses, regions*pops*cycles)
+	}
+	perPoP := ras / (regions * pops)
+	if hr, floor := ritm.EdgeHitRate(st.PoP), float64(perPoP-1)/float64(perPoP)-0.01; hr < floor {
+		t.Errorf("PoP-tier hit rate = %.3f, want ≥ %.3f", hr, floor)
+	}
+	if st.Regional.Misses > regions*cycles {
+		t.Errorf("regional misses = %d, want ≤ %d", st.Regional.Misses, regions*cycles)
+	}
+	// Every agent landed on the same final count.
+	want := uint64(cycles * 50)
+	for i, a := range f.agents {
+		r, err := a.Store().Replica("HierCA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Count() != want {
+			t.Errorf("agent %d count = %d, want %d", i, r.Count(), want)
+		}
+	}
+}
+
+// BenchmarkHierarchyPull measures one ∆ boundary of the 2×4×32 hierarchy
+// and reports the fan-out ledger: origin-pulls/cycle (the acceptance
+// bound is ≤ the number of regional edges), per-tier hit rates, and the
+// netsim-modeled client latency quantiles those hit rates buy (Fig 5's
+// CDF, two-tier edition). The flat 1-edge config and the uncached config
+// are the comparison baselines.
+func BenchmarkHierarchyPull(b *testing.B) {
+	for _, cfg := range []struct {
+		name           string
+		regions, pops  int
+		ras            int
+		popTTL, regTTL time.Duration
+	}{
+		{"regions=2/pops=4/ras=32", 2, 4, 32, time.Hour, time.Hour},
+		{"regions=2/pops=4/ras=32/uncached", 2, 4, 32, 0, 0},
+		{"regions=1/pops=1/ras=32", 1, 1, 32, time.Hour, time.Hour},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			f := newHierarchyFleet(b, cfg.regions, cfg.pops, cfg.ras, cfg.popTTL, cfg.regTTL)
+			f.cycle(b, 1000) // steady-state dictionary before measuring
+			baseTopo := f.topo.Stats()
+			basePulls := f.dp.Stats().Pulls
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.cycle(b, 100)
+			}
+			b.StopTimer()
+
+			st := f.topo.Stats()
+			pop := statsDelta(st.PoP, baseTopo.PoP)
+			regional := statsDelta(st.Regional, baseTopo.Regional)
+			originPulls := f.dp.Stats().Pulls - basePulls
+
+			popRate := ritm.EdgeHitRate(pop)
+			regRate := ritm.EdgeHitRate(regional)
+			b.ReportMetric(popRate, "pop-hit-rate")
+			b.ReportMetric(regRate, "regional-hit-rate")
+			b.ReportMetric(float64(originPulls)/float64(b.N), "origin-pulls/cycle")
+			b.ReportMetric(float64(originPulls)/float64(cfg.ras), "origin-pulls/ra")
+
+			// Client-visible latency: replay the measured hit rates
+			// through the netsim two-tier model at the measured mean
+			// response size.
+			popTotal := pop.Hits + pop.Misses + pop.CollapsedPulls
+			if popTotal > 0 {
+				bytes := int(pop.BytesServed) / popTotal
+				sample := netsim.NewNetwork(1).HierarchySample(bytes, 25, popRate, regRate)
+				b.ReportMetric(float64(netsim.Quantile(sample, 0.5).Milliseconds()), "sim-p50-ms")
+				b.ReportMetric(float64(netsim.Quantile(sample, 0.99).Milliseconds()), "sim-p99-ms")
+			}
+		})
+	}
+}
+
+// statsDelta subtracts a baseline snapshot from a later one, counter by
+// counter (gauges like Entries are taken from the later snapshot).
+func statsDelta(now, base ritm.EdgeStats) ritm.EdgeStats {
+	now.Hits -= base.Hits
+	now.Misses -= base.Misses
+	now.CollapsedPulls -= base.CollapsedPulls
+	now.Evictions -= base.Evictions
+	now.Errors -= base.Errors
+	now.NegativeHits -= base.NegativeHits
+	now.NegativeEvictions -= base.NegativeEvictions
+	now.BytesServed -= base.BytesServed
+	now.BytesFetched -= base.BytesFetched
+	return now
+}

@@ -1,6 +1,7 @@
 package cdn
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,34 @@ import (
 
 	"ritm/internal/dictionary"
 )
+
+// PullMeta describes the cache disposition of a served pull response: the
+// serving cache's TTL (zero when the server does not cache) and how long
+// the entry has been sitting in that cache (zero on a miss). The HTTP
+// layer derives the Cache-Control: max-age and Age headers from it, so a
+// real CDN in front of an edge inherits the edge's freshness contract
+// instead of heuristic caching.
+type PullMeta struct {
+	TTL time.Duration
+	Age time.Duration
+	// NegativeTTL is the serving cache's negative TTL (0 = negative
+	// caching disabled). On an ErrUnknownCA response the HTTP layer
+	// exports it as the error's max-age, so a front CDN absorbs an
+	// unknown-CA storm for the same window the edge itself would.
+	NegativeTTL time.Duration
+}
+
+// MetaOrigin is an Origin that reports cache metadata with each pull;
+// EdgeServer implements it, and the HTTP handler upgrades to it when
+// available.
+type MetaOrigin interface {
+	Origin
+	PullWithMeta(ca dictionary.CAID, from uint64) (*PullResponse, PullMeta, error)
+	// NegativeTTL reports the serving cache's unknown-CA negative TTL
+	// (0 = disabled); the HTTP layer exports it on error responses of
+	// endpoints that have no per-pull metadata (LatestRoot).
+	NegativeTTL() time.Duration
+}
 
 // defaultEdgeMaxEntries bounds the edge cache when the operator does not
 // choose a limit. One entry per (CA, from) pair is live at a time per RA
@@ -34,18 +63,28 @@ const defaultEdgeMaxEntries = 4096
 // revocation history × pull cadence. Concurrent misses for the same key
 // are collapsed into one upstream fetch (singleflight), so an origin sees
 // at most one pull per (CA, from) per TTL no matter how many RAs stampede.
+//
+// An optional negative cache (SetNegativeTTL) remembers ErrUnknownCA per
+// CA: a misconfigured RA fleet polling a dictionary the origin does not
+// carry costs the upstream at most one lookup per negative TTL instead of
+// one per request. Negative entries have their own sweep cadence (the
+// negative TTL, not the positive one) and never shadow a successful fetch:
+// the first pull that succeeds deletes the entry.
 type EdgeServer struct {
 	upstream Origin
 	ttl      time.Duration
 	now      func() time.Time
 
-	mu         sync.Mutex
-	cache      map[edgeKey]*edgeEntry
-	inflight   map[edgeKey]*edgeCall
-	latest     map[dictionary.CAID]uint64 // highest live from per CA (clamped by origin count)
-	lastSweep  time.Time
-	maxEntries int
-	stats      EdgeStats
+	mu           sync.Mutex
+	cache        map[edgeKey]*edgeEntry
+	inflight     map[edgeKey]*edgeCall
+	latest       map[dictionary.CAID]uint64    // highest live from per CA (clamped by origin count)
+	negative     map[dictionary.CAID]time.Time // ErrUnknownCA entries: CA → expiry
+	negTTL       time.Duration
+	lastSweep    time.Time
+	lastNegSweep time.Time
+	maxEntries   int
+	stats        EdgeStats
 }
 
 type edgeKey struct {
@@ -79,7 +118,27 @@ func NewEdgeServer(upstream Origin, ttl time.Duration, now func() time.Time) *Ed
 		cache:      make(map[edgeKey]*edgeEntry),
 		inflight:   make(map[edgeKey]*edgeCall),
 		latest:     make(map[dictionary.CAID]uint64),
+		negative:   make(map[dictionary.CAID]time.Time),
 		maxEntries: defaultEdgeMaxEntries,
+	}
+}
+
+// SetNegativeTTL enables negative caching of ErrUnknownCA for d (0, the
+// default, disables it). While a negative entry is live every pull or root
+// request for that CA is answered locally with ErrUnknownCA — the upstream
+// sees at most one unknown-CA lookup per d per edge, so a misconfigured
+// fleet cannot convert its request rate into origin load. Choose d like a
+// DNS negative TTL: long enough to absorb a storm, short enough that a
+// freshly registered CA is picked up promptly.
+func (e *EdgeServer) SetNegativeTTL(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	e.negTTL = d
+	if d == 0 {
+		e.negative = make(map[dictionary.CAID]time.Time)
 	}
 }
 
@@ -99,20 +158,41 @@ func (e *EdgeServer) SetMaxEntries(n int) {
 }
 
 var _ Origin = (*EdgeServer)(nil)
+var _ MetaOrigin = (*EdgeServer)(nil)
 
 // Pull implements Origin with pull-through caching and singleflight miss
 // collapsing.
 func (e *EdgeServer) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	resp, _, err := e.PullWithMeta(ca, from)
+	return resp, err
+}
+
+// PullWithMeta implements MetaOrigin: Pull plus the cache disposition of
+// the response (the edge's TTL and the entry's age), which the HTTP layer
+// turns into Cache-Control: max-age and Age headers.
+func (e *EdgeServer) PullWithMeta(ca dictionary.CAID, from uint64) (*PullResponse, PullMeta, error) {
+	meta := PullMeta{TTL: e.ttl}
 	if e.ttl <= 0 {
 		// Caching disabled (the Fig 5 worst case): every request reaches
 		// the origin, including concurrent ones — that is the point of the
-		// configuration, so no singleflight either.
+		// configuration, so no singleflight either. The negative cache is a
+		// separate, explicit opt-in and still applies: an unknown-CA storm
+		// is operator misconfiguration, not a workload to measure.
+		e.mu.Lock()
+		meta.NegativeTTL = e.negTTL
+		if e.negativeHitLocked(ca, e.now()) {
+			e.stats.NegativeHits++
+			e.mu.Unlock()
+			return nil, meta, negativeErr(ca)
+		}
+		e.mu.Unlock()
 		resp, err := e.upstream.Pull(ca, from)
 		if err != nil {
 			e.mu.Lock()
 			e.stats.Errors++
+			e.recordUnknownCALocked(ca, e.now(), err)
 			e.mu.Unlock()
-			return nil, fmt.Errorf("edge pull: %w", err)
+			return nil, meta, fmt.Errorf("edge pull: %w", err)
 		}
 		size := int64(resp.Size())
 		e.mu.Lock()
@@ -120,20 +200,32 @@ func (e *EdgeServer) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 		e.stats.BytesServed += size
 		e.stats.BytesFetched += size
 		e.mu.Unlock()
-		return resp, nil
+		return resp, meta, nil
 	}
 
 	key := edgeKey{ca: ca, from: from}
 	now := e.now()
 
 	e.mu.Lock()
+	meta.NegativeTTL = e.negTTL
 	e.maybeSweepLocked(now)
+	// Positive entries win over negative ones: a live cached response is
+	// proof the CA's dictionary exists and is fresher than whatever
+	// failure recorded the negative entry (e.g. a LatestRoot against an
+	// origin mid-restart). Serving ErrUnknownCA while holding the CA's
+	// data would break the "never shadow a successful fetch" contract.
 	if ent, ok := e.cache[key]; ok && now.Sub(ent.fetched) < e.ttl {
 		e.stats.Hits++
 		e.stats.BytesServed += int64(ent.resp.Size())
 		resp := ent.resp
+		meta.Age = now.Sub(ent.fetched)
 		e.mu.Unlock()
-		return resp, nil
+		return resp, meta, nil
+	}
+	if e.negativeHitLocked(ca, now) {
+		e.stats.NegativeHits++
+		e.mu.Unlock()
+		return nil, meta, negativeErr(ca)
 	}
 	if call, ok := e.inflight[key]; ok {
 		// Someone else is already fetching this key: park and share.
@@ -143,13 +235,13 @@ func (e *EdgeServer) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 			e.mu.Lock()
 			e.stats.Errors++
 			e.mu.Unlock()
-			return nil, call.err
+			return nil, meta, call.err
 		}
 		e.mu.Lock()
 		e.stats.CollapsedPulls++
 		e.stats.BytesServed += int64(call.resp.Size())
 		e.mu.Unlock()
-		return call.resp, nil
+		return call.resp, meta, nil
 	}
 	call := &edgeCall{done: make(chan struct{})}
 	e.inflight[key] = call
@@ -170,7 +262,9 @@ func (e *EdgeServer) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 	delete(e.inflight, key)
 	if err != nil {
 		e.stats.Errors++
+		e.recordUnknownCALocked(ca, now, err)
 	} else {
+		delete(e.negative, ca)
 		e.stats.Misses++
 		e.stats.BytesServed += size
 		e.stats.BytesFetched += size
@@ -202,9 +296,71 @@ func (e *EdgeServer) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 	close(call.done)
 
 	if err != nil {
-		return nil, call.err
+		return nil, meta, call.err
 	}
-	return resp, nil
+	return resp, meta, nil
+}
+
+// negativeErr is the error served from the negative cache. It wraps
+// ErrUnknownCA so errors.Is-based callers (and the HTTP error mapping)
+// treat it exactly like an origin miss.
+func negativeErr(ca dictionary.CAID) error {
+	return fmt.Errorf("edge: %w: %s (negative cache)", ErrUnknownCA, ca)
+}
+
+// negativeHitLocked reports whether a live negative entry covers ca.
+// Expired entries found on the way are dropped. Caller holds mu.
+func (e *EdgeServer) negativeHitLocked(ca dictionary.CAID, now time.Time) bool {
+	if e.negTTL <= 0 {
+		return false
+	}
+	e.maybeSweepNegativeLocked(now)
+	until, ok := e.negative[ca]
+	if !ok {
+		return false
+	}
+	if !now.Before(until) {
+		delete(e.negative, ca)
+		return false
+	}
+	return true
+}
+
+// recordUnknownCALocked caches an upstream ErrUnknownCA for the negative
+// TTL; other errors are not cached (a flaky upstream must be retried, not
+// remembered). The map is bounded by the same cap as the positive cache:
+// a flood of attacker-minted unique CA ids must not grow memory without
+// limit, and caching a never-repeated id has no value anyway — at the
+// cap, new ids are simply not remembered (existing entries keep
+// absorbing their storms) until the sweep frees room. Caller holds mu.
+func (e *EdgeServer) recordUnknownCALocked(ca dictionary.CAID, now time.Time, err error) {
+	if e.negTTL <= 0 || !errors.Is(err, ErrUnknownCA) {
+		return
+	}
+	if _, exists := e.negative[ca]; !exists && len(e.negative) >= e.maxEntries {
+		e.lastNegSweep = time.Time{} // force the sweep to run now
+		e.maybeSweepNegativeLocked(now)
+		if len(e.negative) >= e.maxEntries {
+			return
+		}
+	}
+	e.negative[ca] = now.Add(e.negTTL)
+}
+
+// maybeSweepNegativeLocked drops expired negative entries, at most once
+// per negative TTL — the negative cache's own cadence, independent of the
+// positive sweep (the TTLs usually differ). Caller holds mu.
+func (e *EdgeServer) maybeSweepNegativeLocked(now time.Time) {
+	if e.negTTL <= 0 || now.Sub(e.lastNegSweep) < e.negTTL {
+		return
+	}
+	e.lastNegSweep = now
+	for ca, until := range e.negative {
+		if !now.Before(until) {
+			delete(e.negative, ca)
+			e.stats.NegativeEvictions++
+		}
+	}
 }
 
 // maybeSweepLocked runs an eviction sweep when one is due: at most once
@@ -260,23 +416,51 @@ func (e *EdgeServer) sweepLocked(now time.Time) {
 	}
 }
 
-// LatestRoot implements Origin; roots are never cached so that consistency
-// checking always observes the origin's current view (stale roots would
-// produce false equivocation alarms).
+// LatestRoot implements Origin; roots are never positively cached so that
+// consistency checking always observes the origin's current view (stale
+// roots would produce false equivocation alarms). The negative cache does
+// apply: an unknown CA stays unknown for the negative TTL regardless of
+// which endpoint asks, and there is no staleness to mis-serve.
 func (e *EdgeServer) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
-	return e.upstream.LatestRoot(ca)
+	e.mu.Lock()
+	if e.negativeHitLocked(ca, e.now()) {
+		e.stats.NegativeHits++
+		e.mu.Unlock()
+		return nil, negativeErr(ca)
+	}
+	e.mu.Unlock()
+	root, err := e.upstream.LatestRoot(ca)
+	if err != nil {
+		e.mu.Lock()
+		e.recordUnknownCALocked(ca, e.now(), err)
+		e.mu.Unlock()
+		return nil, err
+	}
+	return root, nil
 }
 
 // CAs implements Origin.
 func (e *EdgeServer) CAs() ([]dictionary.CAID, error) { return e.upstream.CAs() }
 
-// Flush drops every cached entry (operator action, or tests moving virtual
-// time backwards). In-flight fetches complete and repopulate the cache.
+// Flush drops every cached entry, positive and negative (operator action,
+// a restart in the scenario tests, or tests moving virtual time
+// backwards). In-flight fetches complete and repopulate the cache.
 func (e *EdgeServer) Flush() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache = make(map[edgeKey]*edgeEntry)
 	e.latest = make(map[dictionary.CAID]uint64)
+	e.negative = make(map[dictionary.CAID]time.Time)
+}
+
+// TTL returns the edge's positive cache TTL.
+func (e *EdgeServer) TTL() time.Duration { return e.ttl }
+
+// NegativeTTL implements MetaOrigin.
+func (e *EdgeServer) NegativeTTL() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.negTTL
 }
 
 // EdgeStats counts edge-server activity.
@@ -290,16 +474,43 @@ type EdgeStats struct {
 	// Evictions counts cache entries dropped by sweeps (TTL expiry, stale
 	// from-offsets, or the entry cap).
 	Evictions int
-	// Errors counts pulls that returned an error to their caller (leader
-	// fetches, parked waiters sharing a failed fetch, and uncached pulls
-	// alike) — without it, hit-rate metrics read 100%-healthy during an
-	// upstream outage in which zero requests succeed.
+	// Errors counts pulls that returned an upstream error to their caller
+	// (leader fetches, parked waiters sharing a failed fetch, and uncached
+	// pulls alike) — without it, hit-rate metrics read 100%-healthy during
+	// an upstream outage in which zero requests succeed. Requests answered
+	// from the negative cache count as NegativeHits, not Errors: the
+	// upstream was deliberately not consulted.
 	Errors int
+	// NegativeHits counts requests answered with ErrUnknownCA from the
+	// negative cache — unknown-CA traffic the upstream never saw.
+	NegativeHits int
+	// NegativeEvictions counts negative entries dropped by their sweep.
+	NegativeEvictions int
+	// NegativeEntries is the number of live negative entries at the time
+	// Stats was called.
+	NegativeEntries int
 	// Entries is the number of live cache entries at the time Stats was
 	// called; eviction tests assert it stays O(live keys).
 	Entries      int
 	BytesServed  int64 // toward RAs
 	BytesFetched int64 // from upstream
+}
+
+// add returns per-field sums of two stat snapshots; topology roll-ups use
+// it to report a whole tier as one ledger.
+func (s EdgeStats) add(o EdgeStats) EdgeStats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.CollapsedPulls += o.CollapsedPulls
+	s.Evictions += o.Evictions
+	s.Errors += o.Errors
+	s.NegativeHits += o.NegativeHits
+	s.NegativeEvictions += o.NegativeEvictions
+	s.NegativeEntries += o.NegativeEntries
+	s.Entries += o.Entries
+	s.BytesServed += o.BytesServed
+	s.BytesFetched += o.BytesFetched
+	return s
 }
 
 // Stats returns a copy of the edge's counters.
@@ -308,5 +519,6 @@ func (e *EdgeServer) Stats() EdgeStats {
 	defer e.mu.Unlock()
 	st := e.stats
 	st.Entries = len(e.cache)
+	st.NegativeEntries = len(e.negative)
 	return st
 }

@@ -1,6 +1,8 @@
 package cdn
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -355,5 +357,354 @@ func TestDistributionPointParallelPull(t *testing.T) {
 
 	if got := tc.dp.Stats().Pulls; got != pullers*perPull {
 		t.Errorf("pull counter = %d, want %d", got, pullers*perPull)
+	}
+}
+
+// TestEdgeNegativeCacheDisabledByDefault: without SetNegativeTTL every
+// unknown-CA pull reaches the upstream — negative caching is an explicit
+// operator choice, not a surprise.
+func TestEdgeNegativeCacheDisabledByDefault(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	counting := newCountingOrigin(tc.dp)
+	edge := NewEdgeServer(counting, time.Minute, tc.clock.now)
+	for i := 0; i < 5; i++ {
+		if _, err := edge.Pull("CA9", 0); err == nil {
+			t.Fatal("unknown CA pull succeeded")
+		}
+	}
+	if got := counting.caPulls("CA9"); got != 5 {
+		t.Errorf("upstream saw %d unknown-CA pulls, want 5 (negative caching not opted into)", got)
+	}
+	if st := edge.Stats(); st.NegativeHits != 0 || st.NegativeEntries != 0 {
+		t.Errorf("negative stats populated while disabled: %+v", st)
+	}
+}
+
+// TestEdgeNegativeCacheBoundsUpstreamLookups: with a negative TTL, an
+// unknown-CA request storm costs the upstream one lookup per TTL window —
+// across Pull and LatestRoot alike — and the entry clears the moment the
+// CA exists.
+func TestEdgeNegativeCacheBoundsUpstreamLookups(t *testing.T) {
+	const negTTL = 30 * time.Second
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 1)
+	counting := newCountingOrigin(tc.dp)
+	edge := NewEdgeServer(counting, time.Minute, tc.clock.now)
+	edge.SetNegativeTTL(negTTL)
+
+	for i := 0; i < 40; i++ {
+		if _, err := edge.Pull("CA9", uint64(i)); !errors.Is(err, ErrUnknownCA) {
+			t.Fatalf("pull %d: err = %v, want ErrUnknownCA", i, err)
+		}
+	}
+	// LatestRoot shares the entry: no extra upstream lookup.
+	if _, err := edge.LatestRoot("CA9"); !errors.Is(err, ErrUnknownCA) {
+		t.Fatal("LatestRoot bypassed the negative cache")
+	}
+	if got := counting.caPulls("CA9"); got != 1 {
+		t.Errorf("upstream saw %d unknown-CA pulls in one window, want 1", got)
+	}
+	st := edge.Stats()
+	if st.NegativeHits != 40 { // 39 pulls + 1 root
+		t.Errorf("NegativeHits = %d, want 40", st.NegativeHits)
+	}
+	if st.Errors != 1 {
+		t.Errorf("Errors = %d, want 1 (negative hits are not upstream errors)", st.Errors)
+	}
+	if st.NegativeEntries != 1 {
+		t.Errorf("NegativeEntries = %d, want 1", st.NegativeEntries)
+	}
+
+	// Next window: exactly one more upstream lookup.
+	tc.clock.advance(negTTL + time.Second)
+	if _, err := edge.Pull("CA9", 0); !errors.Is(err, ErrUnknownCA) {
+		t.Fatal("unknown CA became known spontaneously")
+	}
+	if got := counting.caPulls("CA9"); got != 2 {
+		t.Errorf("upstream saw %d unknown-CA pulls over 2 windows, want 2", got)
+	}
+
+	// The CA comes online; once the negative entry expires the edge
+	// serves it (and the success clears any bookkeeping).
+	if err := tc.dp.RegisterCA("CA9", tc.auth.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	tc.clock.advance(negTTL + time.Second)
+	if _, err := edge.Pull("CA9", 0); err != nil {
+		t.Errorf("pull after registration: %v", err)
+	}
+	if st := edge.Stats(); st.NegativeEntries != 0 {
+		t.Errorf("NegativeEntries = %d after successful fetch, want 0", st.NegativeEntries)
+	}
+}
+
+// TestEdgeNegativeCacheOwnSweep: expired negative entries are dropped by
+// the negative sweep (its own cadence), not only overwritten on re-miss.
+func TestEdgeNegativeCacheOwnSweep(t *testing.T) {
+	const negTTL = 20 * time.Second
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 1)
+	edge := NewEdgeServer(tc.dp, time.Hour, tc.clock.now)
+	edge.SetNegativeTTL(negTTL)
+
+	for _, ghost := range []dictionary.CAID{"G1", "G2", "G3"} {
+		if _, err := edge.Pull(ghost, 0); !errors.Is(err, ErrUnknownCA) {
+			t.Fatalf("pull %s: unexpected err %v", ghost, err)
+		}
+	}
+	if st := edge.Stats(); st.NegativeEntries != 3 {
+		t.Fatalf("NegativeEntries = %d, want 3", st.NegativeEntries)
+	}
+	// Past the negative TTL, any pull triggers the sweep — including one
+	// for a known CA that never touches the negative entries itself.
+	tc.clock.advance(negTTL + time.Second)
+	if _, err := edge.Pull("CA1", 0); err != nil {
+		t.Fatal(err)
+	}
+	st := edge.Stats()
+	if st.NegativeEntries != 0 {
+		t.Errorf("NegativeEntries = %d after sweep, want 0", st.NegativeEntries)
+	}
+	if st.NegativeEvictions != 3 {
+		t.Errorf("NegativeEvictions = %d, want 3", st.NegativeEvictions)
+	}
+}
+
+// TestEdgeNegativeCacheUncachedEdge: the Fig 5 worst-case edge (TTL=0,
+// positive caching off) still honors an explicit negative TTL — the two
+// caches are independent policies.
+func TestEdgeNegativeCacheUncachedEdge(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	counting := newCountingOrigin(tc.dp)
+	edge := NewEdgeServer(counting, 0, tc.clock.now)
+	edge.SetNegativeTTL(time.Minute)
+	for i := 0; i < 10; i++ {
+		if _, err := edge.Pull("CA9", 0); !errors.Is(err, ErrUnknownCA) {
+			t.Fatalf("pull %d: err = %v", i, err)
+		}
+	}
+	if got := counting.caPulls("CA9"); got != 1 {
+		t.Errorf("TTL=0 edge forwarded %d unknown-CA pulls, want 1", got)
+	}
+}
+
+// TestEdgeNegativeCacheFlakyErrorNotCached: only ErrUnknownCA is negative-
+// cached; transient upstream failures must be retried, never remembered.
+func TestEdgeNegativeCacheFlakyErrorNotCached(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 2)
+	broken := &brokenOrigin{}
+	edge := NewEdgeServer(&fallbackOrigin{first: broken, then: tc.dp}, time.Minute, tc.clock.now)
+	edge.SetNegativeTTL(time.Minute)
+
+	if _, err := edge.Pull("CA1", 0); err == nil {
+		t.Fatal("pull through broken upstream succeeded")
+	}
+	// The 500-class failure was not negative-cached: the immediate retry
+	// reaches the (healed) upstream.
+	resp, err := edge.Pull("CA1", 0)
+	if err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	if len(resp.Issuance.Serials) != 2 {
+		t.Errorf("retry served %d serials, want 2", len(resp.Issuance.Serials))
+	}
+}
+
+// brokenOrigin fails every call with an untyped error.
+type brokenOrigin struct{}
+
+func (brokenOrigin) Pull(dictionary.CAID, uint64) (*PullResponse, error) {
+	return nil, errUpstreamDown
+}
+func (brokenOrigin) LatestRoot(dictionary.CAID) (*dictionary.SignedRoot, error) {
+	return nil, errUpstreamDown
+}
+func (brokenOrigin) CAs() ([]dictionary.CAID, error) { return nil, errUpstreamDown }
+
+var errUpstreamDown = fmt.Errorf("upstream down")
+
+// fallbackOrigin serves the first call from `first`, everything after
+// from `then` — a one-shot transient failure.
+type fallbackOrigin struct {
+	mu    sync.Mutex
+	used  bool
+	first Origin
+	then  Origin
+}
+
+func (f *fallbackOrigin) pick() Origin {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.used {
+		f.used = true
+		return f.first
+	}
+	return f.then
+}
+
+func (f *fallbackOrigin) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error) {
+	return f.pick().Pull(ca, from)
+}
+func (f *fallbackOrigin) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	return f.pick().LatestRoot(ca)
+}
+func (f *fallbackOrigin) CAs() ([]dictionary.CAID, error) { return f.pick().CAs() }
+
+// TestEdgeStaleFromClampRepeatedRegressions extends the PR 2 clamp
+// coverage: two successive origin regressions (restart, partial re-feed,
+// restart again) must each re-open the post-regression keyspace — a
+// clamp that only works once would strand the fleet on the second
+// incident.
+func TestEdgeStaleFromClampRepeatedRegressions(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	now := tc.clock.now().Unix()
+	msgA, err := tc.auth.Insert(tc.gen.NextN(5), now) // covers (0, 5]
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgB, err := tc.auth.Insert(tc.gen.NextN(3), now) // covers (5, 8]
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.dp.PublishIssuance(msgA); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.dp.PublishIssuance(msgB); err != nil {
+		t.Fatal(err)
+	}
+
+	up := &swapOrigin{o: tc.dp}
+	const ttl = 30 * time.Second
+	edge := NewEdgeServer(up, ttl, tc.clock.now)
+	if _, err := edge.Pull("CA1", 8); err != nil { // latest[CA1] = 8
+		t.Fatal(err)
+	}
+
+	// restart replaces the origin with one re-fed only the given prefix.
+	restart := func(msgs ...*dictionary.IssuanceMessage) {
+		t.Helper()
+		dp := NewDistributionPoint(tc.clock.now)
+		if err := dp.RegisterCA("CA1", tc.auth.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range msgs {
+			if err := dp.PublishIssuance(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		up.set(dp)
+	}
+
+	// assertLiveAfterSweep pulls key (CA1, from) twice across a sweep
+	// boundary and requires the second to be a cache hit — the clamp must
+	// have re-opened the post-regression keyspace.
+	assertLiveAfterSweep := func(phase string, from uint64) {
+		t.Helper()
+		tc.clock.advance(ttl + time.Second) // expire pre-regression entries
+		if _, err := edge.Pull("CA1", from); err != nil {
+			t.Fatal(err)
+		}
+		tc.clock.advance(time.Second)
+		before := edge.Stats()
+		if _, err := edge.Pull("CA1", from); err != nil {
+			t.Fatal(err)
+		}
+		if after := edge.Stats(); after.Hits != before.Hits+1 {
+			t.Errorf("%s: (CA1, %d) swept as stale (%+v)", phase, from, after)
+		}
+	}
+
+	// First regression: origin re-fed only msgA (count 5); the fleet
+	// resyncs to 5 and pulls (CA1, 5).
+	restart(msgA)
+	assertLiveAfterSweep("first regression", 5)
+
+	// Second regression before anyone caught up: origin restarts EMPTY.
+	// A clamp that only handled one regression would sweep (CA1, 0)
+	// against the stale latest=5 mark forever.
+	restart()
+	assertLiveAfterSweep("second regression", 0)
+}
+
+// TestEdgeNegativeEntryDoesNotShadowPositiveCache: a negative entry
+// recorded by a failed root lookup (origin mid-restart) must not shadow
+// live cached pull responses — positive entries win; the negative entry
+// only governs keys the edge has nothing for.
+func TestEdgeNegativeEntryDoesNotShadowPositiveCache(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 3)
+	up := &swapOrigin{o: tc.dp}
+	const ttl = time.Minute
+	edge := NewEdgeServer(up, ttl, tc.clock.now)
+	edge.SetNegativeTTL(30 * time.Second)
+
+	if _, err := edge.Pull("CA1", 0); err != nil { // warm (CA1, 0)
+		t.Fatal(err)
+	}
+
+	// Origin restarts empty and unregistered: a root lookup records a
+	// negative entry for CA1.
+	dp2 := NewDistributionPoint(tc.clock.now)
+	up.set(dp2)
+	if _, err := edge.LatestRoot("CA1"); !errors.Is(err, ErrUnknownCA) {
+		t.Fatalf("root against restarted origin: %v", err)
+	}
+	if st := edge.Stats(); st.NegativeEntries != 1 {
+		t.Fatalf("NegativeEntries = %d, want 1", st.NegativeEntries)
+	}
+
+	// The live (CA1, 0) entry still serves.
+	resp, err := edge.Pull("CA1", 0)
+	if err != nil {
+		t.Fatalf("cached pull shadowed by negative entry: %v", err)
+	}
+	if len(resp.Issuance.Serials) != 3 {
+		t.Errorf("shadow-check pull served %d serials, want 3", len(resp.Issuance.Serials))
+	}
+	// A key the edge has NO data for is governed by the negative entry.
+	if _, err := edge.Pull("CA1", 1); !errors.Is(err, ErrUnknownCA) {
+		t.Errorf("uncached key bypassed the negative entry: %v", err)
+	}
+}
+
+// TestEdgeNegativeCacheBounded: the negative map shares the positive
+// cache's entry cap — a flood of attacker-minted unique CA ids must not
+// grow memory without limit (and caching a never-repeated id has no
+// value, so refusing new inserts at the cap loses nothing).
+func TestEdgeNegativeCacheBounded(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	edge := NewEdgeServer(tc.dp, time.Minute, tc.clock.now)
+	edge.SetMaxEntries(8)
+	edge.SetNegativeTTL(30 * time.Second)
+
+	for i := 0; i < 100; i++ {
+		ghost := dictionary.CAID(fmt.Sprintf("ghost-%d", i))
+		if _, err := edge.Pull(ghost, 0); !errors.Is(err, ErrUnknownCA) {
+			t.Fatalf("pull %d: err = %v", i, err)
+		}
+	}
+	if st := edge.Stats(); st.NegativeEntries > 8 {
+		t.Errorf("NegativeEntries = %d after 100 unique unknown CAs, cap is 8", st.NegativeEntries)
+	}
+	// Entries already in the map keep absorbing their own storms.
+	before := edge.Stats().NegativeHits
+	if _, err := edge.Pull("ghost-0", 0); !errors.Is(err, ErrUnknownCA) {
+		t.Fatal("cached ghost forgot its entry")
+	}
+	if after := edge.Stats().NegativeHits; after != before+1 {
+		t.Errorf("NegativeHits %d → %d: capped map stopped serving live entries", before, after)
+	}
+	// Once the window lapses, room frees up and new ids are remembered
+	// again.
+	tc.clock.advance(31 * time.Second)
+	if _, err := edge.Pull("fresh-ghost", 0); !errors.Is(err, ErrUnknownCA) {
+		t.Fatal(err)
+	}
+	if _, err := edge.Pull("fresh-ghost", 0); !errors.Is(err, ErrUnknownCA) {
+		t.Fatal(err)
+	}
+	if st := edge.Stats(); st.NegativeEntries == 0 || st.NegativeEntries > 8 {
+		t.Errorf("NegativeEntries = %d after sweep + re-insert, want within (0, 8]", st.NegativeEntries)
 	}
 }

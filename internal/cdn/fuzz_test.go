@@ -1,0 +1,70 @@
+package cdn
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+)
+
+// FuzzDecodePullResponse hardens the wire decoder against the bodies a
+// broken transport can produce: truncations at every depth (the overflow
+// guard's sibling failure mode), bit flips, and length-field lies. The
+// seed corpus covers every branch shape of the encoding — full response,
+// issuance-only, freshness-only, empty — plus classic malformations.
+func FuzzDecodePullResponse(f *testing.F) {
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	auth, err := dictionary.NewAuthority(dictionary.AuthorityConfig{
+		CA:     "FuzzCA",
+		Signer: signer,
+		Delta:  10 * time.Second,
+	}, 1_400_000_000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	msg, err := auth.Insert(serial.NewGenerator(7, nil).NextN(3), 1_400_000_000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	full := (&PullResponse{
+		Issuance:  msg,
+		Freshness: &dictionary.FreshnessStatement{CA: "FuzzCA", Value: cryptoutil.HashBytes([]byte("v"))},
+	}).Encoded()
+
+	f.Add(full) // well-formed, both fields
+	f.Add((&PullResponse{Issuance: msg}).Encoded())
+	f.Add((&PullResponse{Freshness: &dictionary.FreshnessStatement{CA: "FuzzCA"}}).Encoded())
+	f.Add((&PullResponse{}).Encoded())          // both flags false
+	f.Add([]byte{})                             // empty body
+	f.Add(full[:1])                             // flag only
+	f.Add(full[:len(full)/2])                   // mid-field truncation
+	f.Add(full[:len(full)-1])                   // one byte short
+	f.Add(append(append([]byte{}, full...), 0)) // trailing garbage
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})       // garbage
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff})    // length-field lie
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := DecodePullResponse(data)
+		if err != nil {
+			return // rejection is always acceptable; panics/hangs are the bug
+		}
+		// Accepted input: the memoized encoding must be the exact bytes
+		// parsed (decode seeds the memo), and re-decoding them must agree.
+		if !bytes.Equal(pr.Encoded(), data) {
+			t.Fatalf("accepted input re-encodes differently:\n in: %x\nout: %x", data, pr.Encoded())
+		}
+		again, err := DecodePullResponse(pr.Encoded())
+		if err != nil {
+			t.Fatalf("accepted encoding failed second decode: %v", err)
+		}
+		if (again.Issuance == nil) != (pr.Issuance == nil) || (again.Freshness == nil) != (pr.Freshness == nil) {
+			t.Fatal("second decode changed field presence")
+		}
+	})
+}

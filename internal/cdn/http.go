@@ -1,13 +1,17 @@
 package cdn
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"ritm/internal/cryptoutil"
 	"ritm/internal/dictionary"
 )
 
@@ -21,16 +25,120 @@ import (
 // Payloads use the deterministic wire encoding; HTTP is only the carrier,
 // so any real CDN (which caches opaque bodies by URL) can serve them. The
 // cache key (ca, from) appears entirely in the URL, matching EdgeServer's
-// cache keying.
+// cache keying, and the cache-contract headers make a third-party CDN
+// behave exactly like an EdgeServer tier:
+//
+//	Cache-Control: max-age=<ttl>   freshness lifetime, from the edge TTL
+//	Age: <seconds>                 time already spent in the edge cache
+//	ETag / If-None-Match           strong validator on /v1/root (the
+//	                               signed-root hash), 304 on match
+//	X-RITM-Error: unknown-ca|ahead typed sentinel carried out of band so
+//	                               clients never sniff error strings
+//
+// maxBody bounds response bodies read by HTTPClient. A response larger
+// than this is an explicit error, never a silent truncation: a truncated
+// PullResponse would fail decoding with a misleading "malformed wire"
+// error (or worse, decode cleanly if the cut falls on a field boundary).
+const maxBody = 1 << 28
+
+// bodyLimit is maxBody as a variable so the overflow test can exercise
+// the cap without streaming 256 MB.
+var bodyLimit = maxBody
+
+// Error-code header values; the wire form of the typed sentinels.
+const (
+	errCodeUnknownCA = "unknown-ca"
+	errCodeAhead     = "ahead"
+)
+
+// errorHeader is the out-of-band error channel: HTTP status codes are too
+// coarse to round-trip typed sentinels (a middlebox 404 is not an
+// unknown-CA answer), so the handler names the sentinel explicitly and the
+// client reconstructs from the name.
+const errorHeader = "X-RITM-Error"
+
+// statusFor maps dissemination errors to HTTP status codes by sentinel
+// identity (errors.Is), never by message content.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrUnknownCA):
+		return http.StatusNotFound
+	case errors.Is(err, ErrAhead):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errCode returns the X-RITM-Error value for err ("" for untyped errors).
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownCA):
+		return errCodeUnknownCA
+	case errors.Is(err, ErrAhead):
+		return errCodeAhead
+	default:
+		return ""
+	}
+}
+
+// sentinelFor is errCode's inverse: the typed sentinel named by an
+// X-RITM-Error value (nil for unknown names).
+func sentinelFor(code string) error {
+	switch code {
+	case errCodeUnknownCA:
+		return ErrUnknownCA
+	case errCodeAhead:
+		return ErrAhead
+	default:
+		return nil
+	}
+}
+
+// writeError reports err with its mapped status code and, for typed
+// sentinels, the X-RITM-Error header.
+func writeError(w http.ResponseWriter, err error) {
+	if code := errCode(err); code != "" {
+		w.Header().Set(errorHeader, code)
+	}
+	http.Error(w, err.Error(), statusFor(err))
+}
+
+// rootETag is the strong validator for /v1/root: the hash of the full
+// signed-root encoding (root hash, count, anchor, timestamp, signature),
+// quoted per RFC 9110. Byte-identical roots — and only those — share it.
+func rootETag(encoded []byte) string {
+	return `"` + cryptoutil.HashBytes(encoded).String() + `"`
+}
+
+// etagMatches reports whether an If-None-Match header value matches etag
+// (a list of quoted validators, or the wildcard).
+func etagMatches(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		if strings.TrimSpace(candidate) == etag {
+			return true
+		}
+	}
+	return false
+}
 
 // Handler adapts an Origin to the HTTP API. Serve it on an edge server or
-// on the distribution point itself.
+// on the distribution point itself. When the origin reports cache metadata
+// (MetaOrigin — every EdgeServer does), pull responses carry Cache-Control
+// and Age headers derived from the edge TTL, so any HTTP cache in front
+// expires entries exactly when the edge would.
 func Handler(origin Origin) http.Handler {
+	meta, _ := origin.(MetaOrigin)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cas", func(w http.ResponseWriter, r *http.Request) {
 		cas, err := origin.CAs()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, err)
 			return
 		}
 		var sb strings.Builder
@@ -48,9 +156,20 @@ func Handler(origin Origin) http.Handler {
 			http.Error(w, "cdn: pull requires ca and numeric from", http.StatusBadRequest)
 			return
 		}
-		resp, err := origin.Pull(ca, from)
+		var resp *PullResponse
+		if meta != nil {
+			var pm PullMeta
+			resp, pm, err = meta.PullWithMeta(ca, from)
+			if err == nil {
+				setCacheHeaders(w, pm)
+			} else {
+				setNegativeCacheHeader(w, err, pm.NegativeTTL)
+			}
+		} else {
+			resp, err = origin.Pull(ca, from)
+		}
 		if err != nil {
-			http.Error(w, err.Error(), statusFor(err))
+			writeError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -64,35 +183,78 @@ func Handler(origin Origin) http.Handler {
 		}
 		root, err := origin.LatestRoot(ca)
 		if err != nil {
-			http.Error(w, err.Error(), statusFor(err))
+			if meta != nil {
+				setNegativeCacheHeader(w, err, meta.NegativeTTL())
+			}
+			writeError(w, err)
+			return
+		}
+		encoded := root.Encode()
+		etag := rootETag(encoded)
+		w.Header().Set("ETag", etag)
+		// Roots are deliberately never cached by edges (staleness would
+		// produce false equivocation alarms); forbid front CDNs from
+		// heuristically caching them too — they may only revalidate
+		// against the ETag, which is exactly what HTTPClient does.
+		w.Header().Set("Cache-Control", "no-cache")
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(root.Encode())
+		w.Write(encoded)
 	})
 	return mux
 }
 
-func statusFor(err error) int {
-	switch {
-	case err == nil:
-		return http.StatusOK
-	case strings.Contains(err.Error(), ErrUnknownCA.Error()):
-		return http.StatusNotFound
-	case strings.Contains(err.Error(), ErrAhead.Error()):
-		return http.StatusConflict
-	default:
-		return http.StatusInternalServerError
+// setCacheHeaders translates an edge's cache disposition into the HTTP
+// cache contract: max-age is the edge TTL (the entry's total freshness
+// lifetime) and Age is how much of it is already spent, so a downstream
+// cache holds the entry for exactly the remaining TTL — never past the
+// staleness bound the client-side 2∆ policy assumes.
+func setCacheHeaders(w http.ResponseWriter, pm PullMeta) {
+	if pm.TTL <= 0 {
+		// Uncached upstream: forbid downstream caching too, or a front CDN
+		// would add staleness the deployment chose to not have.
+		w.Header().Set("Cache-Control", "no-store")
+		return
+	}
+	// max-age floors and Age ceils: both roundings shrink the remaining
+	// downstream window (max-age − Age), so a front cache can only expire
+	// the entry EARLIER than the edge would, never later.
+	w.Header().Set("Cache-Control", fmt.Sprintf("max-age=%d", int(pm.TTL/time.Second)))
+	w.Header().Set("Age", strconv.Itoa(int((pm.Age+time.Second-1)/time.Second)))
+}
+
+// setNegativeCacheHeader exports the negative TTL on an unknown-CA error
+// so a front CDN absorbs the storm for the same window the edge would,
+// instead of forwarding every 404 to us.
+func setNegativeCacheHeader(w http.ResponseWriter, err error, negTTL time.Duration) {
+	if negTTL > 0 && errors.Is(err, ErrUnknownCA) {
+		w.Header().Set("Cache-Control", fmt.Sprintf("max-age=%d", int(negTTL/time.Second)))
 	}
 }
 
 // HTTPClient is an Origin backed by the HTTP API; RAs use it to pull from a
-// remote edge server.
+// remote edge server. Root fetches are conditional: the client remembers
+// the last root (and its ETag) per CA and sends If-None-Match, so an
+// unchanged root costs a 304 with no body — the polling-heavy monitor
+// workload stops re-downloading identical signed roots every cycle.
 type HTTPClient struct {
 	// BaseURL is the edge server's root, e.g. "http://edge1.example:8080".
 	BaseURL string
 	// Client is the HTTP client to use (nil = http.DefaultClient).
 	Client *http.Client
+
+	mu    sync.Mutex
+	roots map[dictionary.CAID]*cachedRoot
+}
+
+// cachedRoot is the client's validator cache for one CA: the last root
+// body the server sent and the ETag it sent it under.
+type cachedRoot struct {
+	etag    string
+	encoded []byte
 }
 
 var _ Origin = (*HTTPClient)(nil)
@@ -104,25 +266,57 @@ func (h *HTTPClient) client() *http.Client {
 	return http.DefaultClient
 }
 
-func (h *HTTPClient) get(path string) ([]byte, error) {
-	resp, err := h.client().Get(h.BaseURL + path)
+// httpResult is one response, decoded enough to map errors and validators.
+type httpResult struct {
+	status int
+	etag   string
+	body   []byte
+}
+
+// get performs one GET. ifNoneMatch, when non-empty, is sent as an
+// If-None-Match header. Bodies larger than maxBody are an explicit error.
+func (h *HTTPClient) get(path, ifNoneMatch string) (*httpResult, error) {
+	req, err := http.NewRequest(http.MethodGet, h.BaseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cdn http: %w", err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := h.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cdn http: %w", err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<28))
+	// Read one byte past the cap: len(body) > bodyLimit distinguishes
+	// "too large" from "exactly at the cap". The seed truncated silently
+	// here and handed DecodePullResponse a cut-off buffer.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(bodyLimit)+1))
 	if err != nil {
 		return nil, fmt.Errorf("cdn http: read body: %w", err)
 	}
+	if len(body) > bodyLimit {
+		return nil, fmt.Errorf("cdn http: response body exceeds %d bytes", bodyLimit)
+	}
+	res := &httpResult{status: resp.StatusCode, etag: resp.Header.Get("ETag"), body: body}
 	switch resp.StatusCode {
-	case http.StatusOK:
-		return body, nil
-	case http.StatusNotFound:
-		return nil, fmt.Errorf("%w: %s", ErrUnknownCA, strings.TrimSpace(string(body)))
-	case http.StatusConflict:
-		return nil, fmt.Errorf("%w: %s", ErrAhead, strings.TrimSpace(string(body)))
+	case http.StatusOK, http.StatusNotModified:
+		return res, nil
 	default:
-		return nil, fmt.Errorf("cdn http: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		// Typed sentinel by name first (transport-proof), status-code
+		// fallback for servers predating the header.
+		detail := strings.TrimSpace(string(body))
+		if sentinel := sentinelFor(resp.Header.Get(errorHeader)); sentinel != nil {
+			return nil, fmt.Errorf("%w: %s", sentinel, detail)
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			return nil, fmt.Errorf("%w: %s", ErrUnknownCA, detail)
+		case http.StatusConflict:
+			return nil, fmt.Errorf("%w: %s", ErrAhead, detail)
+		default:
+			return nil, fmt.Errorf("cdn http: status %d: %s", resp.StatusCode, detail)
+		}
 	}
 }
 
@@ -135,31 +329,55 @@ func (h *HTTPClient) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 		"ca":   {string(ca)},
 		"from": {strconv.FormatUint(from, 10)},
 	}
-	body, err := h.get("/v1/pull?" + q.Encode())
+	res, err := h.get("/v1/pull?"+q.Encode(), "")
 	if err != nil {
 		return nil, err
 	}
-	return DecodePullResponse(body)
+	return DecodePullResponse(res.body)
 }
 
-// LatestRoot implements Origin.
+// LatestRoot implements Origin. The fetch is conditional when a previous
+// root for ca is cached: on 304 the cached bytes are decoded again —
+// byte-identical to what a full fetch would return, without the body.
 func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	h.mu.Lock()
+	cached := h.roots[ca]
+	h.mu.Unlock()
+	var inm string
+	if cached != nil {
+		inm = cached.etag
+	}
 	q := url.Values{"ca": {string(ca)}}
-	body, err := h.get("/v1/root?" + q.Encode())
+	res, err := h.get("/v1/root?"+q.Encode(), inm)
 	if err != nil {
 		return nil, err
+	}
+	body := res.body
+	if res.status == http.StatusNotModified {
+		if cached == nil {
+			// A 304 to an unconditional request is a server bug; surface it.
+			return nil, fmt.Errorf("cdn http: 304 for %s without a cached root", ca)
+		}
+		body = cached.encoded
+	} else if res.etag != "" {
+		h.mu.Lock()
+		if h.roots == nil {
+			h.roots = make(map[dictionary.CAID]*cachedRoot)
+		}
+		h.roots[ca] = &cachedRoot{etag: res.etag, encoded: body}
+		h.mu.Unlock()
 	}
 	return dictionary.DecodeSignedRoot(body)
 }
 
 // CAs implements Origin.
 func (h *HTTPClient) CAs() ([]dictionary.CAID, error) {
-	body, err := h.get("/v1/cas")
+	res, err := h.get("/v1/cas", "")
 	if err != nil {
 		return nil, err
 	}
 	var out []dictionary.CAID
-	for _, line := range strings.Split(string(body), "\n") {
+	for _, line := range strings.Split(string(res.body), "\n") {
 		if line = strings.TrimSpace(line); line != "" {
 			out = append(out, dictionary.CAID(line))
 		}

@@ -113,3 +113,85 @@ func TestQuantileAndCDF(t *testing.T) {
 		t.Error("empty CDF not nil")
 	}
 }
+
+func TestHierarchyDownloadTimeOrdering(t *testing.T) {
+	n := NewNetwork(42)
+	const bytes = 12 * 1024
+	for node := 0; node < n.Nodes(); node += 7 {
+		for trial := 0; trial < 5; trial++ {
+			popHit, err := n.HierarchyDownloadTime(node, trial, bytes, true, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regionalHit, err := n.HierarchyDownloadTime(node, trial, bytes, false, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			miss, err := n.HierarchyDownloadTime(node, trial, bytes, false, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deeper misses strictly cost more: each tier adds a round
+			// trip and a store-and-forward transfer.
+			if !(popHit < regionalHit && regionalHit < miss) {
+				t.Fatalf("node %d trial %d: popHit=%v regionalHit=%v miss=%v — not increasing",
+					node, trial, popHit, regionalHit, miss)
+			}
+			// Determinism: the same (node, trial) reproduces its sample.
+			again, err := n.HierarchyDownloadTime(node, trial, bytes, false, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != miss {
+				t.Fatalf("node %d trial %d: non-deterministic sample", node, trial)
+			}
+		}
+	}
+	if _, err := n.HierarchyDownloadTime(n.Nodes(), 0, bytes, true, true); err == nil {
+		t.Error("out-of-range vantage point accepted")
+	}
+}
+
+func TestHierarchySampleHitRateMonotone(t *testing.T) {
+	n := NewNetwork(7)
+	const bytes = 12 * 1024
+	allMiss := n.HierarchySample(bytes, 10, 0, 0)
+	allPopHit := n.HierarchySample(bytes, 10, 1, 0)
+	if len(allMiss) != n.Nodes()*10 || len(allPopHit) != len(allMiss) {
+		t.Fatalf("sample sizes %d/%d, want %d", len(allMiss), len(allPopHit), n.Nodes()*10)
+	}
+	// A fleet that always hits its PoP is faster at every quantile than
+	// one that always walks to the origin.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if hit, miss := Quantile(allPopHit, q), Quantile(allMiss, q); hit >= miss {
+			t.Errorf("q%.2f: all-hit %v ≥ all-miss %v", q, hit, miss)
+		}
+	}
+	// Determinism across calls.
+	again := n.HierarchySample(bytes, 10, 0, 0)
+	for i := range again {
+		if again[i] != allMiss[i] {
+			t.Fatal("HierarchySample is not deterministic")
+		}
+	}
+}
+
+func TestRegionsAccessor(t *testing.T) {
+	regions := Regions()
+	if len(regions) == 0 {
+		t.Fatal("no regions")
+	}
+	total := 0
+	for _, r := range regions {
+		if r.Name == "" || r.EdgeRTT <= 0 || r.OriginRTT <= 0 || r.Bandwidth <= 0 {
+			t.Errorf("malformed region %+v", r)
+		}
+		if r.EdgeRTT >= r.OriginRTT {
+			t.Errorf("region %s: edge RTT %v ≥ origin RTT %v (edges must be nearer)", r.Name, r.EdgeRTT, r.OriginRTT)
+		}
+		total += r.Nodes
+	}
+	if total != VantagePoints {
+		t.Errorf("region nodes sum to %d, want %d", total, VantagePoints)
+	}
+}

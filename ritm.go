@@ -120,7 +120,33 @@ type (
 	Origin = cdn.Origin
 	// HTTPClient is an Origin over the HTTP transport.
 	HTTPClient = cdn.HTTPClient
+	// Topology is the two-tier edge hierarchy (regions × PoPs): PoPs pull
+	// from regional edges, regional edges pull from the origin, so origin
+	// load is O(regions) regardless of fleet size.
+	Topology = cdn.Topology
+	// TopologyConfig shapes a Topology (tier TTLs, negative-cache TTL).
+	TopologyConfig = cdn.TopologyConfig
+	// TopologyStats is the per-tier (and per-region) stats roll-up.
+	TopologyStats = cdn.TopologyStats
 )
+
+// NewTopology wires a regions × PoPs edge hierarchy over origin.
+func NewTopology(origin Origin, cfg TopologyConfig) (*Topology, error) {
+	return cdn.NewTopology(origin, cfg)
+}
+
+// Dissemination sentinels (match with errors.Is).
+var (
+	// ErrUnknownCA reports a pull for a dictionary the origin does not
+	// carry; edges can negative-cache it (EdgeServer.SetNegativeTTL).
+	ErrUnknownCA = cdn.ErrUnknownCA
+	// ErrAhead reports a pull whose from-count exceeds the origin's —
+	// the origin-regression signal the fetcher's Resync recovery handles.
+	ErrAhead = cdn.ErrAhead
+)
+
+// EdgeHitRate reduces edge stats to the served-without-upstream fraction.
+func EdgeHitRate(s EdgeStats) float64 { return cdn.HitRate(s) }
 
 // NewDistributionPoint creates a CDN origin. now is the clock used to
 // validate ingested freshness statements (nil = time.Now).
