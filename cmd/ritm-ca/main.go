@@ -37,21 +37,27 @@ func main() {
 		id     = flag.String("id", "DemoCA", "CA identifier")
 		delta  = flag.Duration("delta", 10*time.Second, "dissemination interval ∆")
 		listen = flag.String("listen", "127.0.0.1:8440", "address for the dissemination + admin API")
+		layout = flag.String("layout", "sorted", "dictionary commitment layout (sorted|forest); every RA replicating this CA must use the same -layout")
 	)
 	flag.Parse()
-	if err := run(*id, *delta, *listen); err != nil {
+	kind, err := ritm.ParseLayout(*layout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*id, *delta, *listen, kind); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, delta time.Duration, listen string) error {
+func run(id string, delta time.Duration, listen string, layout ritm.LayoutKind) error {
 	dp := ritm.NewDistributionPoint(nil)
-	authority, err := ritm.NewCA(ritm.CAConfig{ID: ritm.CAID(id), Delta: delta, Publisher: dp})
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: ritm.CAID(id), Delta: delta, Publisher: dp, Layout: layout})
 	if err != nil {
 		return err
 	}
-	if err := dp.RegisterCA(ritm.CAID(id), authority.PublicKey()); err != nil {
+	if err := dp.RegisterCAWithLayout(ritm.CAID(id), authority.PublicKey(), layout); err != nil {
 		return err
 	}
 	if err := authority.PublishRoot(); err != nil {
@@ -102,7 +108,7 @@ func run(id string, delta time.Duration, listen string) error {
 	srv := &http.Server{Addr: listen, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("ritm-ca %s: ∆=%v, serving dissemination + admin on %s", id, delta, listen)
+	log.Printf("ritm-ca %s: ∆=%v, layout=%s, serving dissemination + admin on %s", id, delta, layout, listen)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -33,9 +33,15 @@ func main() {
 		jitter = flag.Duration("jitter", 0, "max random per-CA pull delay each cycle (avoids fleet-wide stampedes)")
 		expire = flag.Duration("expire-shards", 0, "expiry-shard bucket width; >0 drops fully expired shards every cycle")
 		chain  = flag.String("edge-chain", "", "comma-separated TTLs of local caching edge layers over the dissemination endpoint, nearest first (e.g. \"5s,30s\" = PoP-style 5s cache in front of a 30s regional-style cache); each layer also negative-caches unknown CAs for its TTL")
+		layout = flag.String("layout", "sorted", "dictionary commitment layout (sorted|forest); must match the CA's -layout, or every pulled update is rejected")
 	)
 	flag.Parse()
-	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain); err != nil {
+	kind, err := ritm.ParseLayout(*layout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain, kind); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -67,7 +73,7 @@ func buildEdgeChain(base ritm.Origin, ttls string) (ritm.Origin, error) {
 	return origin, nil
 }
 
-func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string) error {
+func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string, layout ritm.LayoutKind) error {
 	root, err := fetchRoot(caURL)
 	if err != nil {
 		return err
@@ -80,6 +86,7 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 		Roots:  []*ritm.Certificate{root},
 		Origin: origin,
 		Delta:  delta,
+		Layout: layout,
 	})
 	if err != nil {
 		return err
@@ -104,8 +111,8 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 	}
 	defer proxy.Close()
 	proxy.SetOnError(func(err error) { log.Printf("proxy: %v", err) })
-	log.Printf("ritm-ra: replicating %s (∆=%v), proxying %s → %s",
-		root.Issuer, delta, proxy.Addr(), target)
+	log.Printf("ritm-ra: replicating %s (∆=%v, layout=%s), proxying %s → %s",
+		root.Issuer, delta, layout, proxy.Addr(), target)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

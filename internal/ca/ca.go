@@ -43,6 +43,10 @@ type Config struct {
 	CertValidity time.Duration
 	// ChainLength is the freshness-chain length m (0 = default).
 	ChainLength int
+	// Layout selects the dictionary commitment structure (zero value:
+	// LayoutSorted). Every replica — RAs and the distribution point's
+	// verifying copy — must be configured with the same layout.
+	Layout dictionary.LayoutKind
 	// Signer is the CA key; nil generates a fresh one from Rand.
 	Signer *cryptoutil.Signer
 	// Rand sources randomness (nil = crypto/rand).
@@ -102,6 +106,7 @@ func New(cfg Config) (*CA, error) {
 		Signer:      signer,
 		Delta:       cfg.Delta,
 		ChainLength: cfg.ChainLength,
+		Layout:      cfg.Layout,
 		Rand:        cfg.Rand,
 	}, nowUnix)
 	if err != nil {
@@ -139,6 +144,9 @@ func (c *CA) PublicKey() ed25519.PublicKey { return c.signer.Public() }
 
 // Delta returns the CA's dissemination interval ∆.
 func (c *CA) Delta() time.Duration { return c.delta }
+
+// Layout returns the dictionary's commitment layout.
+func (c *CA) Layout() dictionary.LayoutKind { return c.authority.Layout() }
 
 // Authority exposes the CA's dictionary (read-mostly uses: roots, proofs).
 func (c *CA) Authority() *dictionary.Authority { return c.authority }
@@ -313,6 +321,7 @@ func (c *CA) Fork() (*CA, error) {
 		CertValidity: c.validity,
 		Signer:       c.signer,
 		Now:          c.now,
+		Layout:       c.authority.Layout(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ca %s: fork: %w", c.id, err)

@@ -186,8 +186,19 @@ func NewDistributionPoint(now func() time.Time) *DistributionPoint {
 
 // RegisterCA announces a CA to the distribution point, providing the trust
 // anchor used to verify everything the CA publishes. This models the
-// CA-bootstrapping manifest of §VIII.
+// CA-bootstrapping manifest of §VIII. The verifying replica uses the
+// default sorted layout; CAs signing forest-layout dictionaries register
+// with RegisterCAWithLayout.
 func (dp *DistributionPoint) RegisterCA(ca dictionary.CAID, pub []byte) error {
+	return dp.RegisterCAWithLayout(ca, pub, dictionary.LayoutSorted)
+}
+
+// RegisterCAWithLayout announces a CA whose dictionary uses the given
+// commitment layout. The distribution point verifies every ingested message
+// by replaying it through its own replica, and roots are layout-specific,
+// so the layout here must match the CA's — the pull/sync wire protocol
+// itself stays layout-agnostic (issuance logs are just serials).
+func (dp *DistributionPoint) RegisterCAWithLayout(ca dictionary.CAID, pub []byte, layout dictionary.LayoutKind) error {
 	if ca == "" {
 		return fmt.Errorf("cdn: empty CA id")
 	}
@@ -196,7 +207,7 @@ func (dp *DistributionPoint) RegisterCA(ca dictionary.CAID, pub []byte) error {
 	if _, dup := dp.dicts[ca]; dup {
 		return fmt.Errorf("cdn: CA %s already registered", ca)
 	}
-	dp.dicts[ca] = dictionary.NewReplica(ca, pub)
+	dp.dicts[ca] = dictionary.NewReplicaWithLayout(ca, pub, layout)
 	return nil
 }
 

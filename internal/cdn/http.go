@@ -32,6 +32,10 @@ import (
 //	Age: <seconds>                 time already spent in the edge cache
 //	ETag / If-None-Match           strong validator on /v1/root (the
 //	                               signed-root hash), 304 on match
+//	Last-Modified / If-Modified-Since  weak-validator fallback on /v1/root
+//	                               (the root's signing time) for caches
+//	                               that strip ETags; If-None-Match wins
+//	                               when both are present (RFC 9110)
 //	X-RITM-Error: unknown-ca|ahead typed sentinel carried out of band so
 //	                               clients never sniff error strings
 //
@@ -133,6 +137,16 @@ func etagMatches(header, etag string) bool {
 // and Age headers derived from the edge TTL, so any HTTP cache in front
 // expires entries exactly when the edge would.
 func Handler(origin Origin) http.Handler {
+	return HandlerWithClock(origin, time.Now)
+}
+
+// HandlerWithClock is Handler with an injectable clock, used by the
+// If-Modified-Since guard (a signing second is "elapsed" relative to this
+// clock). Deployments whose dissemination tier runs on a virtual or
+// tightly synced clock pass it here; with the default wall clock, an edge
+// running behind the CA only costs full 200 bodies (the fallback stays
+// quiet), never a stale 304.
+func HandlerWithClock(origin Origin, now func() time.Time) http.Handler {
 	meta, _ := origin.(MetaOrigin)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cas", func(w http.ResponseWriter, r *http.Request) {
@@ -191,15 +205,40 @@ func Handler(origin Origin) http.Handler {
 		}
 		encoded := root.Encode()
 		etag := rootETag(encoded)
+		signedAt := time.Unix(root.Time, 0).UTC()
 		w.Header().Set("ETag", etag)
+		// Last-Modified (the root's signing time) is the weak-validator
+		// fallback for caches that strip ETags; its one-second granularity
+		// means a root re-signed within the same second revalidates as
+		// unmodified, so the strong ETag stays authoritative whenever both
+		// are present.
+		w.Header().Set("Last-Modified", signedAt.Format(http.TimeFormat))
 		// Roots are deliberately never cached by edges (staleness would
 		// produce false equivocation alarms); forbid front CDNs from
 		// heuristically caching them too — they may only revalidate
-		// against the ETag, which is exactly what HTTPClient does.
+		// against the validators, which is exactly what HTTPClient does.
 		w.Header().Set("Cache-Control", "no-cache")
-		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
-			w.WriteHeader(http.StatusNotModified)
-			return
+		if inm := r.Header.Get("If-None-Match"); inm != "" {
+			// RFC 9110 §13.1.3: when If-None-Match is present,
+			// If-Modified-Since MUST be ignored.
+			if etagMatches(inm, etag) {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		} else if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+			// The date is only a usable validator once its second has fully
+			// elapsed: while the signing second is still current the CA may
+			// re-sign without the date moving (the weak-validator caveat of
+			// RFC 9110 §8.8.2.2), so serve the full body until then. The
+			// residual blind spot — two DIFFERENT roots signed within one
+			// already-elapsed second — is inherent to date granularity;
+			// consistency-checking monitors must revalidate with ETags or
+			// unconditional fetches, never the fallback validator alone.
+			if since, err := http.ParseTime(ims); err == nil && !signedAt.After(since) &&
+				now().Unix() > root.Time {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(encoded)
@@ -237,9 +276,11 @@ func setNegativeCacheHeader(w http.ResponseWriter, err error, negTTL time.Durati
 
 // HTTPClient is an Origin backed by the HTTP API; RAs use it to pull from a
 // remote edge server. Root fetches are conditional: the client remembers
-// the last root (and its ETag) per CA and sends If-None-Match, so an
-// unchanged root costs a 304 with no body — the polling-heavy monitor
-// workload stops re-downloading identical signed roots every cycle.
+// the last root (with its ETag and Last-Modified) per CA and sends
+// If-None-Match — or, when an intermediary stripped the ETag,
+// If-Modified-Since — so an unchanged root costs a 304 with no body; the
+// polling-heavy monitor workload stops re-downloading identical signed
+// roots every cycle even through ETag-hostile caches.
 type HTTPClient struct {
 	// BaseURL is the edge server's root, e.g. "http://edge1.example:8080".
 	BaseURL string
@@ -251,10 +292,12 @@ type HTTPClient struct {
 }
 
 // cachedRoot is the client's validator cache for one CA: the last root
-// body the server sent and the ETag it sent it under.
+// body the server sent and the validators it sent it under (either may be
+// empty when an intermediary strips headers).
 type cachedRoot struct {
-	etag    string
-	encoded []byte
+	etag         string
+	lastModified string
+	encoded      []byte
 }
 
 var _ Origin = (*HTTPClient)(nil)
@@ -268,20 +311,25 @@ func (h *HTTPClient) client() *http.Client {
 
 // httpResult is one response, decoded enough to map errors and validators.
 type httpResult struct {
-	status int
-	etag   string
-	body   []byte
+	status       int
+	etag         string
+	lastModified string
+	body         []byte
 }
 
-// get performs one GET. ifNoneMatch, when non-empty, is sent as an
-// If-None-Match header. Bodies larger than maxBody are an explicit error.
-func (h *HTTPClient) get(path, ifNoneMatch string) (*httpResult, error) {
+// get performs one GET. ifNoneMatch / ifModifiedSince, when non-empty, are
+// sent as the corresponding conditional headers. Bodies larger than maxBody
+// are an explicit error.
+func (h *HTTPClient) get(path, ifNoneMatch, ifModifiedSince string) (*httpResult, error) {
 	req, err := http.NewRequest(http.MethodGet, h.BaseURL+path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("cdn http: %w", err)
 	}
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	if ifModifiedSince != "" {
+		req.Header.Set("If-Modified-Since", ifModifiedSince)
 	}
 	resp, err := h.client().Do(req)
 	if err != nil {
@@ -298,7 +346,12 @@ func (h *HTTPClient) get(path, ifNoneMatch string) (*httpResult, error) {
 	if len(body) > bodyLimit {
 		return nil, fmt.Errorf("cdn http: response body exceeds %d bytes", bodyLimit)
 	}
-	res := &httpResult{status: resp.StatusCode, etag: resp.Header.Get("ETag"), body: body}
+	res := &httpResult{
+		status:       resp.StatusCode,
+		etag:         resp.Header.Get("ETag"),
+		lastModified: resp.Header.Get("Last-Modified"),
+		body:         body,
+	}
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusNotModified:
 		return res, nil
@@ -329,7 +382,7 @@ func (h *HTTPClient) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 		"ca":   {string(ca)},
 		"from": {strconv.FormatUint(from, 10)},
 	}
-	res, err := h.get("/v1/pull?"+q.Encode(), "")
+	res, err := h.get("/v1/pull?"+q.Encode(), "", "")
 	if err != nil {
 		return nil, err
 	}
@@ -337,18 +390,26 @@ func (h *HTTPClient) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 }
 
 // LatestRoot implements Origin. The fetch is conditional when a previous
-// root for ca is cached: on 304 the cached bytes are decoded again —
-// byte-identical to what a full fetch would return, without the body.
+// root for ca is cached: If-None-Match when an ETag survived the transport,
+// If-Modified-Since otherwise (the fallback for caches that strip ETags).
+// On 304 the cached bytes are decoded again — byte-identical to what a
+// full fetch would return, without the body.
 func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
 	h.mu.Lock()
 	cached := h.roots[ca]
 	h.mu.Unlock()
-	var inm string
+	var inm, ims string
 	if cached != nil {
 		inm = cached.etag
+		if inm == "" {
+			// No strong validator survived; fall back to the weak one. Never
+			// send both: a server honoring RFC 9110 ignores If-Modified-Since
+			// when If-None-Match is present anyway.
+			ims = cached.lastModified
+		}
 	}
 	q := url.Values{"ca": {string(ca)}}
-	res, err := h.get("/v1/root?"+q.Encode(), inm)
+	res, err := h.get("/v1/root?"+q.Encode(), inm, ims)
 	if err != nil {
 		return nil, err
 	}
@@ -359,12 +420,12 @@ func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, err
 			return nil, fmt.Errorf("cdn http: 304 for %s without a cached root", ca)
 		}
 		body = cached.encoded
-	} else if res.etag != "" {
+	} else if res.etag != "" || res.lastModified != "" {
 		h.mu.Lock()
 		if h.roots == nil {
 			h.roots = make(map[dictionary.CAID]*cachedRoot)
 		}
-		h.roots[ca] = &cachedRoot{etag: res.etag, encoded: body}
+		h.roots[ca] = &cachedRoot{etag: res.etag, lastModified: res.lastModified, encoded: body}
 		h.mu.Unlock()
 	}
 	return dictionary.DecodeSignedRoot(body)
@@ -372,7 +433,7 @@ func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, err
 
 // CAs implements Origin.
 func (h *HTTPClient) CAs() ([]dictionary.CAID, error) {
-	res, err := h.get("/v1/cas", "")
+	res, err := h.get("/v1/cas", "", "")
 	if err != nil {
 		return nil, err
 	}

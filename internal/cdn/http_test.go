@@ -8,8 +8,11 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"ritm/internal/dictionary"
 )
 
 // TestStatusForMapping is the server-side half of the error contract:
@@ -313,6 +316,223 @@ func TestRootConditionalRequests(t *testing.T) {
 	}
 	if !root4.Equal(root3) {
 		t.Error("post-rotation conditional fetch diverged")
+	}
+}
+
+// TestRootLastModifiedFallback is the table-driven contract for the
+// weak-validator fallback on /v1/root: Last-Modified is the root's signing
+// time, If-Modified-Since alone revalidates to 304, and If-None-Match —
+// when present — takes precedence per RFC 9110 §13.1.3.
+func TestRootLastModifiedFallback(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 3)
+	srv := httptest.NewServer(Handler(tc.dp))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/root?ca=CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lm := resp.Header.Get("Last-Modified")
+	etag := resp.Header.Get("ETag")
+	if lm == "" {
+		t.Fatal("no Last-Modified on /v1/root")
+	}
+	signedAt, err := http.ParseTime(lm)
+	if err != nil {
+		t.Fatalf("unparsable Last-Modified %q: %v", lm, err)
+	}
+	root, err := tc.dp.LatestRoot("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Unix(root.Time, 0).UTC(); !got.Equal(signedAt) {
+		t.Errorf("Last-Modified = %v, want signing time %v", signedAt, got)
+	}
+
+	for _, tt := range []struct {
+		name       string
+		inm, ims   string
+		wantStatus int
+	}{
+		{"ims exact match", "", lm, http.StatusNotModified},
+		{"ims after signing", "", signedAt.Add(time.Hour).Format(http.TimeFormat), http.StatusNotModified},
+		{"ims before signing", "", signedAt.Add(-time.Hour).Format(http.TimeFormat), http.StatusOK},
+		{"ims unparsable", "", "half past never", http.StatusOK},
+		{"inm match wins over stale ims", etag, signedAt.Add(-time.Hour).Format(http.TimeFormat), http.StatusNotModified},
+		{"inm mismatch ignores fresh ims", `"deadbeef"`, lm, http.StatusOK},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/root?ca=CA1", nil)
+			if tt.inm != "" {
+				req.Header.Set("If-None-Match", tt.inm)
+			}
+			if tt.ims != "" {
+				req.Header.Set("If-Modified-Since", tt.ims)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tt.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tt.wantStatus)
+			}
+			if resp.StatusCode == http.StatusNotModified && len(body) != 0 {
+				t.Errorf("304 carried %d body bytes", len(body))
+			}
+			// Both validators ride along on every response, including 304s,
+			// so downstream caches can refresh whichever they kept.
+			if got := resp.Header.Get("Last-Modified"); got != lm {
+				t.Errorf("Last-Modified = %q, want %q", got, lm)
+			}
+		})
+	}
+}
+
+// fixedRootOrigin serves one canned signed root; the open-second test
+// needs a root whose signing time is the wall clock's present/future,
+// which the virtual-clock fixtures cannot produce.
+type fixedRootOrigin struct{ root *dictionary.SignedRoot }
+
+func (o fixedRootOrigin) Pull(dictionary.CAID, uint64) (*PullResponse, error) {
+	return nil, ErrUnknownCA
+}
+func (o fixedRootOrigin) LatestRoot(dictionary.CAID) (*dictionary.SignedRoot, error) {
+	return o.root, nil
+}
+func (o fixedRootOrigin) CAs() ([]dictionary.CAID, error) {
+	return []dictionary.CAID{o.root.CA}, nil
+}
+
+// TestRootIMSIgnoredWhileSigningSecondOpen: a Last-Modified date is not a
+// usable validator until its second has elapsed (the CA may re-sign within
+// it without the date moving), so an If-Modified-Since match against a
+// just-signed root must still return the full body.
+func TestRootIMSIgnoredWhileSigningSecondOpen(t *testing.T) {
+	for _, tt := range []struct {
+		name       string
+		signedAt   int64
+		wantStatus int
+	}{
+		{"signing second still open", time.Now().Unix() + 3, http.StatusOK},
+		{"signing second elapsed", time.Now().Unix() - 10, http.StatusNotModified},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			root := &dictionary.SignedRoot{CA: "CA1", N: 1, Time: tt.signedAt, DeltaSecs: 10}
+			srv := httptest.NewServer(Handler(fixedRootOrigin{root: root}))
+			defer srv.Close()
+			req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/root?ca=CA1", nil)
+			req.Header.Set("If-Modified-Since", time.Unix(tt.signedAt, 0).UTC().Format(http.TimeFormat))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tt.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tt.wantStatus)
+			}
+		})
+	}
+}
+
+// etagStripper models a cache/middlebox that drops ETag headers (a
+// documented real-CDN behavior the Last-Modified fallback exists for).
+type etagStripper struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (w *etagStripper) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.Header().Del("ETag")
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *etagStripper) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// TestRootConditionalThroughETagStrippingCache: with ETags stripped in
+// transit, the HTTPClient falls back to If-Modified-Since and still gets
+// 304s with byte-identical roots — and still re-downloads after a genuine
+// rotation.
+func TestRootConditionalThroughETagStrippingCache(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 2)
+	inner := Handler(tc.dp)
+	var mu sync.Mutex
+	var sawIMS, sawINM bool
+	var notModified int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		sawIMS = sawIMS || r.Header.Get("If-Modified-Since") != ""
+		sawINM = sawINM || r.Header.Get("If-None-Match") != ""
+		mu.Unlock()
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(&etagStripper{ResponseWriter: rec}, r)
+		mu.Lock()
+		if rec.Code == http.StatusNotModified {
+			notModified++
+		}
+		mu.Unlock()
+		for k, vs := range rec.Header() {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(rec.Body.Bytes())
+	}))
+	defer srv.Close()
+
+	client := &HTTPClient{BaseURL: srv.URL}
+	root1, err := client.LatestRoot("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := client.LatestRoot("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	ims, inm, nm := sawIMS, sawINM, notModified
+	mu.Unlock()
+	if inm {
+		t.Error("client sent If-None-Match despite the stripped ETag")
+	}
+	if !ims {
+		t.Error("client never fell back to If-Modified-Since")
+	}
+	if nm != 1 {
+		t.Errorf("server produced %d 304s, want 1", nm)
+	}
+	if string(root1.Encode()) != string(root2.Encode()) {
+		t.Error("root after IMS 304 is not byte-identical")
+	}
+
+	// A rotation in a later second re-downloads: Last-Modified moves
+	// forward, the stale date no longer matches.
+	tc.clock.advance(2 * time.Second)
+	tc.revoke(t, 2)
+	root3, err := client.LatestRoot("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root3.N != 4 {
+		t.Errorf("post-rotation root N = %d, want 4", root3.N)
+	}
+	if root3.Equal(root1) {
+		t.Error("client kept the superseded root through the IMS fallback")
 	}
 }
 

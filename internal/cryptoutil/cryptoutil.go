@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"crypto/subtle"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -98,9 +99,11 @@ func HashIter(h Hash, n int) Hash {
 // interior prefixes follow the standard second-preimage-resistant Merkle
 // construction (RFC 6962 style); the chain prefix isolates freshness chains.
 const (
-	domainLeaf  = 0x00
-	domainNode  = 0x01
-	domainChain = 0x02
+	domainLeaf   = 0x00
+	domainNode   = 0x01
+	domainChain  = 0x02
+	domainBucket = 0x03
+	domainForest = 0x04
 )
 
 // HashLeaf computes the hash of a Merkle tree leaf with domain separation.
@@ -111,6 +114,35 @@ func HashLeaf(payload []byte) Hash {
 // HashNode computes the hash of an interior Merkle node from its children.
 func HashNode(left, right Hash) Hash {
 	return HashConcat([]byte{domainNode}, left[:], right[:])
+}
+
+// HashBucket commits one bucket of a forest-layout dictionary: its
+// serial-range bounds (empty bytes = unbounded on that side), leaf count,
+// and bucket tree root. The bounds and count are length-prefixed so the
+// encoding is injective, and the domain byte separates bucket commitments
+// from leaves, interior nodes, and chain values.
+func HashBucket(lo, hi []byte, count uint64, root Hash) Hash {
+	buf := make([]byte, 0, 1+2*(binary.MaxVarintLen64+20)+binary.MaxVarintLen64+HashSize)
+	buf = append(buf, domainBucket)
+	buf = binary.AppendUvarint(buf, uint64(len(lo)))
+	buf = append(buf, lo...)
+	buf = binary.AppendUvarint(buf, uint64(len(hi)))
+	buf = append(buf, hi...)
+	buf = binary.AppendUvarint(buf, count)
+	buf = append(buf, root[:]...)
+	return HashBytes(buf)
+}
+
+// HashForestRoot commits a forest-layout dictionary: the bucket count bound
+// to the spine tree root. Binding the count here pins the spine's shape
+// (the odd-promotion rule depends on it), the way a signed tree size does
+// for a flat tree.
+func HashForestRoot(numBuckets uint64, spineRoot Hash) Hash {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+HashSize)
+	buf = append(buf, domainForest)
+	buf = binary.AppendUvarint(buf, numBuckets)
+	buf = append(buf, spineRoot[:]...)
+	return HashBytes(buf)
 }
 
 // Chain is a finite hash chain v, H(v), …, Hᵐ(v) owned by a CA. The CA

@@ -12,6 +12,10 @@ import (
 const testDelta = 10 * time.Second
 
 func newTestAuthority(t *testing.T, now int64) *Authority {
+	return newTestAuthorityWithLayout(t, now, LayoutSorted)
+}
+
+func newTestAuthorityWithLayout(t *testing.T, now int64, kind LayoutKind) *Authority {
 	t.Helper()
 	signer, err := cryptoutil.NewSigner(nil)
 	if err != nil {
@@ -22,6 +26,7 @@ func newTestAuthority(t *testing.T, now int64) *Authority {
 		Signer:      signer,
 		Delta:       testDelta,
 		ChainLength: 16,
+		Layout:      kind,
 	}, now)
 	if err != nil {
 		t.Fatal(err)

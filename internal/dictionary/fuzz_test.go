@@ -1,0 +1,81 @@
+package dictionary
+
+import (
+	"bytes"
+	"testing"
+
+	"ritm/internal/serial"
+)
+
+// FuzzDecodeProof hardens the proof decoder against hostile or corrupted
+// bodies: truncations at every depth, bit flips, length-field lies, and
+// spine-flag abuse. The seed corpus covers every proof shape of both
+// layouts — presence, two-leaf absence, both boundary absences, the empty
+// dictionary — with and without the versioned SpineSegment extension, plus
+// classic malformations.
+func FuzzDecodeProof(f *testing.F) {
+	gen := serial.NewGenerator(0xF022, nil)
+	sorted := NewTree()
+	forest := NewTreeWithLayout(LayoutForest)
+	batch := gen.NextN(600)
+	if err := sorted.InsertBatch(batch); err != nil {
+		f.Fatal(err)
+	}
+	if err := forest.InsertBatch(batch); err != nil {
+		f.Fatal(err)
+	}
+	probes := []serial.Number{
+		batch[0], batch[300], // presence
+		gen.Next(), gen.Next(), // two-leaf absence (almost surely)
+		serial.FromUint64(0), // left boundary
+		mustMaxSerial(),      // right boundary
+	}
+	for _, s := range probes {
+		f.Add(sorted.Prove(s).Encode()) // pre-forest encoding, no spine flag
+		f.Add(forest.Prove(s).Encode()) // spine-flagged encoding
+	}
+	empty := NewTree().Prove(batch[0]).Encode()
+	f.Add(empty)
+	spined := forest.Prove(batch[0]).Encode()
+	f.Add(spined[:1])                               // kind byte only
+	f.Add(spined[:len(spined)/2])                   // mid-spine truncation
+	f.Add(spined[:len(spined)-1])                   // one byte short
+	f.Add(append(append([]byte{}, spined...), 0))   // trailing garbage
+	f.Add([]byte{byte(ProofPresence) | 0x80, 0, 0}) // spine flag, no spine
+	f.Add([]byte{0xff, 0x01, 0x02})                 // unknown kind + junk
+	f.Add([]byte{2, 1, 0xff, 0xff, 0xff, 0xff})     // length-field lie
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProof(data)
+		if err != nil {
+			return // rejection is always acceptable; panics/hangs are the bug
+		}
+		// Accepted input: the encoding must round-trip to an equivalent
+		// proof — same kind, same spine presence, byte-identical re-encode.
+		enc := p.Encode()
+		again, err := DecodeProof(enc)
+		if err != nil {
+			t.Fatalf("accepted proof failed second decode: %v", err)
+		}
+		if again.Kind != p.Kind || (again.Spine == nil) != (p.Spine == nil) {
+			t.Fatal("second decode changed proof shape")
+		}
+		if !bytes.Equal(again.Encode(), enc) {
+			t.Fatalf("re-encoding unstable:\n in: %x\nout: %x", enc, again.Encode())
+		}
+	})
+}
+
+// mustMaxSerial returns the largest representable serial (20 × 0xff).
+func mustMaxSerial() serial.Number {
+	b := make([]byte, serial.MaxLen)
+	for i := range b {
+		b[i] = 0xff
+	}
+	s, err := serial.New(b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,288 @@
+package dictionary
+
+import (
+	"fmt"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// LayoutKind selects the commitment structure behind a dictionary tree.
+//
+// The layout changes the root hash a dictionary commits to — authority and
+// replica MUST be configured with the same layout or every replayed update
+// fails with ErrRootMismatch (the signed-root match contract of Fig 2 is
+// per-layout). The issuance log, the dissemination wire formats, and the
+// sync protocol are layout-agnostic: only roots and proofs differ.
+type LayoutKind uint8
+
+// Supported layouts.
+const (
+	// LayoutSorted is one flat sorted hash tree over all leaves. Inserts at
+	// the right edge of the serial space cost O(k·log n); inserts anywhere
+	// else shift every leaf to their right and cost up to O(n) rehashing.
+	// Proofs are the classic single audit path.
+	LayoutSorted LayoutKind = iota
+	// LayoutForest partitions the leaves by serial range into bounded
+	// buckets (split on overflow), each a small sorted hash tree, with a
+	// spine tree over the bucket commitments. An insert rehashes only its
+	// bucket plus a spine path, so a k-insert batch costs O(k·log n)
+	// amortized for ANY serial distribution — the uniform (random-serial)
+	// case that costs the sorted layout O(n) per batch. Proofs carry an
+	// extra SpineSegment.
+	LayoutForest
+)
+
+// String returns the layout's flag/config name.
+func (k LayoutKind) String() string {
+	switch k {
+	case LayoutSorted:
+		return "sorted"
+	case LayoutForest:
+		return "forest"
+	default:
+		return fmt.Sprintf("LayoutKind(%d)", uint8(k))
+	}
+}
+
+// ParseLayout maps a flag/config name to its LayoutKind.
+func ParseLayout(s string) (LayoutKind, error) {
+	switch s {
+	case "sorted", "":
+		return LayoutSorted, nil
+	case "forest":
+		return LayoutForest, nil
+	default:
+		return 0, fmt.Errorf("dictionary: unknown layout %q (want sorted or forest)", s)
+	}
+}
+
+// Layouts lists every supported layout; benches and CLIs iterate it.
+func Layouts() []LayoutKind { return []LayoutKind{LayoutSorted, LayoutForest} }
+
+// Layout is the pluggable commitment structure behind a Tree: it owns the
+// hashed representation (leaves, interior nodes, roots) while the Tree keeps
+// the layout-independent state (serial index, issuance log, validation).
+// Implementations live in this package and are selected by LayoutKind; all
+// of them follow the same copy-on-write discipline as the original sorted
+// tree — insert never writes into arrays reachable from a previously
+// returned view, so published Snapshots stay immutable forever.
+type Layout interface {
+	// kind identifies the layout.
+	kind() LayoutKind
+	// insert merges a batch of pre-validated leaves, sorted by serial and
+	// carrying their final revocation numbers, into the structure.
+	insert(batch []Leaf)
+	// view returns the current immutable version.
+	view() LayoutView
+	// hashedNodes returns the cumulative number of hash computations (leaf,
+	// interior, bucket, and root hashes) performed by inserts — the cost
+	// metric BenchmarkUniformInsert compares across layouts.
+	hashedNodes() uint64
+	// memoryFootprint estimates resident bytes of the hashed structure.
+	memoryFootprint() int
+	// checkpoint captures the current version's state; restore rewinds to
+	// it. Both are O(1) thanks to copy-on-write: a checkpoint is just the
+	// slice headers of the current version.
+	checkpoint() layoutState
+	// restore rewinds the layout to a state captured by checkpoint.
+	restore(layoutState)
+}
+
+// LayoutView is one immutable version of a layout's proving state. All
+// methods are read-only and safe for unsynchronized concurrent use.
+type LayoutView interface {
+	// Root returns the version's root hash (EmptyRoot when empty).
+	Root() cryptoutil.Hash
+	// Revoked reports whether s is a leaf, and its revocation number.
+	Revoked(s serial.Number) (uint64, bool)
+	// Prove produces a presence or absence proof for s that verifies
+	// against Root() (and, for the sorted layout, the leaf count).
+	Prove(s serial.Number) *Proof
+}
+
+// layoutState is an opaque checkpoint; each layout returns its own type.
+type layoutState interface{}
+
+// newLayout constructs an empty layout of the given kind.
+func newLayout(kind LayoutKind) Layout {
+	switch kind {
+	case LayoutForest:
+		return &forestLayout{}
+	default:
+		return &sortedLayout{}
+	}
+}
+
+// miniTree is the shared (sorted leaves, interior levels) proving core used
+// by the sorted layout for the whole dictionary and by the forest layout per
+// bucket. levels[0] is the leaf-hash array; levels[len-1][0] is the root.
+// A miniTree is immutable once built.
+type miniTree struct {
+	leaves []Leaf
+	levels [][]cryptoutil.Hash
+}
+
+// root returns the tree root; callers guarantee at least one leaf.
+func (m miniTree) root() cryptoutil.Hash {
+	return m.levels[len(m.levels)-1][0]
+}
+
+// searchLeaf returns the index of the first leaf with Serial >= s.
+func (m miniTree) searchLeaf(s serial.Number) int {
+	lo, hi := 0, len(m.leaves)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.leaves[mid].Serial.Compare(s) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// revoked reports whether s is a leaf, by binary search.
+func (m miniTree) revoked(s serial.Number) (uint64, bool) {
+	lo := m.searchLeaf(s)
+	if lo < len(m.leaves) && m.leaves[lo].Serial.Equal(s) {
+		return m.leaves[lo].Num, true
+	}
+	return 0, false
+}
+
+// path returns the audit path for the leaf at index idx.
+func (m miniTree) path(idx int) []cryptoutil.Hash {
+	return pathAt(m.levels, idx)
+}
+
+// proofLeaf builds the ProofLeaf for index idx.
+func (m miniTree) proofLeaf(idx int) *ProofLeaf {
+	return &ProofLeaf{
+		Serial: m.leaves[idx].Serial,
+		Num:    m.leaves[idx].Num,
+		Index:  uint64(idx),
+		Path:   m.path(idx),
+	}
+}
+
+// pathAt returns the audit path for position idx of a level structure (the
+// same walk for dictionary leaves and for spine positions over buckets).
+func pathAt(levels [][]cryptoutil.Hash, idx int) []cryptoutil.Hash {
+	if len(levels) == 0 || idx < 0 || idx >= len(levels[0]) {
+		return nil
+	}
+	path := make([]cryptoutil.Hash, 0, len(levels))
+	for lvl := 0; lvl < len(levels)-1; lvl++ {
+		nodes := levels[lvl]
+		sib := idx ^ 1
+		if sib < len(nodes) {
+			path = append(path, nodes[sib])
+		}
+		// Odd rightmost node has no sibling: promoted, no path element.
+		idx /= 2
+	}
+	return path
+}
+
+// mergeLeaves merges a sorted batch of new leaves into the sorted existing
+// run, hashing the new leaves as it goes. It writes into fresh arrays
+// (copy-on-write): the previous version's arrays — possibly aliased by a
+// published view — are never touched. It returns the merged arrays, the
+// merged index of the first new leaf (-1 for an empty batch), and the number
+// of leaf hashes computed.
+func mergeLeaves(oldLeaves []Leaf, oldHashes []cryptoutil.Hash, batch []Leaf) (merged []Leaf, mergedHashes []cryptoutil.Hash, firstChanged int, hashOps uint64) {
+	merged = make([]Leaf, 0, len(oldLeaves)+len(batch))
+	mergedHashes = make([]cryptoutil.Hash, 0, cap(merged))
+	firstChanged = -1
+	i, j := 0, 0
+	for i < len(oldLeaves) && j < len(batch) {
+		if oldLeaves[i].Serial.Compare(batch[j].Serial) < 0 {
+			merged = append(merged, oldLeaves[i])
+			mergedHashes = append(mergedHashes, oldHashes[i])
+			i++
+		} else {
+			if firstChanged < 0 {
+				firstChanged = len(merged)
+			}
+			merged = append(merged, batch[j])
+			mergedHashes = append(mergedHashes, batch[j].hash())
+			hashOps++
+			j++
+		}
+	}
+	merged = append(merged, oldLeaves[i:]...)
+	mergedHashes = append(mergedHashes, oldHashes[i:]...)
+	for ; j < len(batch); j++ {
+		if firstChanged < 0 {
+			firstChanged = len(merged)
+		}
+		merged = append(merged, batch[j])
+		mergedHashes = append(mergedHashes, batch[j].hash())
+		hashOps++
+	}
+	return merged, mergedHashes, firstChanged, hashOps
+}
+
+// buildLevels recomputes the interior levels over leafHashes, reusing every
+// node left of leaf index firstChanged from oldLevels: those nodes cover
+// only unchanged, unshifted leaves, so their values — including the
+// odd-promotion rule, which depends only on indices below them — are
+// identical. Fresh arrays are allocated for every level, never written
+// through oldLevels, preserving snapshot immutability. It returns the new
+// levels (levels[0] aliases leafHashes) and the number of interior hashes
+// computed.
+//
+// A negative firstChanged (no leaf changed) still rebuilds everything, as
+// does 0; callers pass the merge position of the first inserted leaf.
+func buildLevels(leafHashes []cryptoutil.Hash, oldLevels [][]cryptoutil.Hash, firstChanged int) ([][]cryptoutil.Hash, uint64) {
+	if len(leafHashes) == 0 {
+		return nil, 0
+	}
+	if firstChanged < 0 {
+		firstChanged = 0
+	}
+	var hashOps uint64
+	levels := make([][]cryptoutil.Hash, 1, 2+bitsLen(len(leafHashes)))
+	levels[0] = leafHashes
+	cur := leafHashes
+	dirty := firstChanged // first index of cur that differs from oldLevels
+	for lvl := 0; len(cur) > 1; lvl++ {
+		next := make([]cryptoutil.Hash, (len(cur)+1)/2)
+		// A parent k is unchanged iff both children are below dirty, i.e.
+		// 2k+1 < dirty — and the old level must actually hold it.
+		keep := dirty / 2
+		if lvl+1 < len(oldLevels) {
+			if n := len(oldLevels[lvl+1]); keep > n {
+				keep = n
+			}
+			copy(next[:keep], oldLevels[lvl+1])
+		} else {
+			keep = 0
+		}
+		for k := keep; k < len(next); k++ {
+			if 2*k+1 < len(cur) {
+				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
+				hashOps++
+			} else {
+				// Odd rightmost node: promoted unchanged; the verifier
+				// reproduces the same rule from (index, size) alone.
+				next[k] = cur[len(cur)-1]
+			}
+		}
+		levels = append(levels, next)
+		cur = next
+		dirty = keep
+	}
+	return levels, hashOps
+}
+
+// bitsLen returns ⌈log₂(n)⌉-ish capacity hint for the level slice.
+func bitsLen(n int) int {
+	b := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		b++
+	}
+	return b
+}

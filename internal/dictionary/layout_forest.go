@@ -1,0 +1,297 @@
+package dictionary
+
+import (
+	"sort"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// forestBucketCap bounds the leaves per bucket; a bucket that outgrows it is
+// split. 256 keeps the in-bucket rehash of one insert (≤ ~2·cap hashes, the
+// leaves to the right re-pair) two to three orders of magnitude below the
+// whole-dictionary rehash the sorted layout pays for the same insert, while
+// the proof (in-bucket path + spine path) stays within a hash or two of the
+// sorted layout's single path: log₂(cap) + log₂(n/cap) ≈ log₂(n).
+const forestBucketCap = 256
+
+// forestBucketTarget is the post-split fill. Splitting to ¾ capacity (rather
+// than exactly full) leaves growth headroom so a freshly split bucket does
+// not re-split on the next batch.
+const forestBucketTarget = forestBucketCap * 3 / 4
+
+// forestBucket is one serial-range partition of the dictionary: a small
+// sorted hash tree over the leaves whose serials fall in [lo, hi), plus the
+// memoized bucket commitment hashed into the spine. A zero lo or hi means
+// the range is unbounded on that side; buckets tile the entire serial space
+// contiguously (buckets[i].hi == buckets[i+1].lo), so every serial — present
+// or absent — belongs to exactly one bucket, which is what makes absence
+// proofs local to a single bucket. Buckets are immutable once built: inserts
+// replace the bucket, never mutate it.
+type forestBucket struct {
+	lo, hi serial.Number // [lo, hi); zero = unbounded
+	tree   miniTree
+	node   cryptoutil.Hash // HashBucket(lo, hi, count, tree root)
+}
+
+// leafHashes returns the bucket's leaf-hash level.
+func (b *forestBucket) leafHashes() []cryptoutil.Hash { return b.tree.levels[0] }
+
+// forestLayout is the bucketed commitment structure: an ordered slice of
+// buckets and a spine tree over their commitments, with the dictionary root
+// binding the bucket count to the spine root. An insert rehashes only the
+// buckets it lands in plus the dirty spine paths above them — O(k·log n)
+// per k-insert batch for any serial distribution, versus the sorted
+// layout's O(n) for uniform batches. Copy-on-write throughout: buckets are
+// replaced, spine levels freshly allocated, so published views stay valid.
+type forestLayout struct {
+	buckets []*forestBucket
+	spine   [][]cryptoutil.Hash // spine[0][i] == buckets[i].node
+	root    cryptoutil.Hash     // memoized forest root; EmptyRoot when empty
+	hashed  uint64
+}
+
+func (f *forestLayout) kind() LayoutKind { return LayoutForest }
+
+func (f *forestLayout) insert(batch []Leaf) {
+	if len(batch) == 0 {
+		return
+	}
+	oldSpine, oldLen := f.spine, len(f.buckets)
+	structFrom := -1 // first index where the bucket list changed shape (split)
+	var dirty []int  // indices of value-changed (merged, unsplit) buckets
+	var next []*forestBucket
+	if oldLen == 0 {
+		merged, mergedHashes, _, leafOps := mergeLeaves(nil, nil, batch)
+		f.hashed += leafOps
+		next = f.chunkBuckets(serial.Number{}, serial.Number{}, merged, mergedHashes)
+		structFrom = 0
+	} else {
+		next = make([]*forestBucket, 0, oldLen+1)
+		j := 0 // cursor into the sorted batch
+		for _, b := range f.buckets {
+			start := j
+			for j < len(batch) && (b.hi.IsZero() || batch[j].Serial.Compare(b.hi) < 0) {
+				j++
+			}
+			if start == j {
+				next = append(next, b) // untouched: shared with the old version
+				continue
+			}
+			merged, mergedHashes, firstChanged, leafOps := mergeLeaves(b.tree.leaves, b.leafHashes(), batch[start:j])
+			f.hashed += leafOps
+			if len(merged) <= forestBucketCap {
+				if structFrom < 0 {
+					dirty = append(dirty, len(next))
+				}
+				next = append(next, f.buildBucket(b.lo, b.hi, merged, mergedHashes, b.tree.levels, firstChanged))
+			} else {
+				if structFrom < 0 {
+					structFrom = len(next)
+				}
+				next = append(next, f.chunkBuckets(b.lo, b.hi, merged, mergedHashes)...)
+			}
+		}
+	}
+	f.buckets = next
+	f.rebuildSpine(oldSpine, oldLen, structFrom, dirty)
+}
+
+// buildBucket assembles one bucket, reusing interior nodes left of
+// firstChanged from oldLevels (nil oldLevels = build from scratch).
+func (f *forestLayout) buildBucket(lo, hi serial.Number, leaves []Leaf, hashes []cryptoutil.Hash, oldLevels [][]cryptoutil.Hash, firstChanged int) *forestBucket {
+	levels, ops := buildLevels(hashes, oldLevels, firstChanged)
+	f.hashed += ops
+	b := &forestBucket{lo: lo, hi: hi, tree: miniTree{leaves: leaves, levels: levels}}
+	b.node = cryptoutil.HashBucket(lo.Raw(), hi.Raw(), uint64(len(leaves)), b.tree.root())
+	f.hashed++
+	return b
+}
+
+// chunkBuckets splits an oversized run covering [lo, hi) into evenly sized
+// buckets of about forestBucketTarget leaves, each built from scratch. Chunk
+// boundaries become the new bucket bounds, preserving the tiling invariant.
+func (f *forestLayout) chunkBuckets(lo, hi serial.Number, leaves []Leaf, hashes []cryptoutil.Hash) []*forestBucket {
+	chunks := (len(leaves) + forestBucketTarget - 1) / forestBucketTarget
+	size := (len(leaves) + chunks - 1) / chunks
+	out := make([]*forestBucket, 0, chunks)
+	for start := 0; start < len(leaves); start += size {
+		end := min(start+size, len(leaves))
+		clo, chi := lo, hi
+		if start > 0 {
+			clo = leaves[start].Serial
+		}
+		if end < len(leaves) {
+			chi = leaves[end].Serial
+		}
+		out = append(out, f.buildBucket(clo, chi, leaves[start:end], hashes[start:end], nil, 0))
+	}
+	return out
+}
+
+// rebuildSpine recomputes the spine over the current buckets and memoizes
+// the forest root. When the bucket list kept its shape, only the paths above
+// the dirty buckets are rehashed (O(k·log #buckets)); a split falls back to
+// the left-prefix reuse of buildLevels from the first changed index.
+func (f *forestLayout) rebuildSpine(oldSpine [][]cryptoutil.Hash, oldLen, structFrom int, dirty []int) {
+	spine0 := make([]cryptoutil.Hash, len(f.buckets))
+	for i, b := range f.buckets {
+		spine0[i] = b.node
+	}
+	if structFrom >= 0 || len(f.buckets) != oldLen {
+		first := structFrom
+		if len(dirty) > 0 && dirty[0] < first {
+			first = dirty[0]
+		}
+		levels, ops := buildLevels(spine0, oldSpine, first)
+		f.spine = levels
+		f.hashed += ops
+	} else {
+		f.spine = rebuildSpineDirty(oldSpine, spine0, dirty, &f.hashed)
+	}
+	f.root = cryptoutil.HashForestRoot(uint64(len(f.buckets)), f.spine[len(f.spine)-1][0])
+	f.hashed++
+}
+
+// rebuildSpineDirty recomputes only the spine paths above the dirty bucket
+// indices (sorted ascending), copying every other node from the old spine.
+// The bucket count is unchanged, so level shapes match the old spine
+// exactly. Fresh arrays per level keep published views immutable.
+func rebuildSpineDirty(old [][]cryptoutil.Hash, spine0 []cryptoutil.Hash, dirty []int, hashed *uint64) [][]cryptoutil.Hash {
+	levels := make([][]cryptoutil.Hash, 1, len(old))
+	levels[0] = spine0
+	cur := spine0
+	for lvl := 1; len(cur) > 1; lvl++ {
+		next := append([]cryptoutil.Hash(nil), old[lvl]...)
+		parents := dirty[:0:0]
+		last := -1
+		for _, idx := range dirty {
+			k := idx / 2
+			if k == last {
+				continue
+			}
+			last = k
+			if 2*k+1 < len(cur) {
+				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
+				*hashed++
+			} else {
+				next[k] = cur[2*k] // odd rightmost node: promoted unchanged
+			}
+			parents = append(parents, k)
+		}
+		levels = append(levels, next)
+		cur = next
+		dirty = parents
+	}
+	return levels
+}
+
+func (f *forestLayout) view() LayoutView {
+	return forestView{buckets: f.buckets, spine: f.spine, root: f.root}
+}
+
+func (f *forestLayout) hashedNodes() uint64 { return f.hashed }
+
+func (f *forestLayout) memoryFootprint() int {
+	const (
+		hashBytes      = cryptoutil.HashSize
+		leafOverhead   = 24 + 8 // slice header of serial + num
+		bucketOverhead = 96     // two bounds, tree header, node, pointer
+	)
+	total := 0
+	for _, b := range f.buckets {
+		total += bucketOverhead
+		for _, lvl := range b.tree.levels {
+			total += len(lvl) * hashBytes
+		}
+		for _, lf := range b.tree.leaves {
+			total += leafOverhead + lf.Serial.Len()
+		}
+	}
+	for _, lvl := range f.spine {
+		total += len(lvl) * hashBytes
+	}
+	return total
+}
+
+// forestState is the O(1) checkpoint of a forest layout: buckets are
+// immutable and spine levels copy-on-write, so the slice headers pin one
+// version forever.
+type forestState struct {
+	buckets []*forestBucket
+	spine   [][]cryptoutil.Hash
+	root    cryptoutil.Hash
+}
+
+func (f *forestLayout) checkpoint() layoutState {
+	return forestState{buckets: f.buckets, spine: f.spine, root: f.root}
+}
+
+func (f *forestLayout) restore(st layoutState) {
+	s := st.(forestState)
+	f.buckets, f.spine, f.root = s.buckets, s.spine, s.root
+}
+
+// forestView is one immutable version of the forest's proving state.
+type forestView struct {
+	buckets []*forestBucket
+	spine   [][]cryptoutil.Hash
+	root    cryptoutil.Hash
+}
+
+func (v forestView) Root() cryptoutil.Hash {
+	if len(v.buckets) == 0 {
+		return EmptyRoot
+	}
+	return v.root
+}
+
+// bucketFor returns the index of the bucket whose range contains s; the
+// tiling invariant guarantees exactly one does.
+func (v forestView) bucketFor(s serial.Number) int {
+	return sort.Search(len(v.buckets), func(i int) bool {
+		return !v.buckets[i].lo.IsZero() && v.buckets[i].lo.Compare(s) > 0
+	}) - 1
+}
+
+func (v forestView) Revoked(s serial.Number) (uint64, bool) {
+	if len(v.buckets) == 0 {
+		return 0, false
+	}
+	return v.buckets[v.bucketFor(s)].tree.revoked(s)
+}
+
+// Prove produces a presence or absence proof local to the bucket whose
+// range contains s, plus the spine segment authenticating that bucket.
+// Absence never crosses buckets: the committed range [lo, hi) proves that
+// no other bucket could hold s, so the in-bucket neighbors (or boundary
+// leaves) suffice.
+func (v forestView) Prove(s serial.Number) *Proof {
+	if len(v.buckets) == 0 {
+		return &Proof{Kind: ProofAbsenceEmpty}
+	}
+	bi := v.bucketFor(s)
+	b := v.buckets[bi]
+	sp := &SpineSegment{
+		BucketIndex: uint64(bi),
+		NumBuckets:  uint64(len(v.buckets)),
+		LeafCount:   uint64(len(b.tree.leaves)),
+		Lo:          b.lo,
+		Hi:          b.hi,
+		Path:        pathAt(v.spine, bi),
+	}
+	n := len(b.tree.leaves)
+	lo := b.tree.searchLeaf(s)
+	switch {
+	case lo < n && b.tree.leaves[lo].Serial.Equal(s):
+		return &Proof{Kind: ProofPresence, Left: b.tree.proofLeaf(lo), Spine: sp}
+	case lo == 0:
+		// s precedes every leaf of its bucket (but is ≥ lo by range).
+		return &Proof{Kind: ProofAbsence, Right: b.tree.proofLeaf(0), Spine: sp}
+	case lo == n:
+		// s follows every leaf of its bucket (but is < hi by range).
+		return &Proof{Kind: ProofAbsence, Left: b.tree.proofLeaf(n - 1), Spine: sp}
+	default:
+		return &Proof{Kind: ProofAbsence, Left: b.tree.proofLeaf(lo - 1), Right: b.tree.proofLeaf(lo), Spine: sp}
+	}
+}

@@ -1,0 +1,112 @@
+package dictionary
+
+import (
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// sortedLayout is the original commitment structure: one flat sorted hash
+// tree over all leaves, with every interior level kept so audit paths are
+// produced in O(log n) without recomputation. A batch insert merges the new
+// leaves into the sorted order and recomputes interior levels incrementally:
+// every node left of the first changed leaf position is copied from the
+// previous version, and only nodes at or right of it are rehashed. A batch
+// landing at the right edge of the serial space therefore costs O(k·log n);
+// a batch landing at position p costs O(n−p) (positions shift, so everything
+// to the right re-pairs), with the full O(n) of the paper's "insert sₓ,n
+// into the tree and rebuild it" as the worst case.
+type sortedLayout struct {
+	leaves     []Leaf            // sorted by serial
+	leafHashes []cryptoutil.Hash // parallel to leaves; == levels[0]
+	levels     [][]cryptoutil.Hash
+	hashed     uint64
+}
+
+func (l *sortedLayout) kind() LayoutKind { return LayoutSorted }
+
+func (l *sortedLayout) insert(batch []Leaf) {
+	merged, mergedHashes, firstChanged, leafOps := mergeLeaves(l.leaves, l.leafHashes, batch)
+	levels, nodeOps := buildLevels(mergedHashes, l.levels, firstChanged)
+	l.leaves = merged
+	l.leafHashes = mergedHashes
+	l.levels = levels
+	l.hashed += leafOps + nodeOps
+}
+
+func (l *sortedLayout) view() LayoutView {
+	return sortedView{miniTree{leaves: l.leaves, levels: l.levels}}
+}
+
+func (l *sortedLayout) hashedNodes() uint64 { return l.hashed }
+
+func (l *sortedLayout) memoryFootprint() int {
+	const (
+		hashBytes    = cryptoutil.HashSize
+		leafOverhead = 24 + 8 // slice header of serial + num
+	)
+	total := 0
+	for _, lvl := range l.levels {
+		total += len(lvl) * hashBytes
+	}
+	for _, lf := range l.leaves {
+		total += leafOverhead + lf.Serial.Len()
+	}
+	return total
+}
+
+// sortedState is the O(1) checkpoint of a sorted layout: because every
+// insert is copy-on-write, the slice headers of one version pin it forever.
+type sortedState struct {
+	leaves     []Leaf
+	leafHashes []cryptoutil.Hash
+	levels     [][]cryptoutil.Hash
+}
+
+func (l *sortedLayout) checkpoint() layoutState {
+	return sortedState{leaves: l.leaves, leafHashes: l.leafHashes, levels: l.levels}
+}
+
+func (l *sortedLayout) restore(st layoutState) {
+	s := st.(sortedState)
+	l.leaves, l.leafHashes, l.levels = s.leaves, s.leafHashes, s.levels
+}
+
+// sortedView is one immutable version of the sorted layout's proving state.
+type sortedView struct {
+	miniTree
+}
+
+func (v sortedView) Root() cryptoutil.Hash {
+	if len(v.leaves) == 0 {
+		return EmptyRoot
+	}
+	return v.miniTree.root()
+}
+
+func (v sortedView) Revoked(s serial.Number) (uint64, bool) {
+	return v.revoked(s)
+}
+
+// Prove produces a presence or absence proof for s. The proof verifies
+// against Root() and the leaf count.
+func (v sortedView) Prove(s serial.Number) *Proof {
+	n := len(v.leaves)
+	if n == 0 {
+		return &Proof{Kind: ProofAbsenceEmpty}
+	}
+	lo := v.searchLeaf(s)
+	if lo < n && v.leaves[lo].Serial.Equal(s) {
+		return &Proof{Kind: ProofPresence, Left: v.proofLeaf(lo)}
+	}
+	switch {
+	case lo == 0:
+		// s precedes every leaf: the first leaf bounds it from above.
+		return &Proof{Kind: ProofAbsence, Right: v.proofLeaf(0)}
+	case lo == n:
+		// s follows every leaf: the last leaf bounds it from below.
+		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(n - 1)}
+	default:
+		// s falls strictly between two adjacent leaves.
+		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(lo - 1), Right: v.proofLeaf(lo)}
+	}
+}

@@ -22,6 +22,15 @@ const (
 	ProofAbsenceEmpty
 )
 
+// proofSpineFlag marks, on the encoded kind byte, that a SpineSegment
+// follows the leaves — the versioning bit of the wire format. Encodings
+// without the bit are exactly the pre-forest format and still decode.
+const proofSpineFlag = 0x80
+
+// maxProofPath bounds decoded audit-path lengths: a structure of 2⁶⁴
+// positions, far beyond any real tree or spine.
+const maxProofPath = 64
+
 // String returns a human-readable kind name.
 func (k ProofKind) String() string {
 	switch k {
@@ -37,7 +46,8 @@ func (k ProofKind) String() string {
 }
 
 // ProofLeaf is one leaf exhibited by a proof, together with the audit path
-// that authenticates it against the signed root.
+// that authenticates it against the signed root (for the sorted layout) or
+// against its bucket's root (for the forest layout).
 type ProofLeaf struct {
 	Serial serial.Number
 	Num    uint64
@@ -45,41 +55,92 @@ type ProofLeaf struct {
 	Path   []cryptoutil.Hash
 }
 
-// verify checks the leaf's audit path against root for a tree of size n.
-func (pl *ProofLeaf) verify(root cryptoutil.Hash, n uint64) error {
-	if pl.Index >= n {
-		return fmt.Errorf("%w: leaf index %d outside tree of size %d", ErrBadProof, pl.Index, n)
-	}
-	h := Leaf{Serial: pl.Serial, Num: pl.Num}.hash()
-	idx, size := pl.Index, n
+// climb walks an audit path from position idx of a structure with size
+// positions up to its root, consuming exactly the whole path. The promotion
+// rule for odd rightmost nodes is reproduced from (index, size) alone.
+func climb(h cryptoutil.Hash, idx, size uint64, path []cryptoutil.Hash) (cryptoutil.Hash, error) {
 	pi := 0
 	for size > 1 {
 		if idx%2 == 0 {
 			if idx+1 < size {
-				if pi >= len(pl.Path) {
-					return fmt.Errorf("%w: audit path too short", ErrBadProof)
+				if pi >= len(path) {
+					return h, fmt.Errorf("%w: audit path too short", ErrBadProof)
 				}
-				h = cryptoutil.HashNode(h, pl.Path[pi])
+				h = cryptoutil.HashNode(h, path[pi])
 				pi++
 			}
 			// Rightmost node of an odd level is promoted unchanged.
 		} else {
-			if pi >= len(pl.Path) {
-				return fmt.Errorf("%w: audit path too short", ErrBadProof)
+			if pi >= len(path) {
+				return h, fmt.Errorf("%w: audit path too short", ErrBadProof)
 			}
-			h = cryptoutil.HashNode(pl.Path[pi], h)
+			h = cryptoutil.HashNode(path[pi], h)
 			pi++
 		}
 		idx /= 2
 		size = (size + 1) / 2
 	}
-	if pi != len(pl.Path) {
-		return fmt.Errorf("%w: audit path has %d extra elements", ErrBadProof, len(pl.Path)-pi)
+	if pi != len(path) {
+		return h, fmt.Errorf("%w: audit path has %d extra elements", ErrBadProof, len(path)-pi)
+	}
+	return h, nil
+}
+
+// computeRoot recomputes the tree root the leaf's audit path leads to, for
+// a tree of n leaves.
+func (pl *ProofLeaf) computeRoot(n uint64) (cryptoutil.Hash, error) {
+	if pl.Index >= n {
+		return cryptoutil.Hash{}, fmt.Errorf("%w: leaf index %d outside tree of size %d", ErrBadProof, pl.Index, n)
+	}
+	h := Leaf{Serial: pl.Serial, Num: pl.Num}.hash()
+	return climb(h, pl.Index, n, pl.Path)
+}
+
+// verify checks the leaf's audit path against root for a tree of size n.
+func (pl *ProofLeaf) verify(root cryptoutil.Hash, n uint64) error {
+	h, err := pl.computeRoot(n)
+	if err != nil {
+		return err
 	}
 	if !h.Equal(root) {
 		return fmt.Errorf("%w: audit path does not reach root", ErrBadProof)
 	}
 	return nil
+}
+
+// SpineSegment extends a proof produced by a forest-layout dictionary
+// (LayoutForest): it authenticates the bucket the exhibited leaves live in.
+// The verifier recomputes the bucket root from the leaf audit paths, binds
+// it to the committed bucket header (range bounds and leaf count), climbs
+// the spine path, and compares the forest root against the signed root.
+//
+// The committed range [Lo, Hi) is what keeps absence proofs sound with
+// bucket-local neighbors: buckets tile the serial space disjointly, so a
+// serial inside this bucket's range cannot be a leaf of any other bucket.
+type SpineSegment struct {
+	// BucketIndex is the bucket's position among NumBuckets spine leaves.
+	BucketIndex uint64
+	// NumBuckets is the total bucket count committed by the forest root.
+	NumBuckets uint64
+	// LeafCount is the number of leaves in this bucket.
+	LeafCount uint64
+	// Lo and Hi bound the bucket's serial range [Lo, Hi); a zero Number
+	// means unbounded on that side.
+	Lo, Hi serial.Number
+	// Path is the spine audit path from the bucket commitment to the spine
+	// root.
+	Path []cryptoutil.Hash
+}
+
+// contains reports whether s falls in the bucket's committed range.
+func (sp *SpineSegment) contains(s serial.Number) bool {
+	if !sp.Lo.IsZero() && sp.Lo.Compare(s) > 0 {
+		return false
+	}
+	if !sp.Hi.IsZero() && s.Compare(sp.Hi) >= 0 {
+		return false
+	}
+	return true
 }
 
 // Proof is a presence or absence proof for one serial number against one
@@ -89,17 +150,28 @@ func (pl *ProofLeaf) verify(root cryptoutil.Hash, n uint64) error {
 type Proof struct {
 	Kind ProofKind
 	// Left is the proven leaf for presence proofs, or the predecessor leaf
-	// for absence proofs (nil when the serial precedes the whole tree).
+	// for absence proofs (nil when the serial precedes the whole tree — or,
+	// with a spine segment, its whole bucket).
 	Left *ProofLeaf
 	// Right is the successor leaf for absence proofs (nil when the serial
-	// follows the whole tree). Unused by presence proofs.
+	// follows the whole tree or bucket). Unused by presence proofs.
 	Right *ProofLeaf
+	// Spine is present exactly when the proof comes from a forest-layout
+	// dictionary; leaf indices and paths are then bucket-local.
+	Spine *SpineSegment
 }
 
 // Verify checks that the proof is a valid statement about s in the
 // dictionary version committed to by (root, n). On success it returns
 // revoked=true for a presence proof and revoked=false for an absence proof.
+// Proofs carrying a SpineSegment verify against forest-layout roots; plain
+// proofs against sorted-layout roots — the layouts' root constructions are
+// domain-separated, so a proof can never verify against the other layout's
+// root.
 func (p *Proof) Verify(s serial.Number, root cryptoutil.Hash, n uint64) (revoked bool, err error) {
+	if p.Spine != nil {
+		return p.verifyForest(s, root, n)
+	}
 	switch p.Kind {
 	case ProofPresence:
 		if p.Left == nil || p.Right != nil {
@@ -173,6 +245,98 @@ func (p *Proof) verifyAbsence(s serial.Number, root cryptoutil.Hash, n uint64) e
 	}
 }
 
+// verifyForest checks a proof carrying a SpineSegment: the exhibited leaves
+// authenticate a bucket root, the bucket header binds the root to the
+// committed range and count, the spine path authenticates the bucket, and
+// the forest root must match the signed root.
+func (p *Proof) verifyForest(s serial.Number, root cryptoutil.Hash, n uint64) (bool, error) {
+	sp := p.Spine
+	if n == 0 || sp.NumBuckets == 0 || sp.LeafCount == 0 ||
+		sp.BucketIndex >= sp.NumBuckets || sp.LeafCount > n || sp.NumBuckets > n {
+		return false, fmt.Errorf("%w: malformed spine segment", ErrBadProof)
+	}
+	var (
+		revoked    bool
+		bucketRoot cryptoutil.Hash
+		err        error
+	)
+	switch p.Kind {
+	case ProofPresence:
+		if p.Left == nil || p.Right != nil {
+			return false, fmt.Errorf("%w: malformed presence proof", ErrBadProof)
+		}
+		if !p.Left.Serial.Equal(s) {
+			return false, fmt.Errorf("%w: presence proof is for serial %v, not %v", ErrBadProof, p.Left.Serial, s)
+		}
+		if bucketRoot, err = p.Left.computeRoot(sp.LeafCount); err != nil {
+			return false, err
+		}
+		revoked = true
+
+	case ProofAbsence:
+		// The range check is what makes a bucket-local absence proof a
+		// global one: s belongs to this bucket and no other.
+		if !sp.contains(s) {
+			return false, fmt.Errorf("%w: serial %v outside the proof bucket's range", ErrBadProof, s)
+		}
+		switch {
+		case p.Left == nil && p.Right == nil:
+			return false, fmt.Errorf("%w: absence proof with no leaves", ErrBadProof)
+		case p.Left == nil:
+			if p.Right.Index != 0 {
+				return false, fmt.Errorf("%w: left-boundary proof not anchored at bucket index 0", ErrBadProof)
+			}
+			if s.Compare(p.Right.Serial) >= 0 {
+				return false, fmt.Errorf("%w: serial %v not below first bucket leaf %v", ErrBadProof, s, p.Right.Serial)
+			}
+			if bucketRoot, err = p.Right.computeRoot(sp.LeafCount); err != nil {
+				return false, err
+			}
+		case p.Right == nil:
+			if p.Left.Index != sp.LeafCount-1 {
+				return false, fmt.Errorf("%w: right-boundary proof not anchored at last bucket leaf", ErrBadProof)
+			}
+			if s.Compare(p.Left.Serial) <= 0 {
+				return false, fmt.Errorf("%w: serial %v not above last bucket leaf %v", ErrBadProof, s, p.Left.Serial)
+			}
+			if bucketRoot, err = p.Left.computeRoot(sp.LeafCount); err != nil {
+				return false, err
+			}
+		default:
+			if p.Right.Index != p.Left.Index+1 {
+				return false, fmt.Errorf("%w: absence leaves not adjacent (%d, %d)", ErrBadProof, p.Left.Index, p.Right.Index)
+			}
+			if p.Left.Serial.Compare(s) >= 0 || s.Compare(p.Right.Serial) >= 0 {
+				return false, fmt.Errorf("%w: serial %v not bracketed by (%v, %v)", ErrBadProof, s, p.Left.Serial, p.Right.Serial)
+			}
+			if bucketRoot, err = p.Left.computeRoot(sp.LeafCount); err != nil {
+				return false, err
+			}
+			rightRoot, err := p.Right.computeRoot(sp.LeafCount)
+			if err != nil {
+				return false, err
+			}
+			if !bucketRoot.Equal(rightRoot) {
+				return false, fmt.Errorf("%w: absence leaves authenticate different buckets", ErrBadProof)
+			}
+		}
+
+	default:
+		// ProofAbsenceEmpty (and anything else) never carries a spine.
+		return false, fmt.Errorf("%w: proof kind %v cannot carry a spine segment", ErrBadProof, p.Kind)
+	}
+
+	node := cryptoutil.HashBucket(sp.Lo.Raw(), sp.Hi.Raw(), sp.LeafCount, bucketRoot)
+	spineRoot, err := climb(node, sp.BucketIndex, sp.NumBuckets, sp.Path)
+	if err != nil {
+		return false, err
+	}
+	if !cryptoutil.HashForestRoot(sp.NumBuckets, spineRoot).Equal(root) {
+		return false, fmt.Errorf("%w: spine path does not reach root", ErrBadProof)
+	}
+	return revoked, nil
+}
+
 // Size returns the encoded size of the proof in bytes; the paper reports
 // 500–900 bytes for the largest CRL observed (§VII-D).
 func (p *Proof) Size() int { return len(p.Encode()) }
@@ -185,9 +349,16 @@ func (p *Proof) Encode() []byte {
 }
 
 func (p *Proof) encodeTo(e *wire.Encoder) {
-	e.Uint8(uint8(p.Kind))
+	k := uint8(p.Kind)
+	if p.Spine != nil {
+		k |= proofSpineFlag
+	}
+	e.Uint8(k)
 	encodeProofLeaf(e, p.Left)
 	encodeProofLeaf(e, p.Right)
+	if p.Spine != nil {
+		encodeSpineSegment(e, p.Spine)
+	}
 }
 
 func encodeProofLeaf(e *wire.Encoder, pl *ProofLeaf) {
@@ -205,7 +376,20 @@ func encodeProofLeaf(e *wire.Encoder, pl *ProofLeaf) {
 	}
 }
 
-// DecodeProof parses a proof encoded by Encode.
+func encodeSpineSegment(e *wire.Encoder, sp *SpineSegment) {
+	e.BytesField(sp.Lo.Raw()) // zero serial encodes as empty = unbounded
+	e.BytesField(sp.Hi.Raw())
+	e.Uvarint(sp.BucketIndex)
+	e.Uvarint(sp.NumBuckets)
+	e.Uvarint(sp.LeafCount)
+	e.Uvarint(uint64(len(sp.Path)))
+	for _, h := range sp.Path {
+		e.Raw(h[:])
+	}
+}
+
+// DecodeProof parses a proof encoded by Encode, including pre-forest
+// encodings (no spine flag on the kind byte).
 func DecodeProof(buf []byte) (*Proof, error) {
 	d := wire.NewDecoder(buf)
 	p, err := decodeProofFrom(d)
@@ -220,13 +404,20 @@ func DecodeProof(buf []byte) (*Proof, error) {
 
 func decodeProofFrom(d *wire.Decoder) (*Proof, error) {
 	var p Proof
-	p.Kind = ProofKind(d.Uint8())
+	k := d.Uint8()
+	hasSpine := k&proofSpineFlag != 0
+	p.Kind = ProofKind(k &^ proofSpineFlag)
 	var err error
 	if p.Left, err = decodeProofLeaf(d); err != nil {
 		return nil, err
 	}
 	if p.Right, err = decodeProofLeaf(d); err != nil {
 		return nil, err
+	}
+	if hasSpine {
+		if p.Spine, err = decodeSpineSegment(d); err != nil {
+			return nil, err
+		}
 	}
 	if d.Err() != nil {
 		return nil, fmt.Errorf("decode proof: %w", d.Err())
@@ -246,8 +437,7 @@ func decodeProofLeaf(d *wire.Decoder) (*ProofLeaf, error) {
 	if d.Err() != nil {
 		return nil, fmt.Errorf("decode proof leaf: %w", d.Err())
 	}
-	const maxPath = 64 // a dictionary of 2⁶⁴ leaves; far beyond any real tree
-	if pathLen > maxPath {
+	if pathLen > maxProofPath {
 		return nil, fmt.Errorf("%w: audit path of %d elements", ErrBadProof, pathLen)
 	}
 	pl.Path = make([]cryptoutil.Hash, pathLen)
@@ -264,4 +454,40 @@ func decodeProofLeaf(d *wire.Decoder) (*ProofLeaf, error) {
 	}
 	pl.Serial = s
 	return &pl, nil
+}
+
+func decodeSpineSegment(d *wire.Decoder) (*SpineSegment, error) {
+	var sp SpineSegment
+	loBytes := d.BytesCopy()
+	hiBytes := d.BytesCopy()
+	sp.BucketIndex = d.Uvarint()
+	sp.NumBuckets = d.Uvarint()
+	sp.LeafCount = d.Uvarint()
+	pathLen := d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode spine segment: %w", d.Err())
+	}
+	if pathLen > maxProofPath {
+		return nil, fmt.Errorf("%w: spine path of %d elements", ErrBadProof, pathLen)
+	}
+	sp.Path = make([]cryptoutil.Hash, pathLen)
+	for i := range sp.Path {
+		h, err := cryptoutil.HashFromBytes(d.Raw(cryptoutil.HashSize))
+		if err != nil || d.Err() != nil {
+			return nil, fmt.Errorf("decode spine path: %w", ErrBadProof)
+		}
+		sp.Path[i] = h
+	}
+	var err error
+	if len(loBytes) > 0 {
+		if sp.Lo, err = serial.New(loBytes); err != nil {
+			return nil, fmt.Errorf("decode spine lower bound: %w", err)
+		}
+	}
+	if len(hiBytes) > 0 {
+		if sp.Hi, err = serial.New(hiBytes); err != nil {
+			return nil, fmt.Errorf("decode spine upper bound: %w", err)
+		}
+	}
+	return &sp, nil
 }

@@ -23,8 +23,9 @@ import (
 // and never block — a Prove observes either the previous or the new
 // version, both of which verify against a CA-signed root.
 type Replica struct {
-	ca  CAID
-	pub ed25519.PublicKey
+	ca         CAID
+	pub        ed25519.PublicKey
+	layoutKind LayoutKind
 
 	// snap is the current published version; never nil (the initial
 	// snapshot is empty with a nil signed root).
@@ -38,14 +39,28 @@ type Replica struct {
 	gen       uint64          // publication counter behind the snapshots
 }
 
-// NewReplica creates an empty replica of the dictionary of the given CA.
-// The public key is the trust anchor against which every signed root is
-// verified; it normally comes from the CA's certificate.
+// NewReplica creates an empty replica of the dictionary of the given CA,
+// with the default sorted layout. The public key is the trust anchor
+// against which every signed root is verified; it normally comes from the
+// CA's certificate.
 func NewReplica(ca CAID, pub ed25519.PublicKey) *Replica {
-	r := &Replica{ca: ca, pub: pub, tree: NewTree()}
+	return NewReplicaWithLayout(ca, pub, LayoutSorted)
+}
+
+// NewReplicaWithLayout creates an empty replica using the given commitment
+// layout. The layout MUST match the authority's: a replayed update is
+// accepted only when the locally rebuilt root equals the signed root, and
+// roots are layout-specific. Recovery paths that rebuild a replica (see
+// ra.RA.Resync) read the layout back through Layout so the replacement
+// reuses it.
+func NewReplicaWithLayout(ca CAID, pub ed25519.PublicKey, kind LayoutKind) *Replica {
+	r := &Replica{ca: ca, pub: pub, layoutKind: kind, tree: NewTreeWithLayout(kind)}
 	r.snap.Store(newSnapshot(ca, r.tree, nil, cryptoutil.Hash{}, 0, 0))
 	return r
 }
+
+// Layout returns the replica's commitment layout.
+func (r *Replica) Layout() LayoutKind { return r.layoutKind }
 
 // publish freezes the current state as the next snapshot. Caller holds mu.
 func (r *Replica) publish() {
@@ -124,16 +139,16 @@ func (r *Replica) Update(msg *IssuanceMessage) error {
 		return fmt.Errorf("%w: message count %d does not extend local count %d by %d",
 			ErrCount, want, have, len(msg.Serials))
 	default:
+		cp := r.tree.checkpoint()
 		if err := r.tree.InsertBatch(msg.Serials); err != nil {
 			return err
 		}
 		if !r.tree.Root().Equal(msg.Root.Root) || r.tree.Count() != want {
 			// Reject and roll back: the signed root does not match what an
-			// honest replay produces (update step 3).
-			prefix := r.tree.Log()[:have]
-			if rbErr := r.tree.RebuildFromLog(prefix); rbErr != nil {
-				return fmt.Errorf("%w (rollback failed: %v)", ErrRootMismatch, rbErr)
-			}
+			// honest replay produces (update step 3). The checkpoint is the
+			// state of the last published snapshot, so restoring it costs
+			// O(batch) — not the full-log re-insert the old rollback paid.
+			r.tree.rollback(cp, msg.Serials)
 			return ErrRootMismatch
 		}
 	}

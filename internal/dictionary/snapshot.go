@@ -8,13 +8,14 @@ import (
 )
 
 // Snapshot is one immutable, self-contained version of a replicated
-// dictionary: the sorted leaves and interior hash levels of the tree, the
-// signed root they verify against, and the freshness statement for the
-// period the snapshot was published in. A Replica publishes a new Snapshot
-// atomically after every verified update or freshness refresh; readers
-// obtain one with Replica.Snapshot and may then call Prove, Revoked, and
-// the accessors with zero locking, forever — the arrays are never written
-// again (Tree's copy-on-write rebuild guarantees it).
+// dictionary: the frozen proving view of the commitment layout (sorted
+// leaves and levels, or forest buckets and spine), the signed root it
+// verifies against, and the freshness statement for the period the snapshot
+// was published in. A Replica publishes a new Snapshot atomically after
+// every verified update or freshness refresh; readers obtain one with
+// Replica.Snapshot and may then call Prove, Revoked, and the accessors with
+// zero locking, forever — the arrays are never written again (the layouts'
+// copy-on-write rebuild guarantees it).
 //
 // The paper's observation that makes snapshots worthwhile (§III, §VI): a
 // revocation status is immutable for a whole ∆ window. Proof, signed root,
@@ -24,7 +25,7 @@ import (
 // equal generation ⇒ byte-identical status.
 type Snapshot struct {
 	ca        CAID
-	view      treeView
+	view      LayoutView
 	log       []serial.Number // issuance order, length == Count(); immutable
 	root      *SignedRoot     // nil until the replica's first verified update
 	freshness cryptoutil.Hash
@@ -71,10 +72,10 @@ func (s *Snapshot) Freshness() cryptoutil.Hash { return s.freshness }
 func (s *Snapshot) FreshnessPeriod() int { return s.freshPer }
 
 // Count returns the number of revocations in the snapshot.
-func (s *Snapshot) Count() uint64 { return uint64(len(s.view.leaves)) }
+func (s *Snapshot) Count() uint64 { return uint64(len(s.log)) }
 
 // RootHash returns the tree root hash of the snapshot.
-func (s *Snapshot) RootHash() cryptoutil.Hash { return s.view.root() }
+func (s *Snapshot) RootHash() cryptoutil.Hash { return s.view.Root() }
 
 // Log returns a copy of the issuance-ordered serial log of this version.
 func (s *Snapshot) Log() []serial.Number {
@@ -96,7 +97,7 @@ func (s *Snapshot) LogSuffix(from, to uint64) ([]serial.Number, error) {
 
 // Revoked reports whether sn is revoked in this version.
 func (s *Snapshot) Revoked(sn serial.Number) bool {
-	_, ok := s.view.revoked(sn)
+	_, ok := s.view.Revoked(sn)
 	return ok
 }
 
@@ -110,7 +111,7 @@ func (s *Snapshot) Prove(sn serial.Number) (*Status, error) {
 		return nil, fmt.Errorf("%w: replica has no signed root", ErrDesynchronized)
 	}
 	return &Status{
-		Proof:     s.view.prove(sn),
+		Proof:     s.view.Prove(sn),
 		Root:      s.root,
 		Freshness: s.freshness,
 	}, nil

@@ -52,13 +52,14 @@ func TestIncrementalRebuildMatchesReference(t *testing.T) {
 		if err := tree.InsertBatch(batch); err != nil {
 			t.Fatal(err)
 		}
-		want := rebuildReference(tree.leafHashes)
-		if len(tree.levels) != len(want) {
-			t.Fatalf("batch %d: %d levels, want %d", batchNo, len(tree.levels), len(want))
+		sorted := tree.commit.(*sortedLayout)
+		want := rebuildReference(sorted.leafHashes)
+		if len(sorted.levels) != len(want) {
+			t.Fatalf("batch %d: %d levels, want %d", batchNo, len(sorted.levels), len(want))
 		}
 		for lvl := range want {
 			for i := range want[lvl] {
-				if !tree.levels[lvl][i].Equal(want[lvl][i]) {
+				if !sorted.levels[lvl][i].Equal(want[lvl][i]) {
 					t.Fatalf("batch %d: level %d node %d differs from full rebuild", batchNo, lvl, i)
 				}
 			}

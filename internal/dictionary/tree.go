@@ -2,13 +2,19 @@
 // authenticated dictionary that every CA maintains for its revocations and
 // that every Revocation Agent replicates (§III of the paper, Fig 2).
 //
-// The dictionary is a hash tree whose leaves are (serial number ‖ revocation
-// number) pairs. Revocations are numbered consecutively from 1 in issuance
-// order, which fixes the insertion history; leaves are sorted
+// The dictionary is a hash structure whose leaves are (serial number ‖
+// revocation number) pairs. Revocations are numbered consecutively from 1 in
+// issuance order, which fixes the insertion history; leaves are sorted
 // lexicographically by serial number, which makes both presence and absence
 // efficiently provable. A CA-signed root {root, n, Hᵐ(v), t} commits to the
 // dictionary contents, the revocation count, a hash-chain anchor for
 // freshness statements, and the signing time.
+//
+// The commitment structure itself is pluggable (see Layout): the classic
+// flat sorted hash tree (LayoutSorted) or a bucketed forest (LayoutForest)
+// whose per-batch insert cost is O(k·log n) for any serial distribution.
+// Authority and replica must agree on the layout; the issuance log and all
+// dissemination wire formats are layout-agnostic.
 //
 // Three roles interact with a dictionary:
 //
@@ -51,9 +57,10 @@ var (
 	ErrCount = errors.New("dictionary: non-contiguous revocation count")
 )
 
-// EmptyRoot is the root hash of a dictionary with no revocations. A fixed
-// sentinel (rather than a zero hash) keeps the empty tree domain-separated
-// from any real node value.
+// EmptyRoot is the root hash of a dictionary with no revocations, shared by
+// every layout (empty content is empty content). A fixed sentinel (rather
+// than a zero hash) keeps the empty dictionary domain-separated from any
+// real node value.
 var EmptyRoot = cryptoutil.HashBytes([]byte("RITM/empty-tree/v1"))
 
 // Leaf is one revocation: the certificate serial number and the revocation's
@@ -76,90 +83,48 @@ func (l Leaf) hash() cryptoutil.Hash {
 	return cryptoutil.HashLeaf(l.payload())
 }
 
-// Tree is the sorted hash tree underlying a dictionary. It is a mutable
-// structure owned by a single Authority or Replica; it performs no locking
-// of its own.
+// Tree is a dictionary: the layout-independent state (serial index,
+// issuance log, batch validation) over a pluggable commitment structure
+// (Layout) that owns the hashed representation. It is a mutable structure
+// owned by a single Authority or Replica; it performs no locking of its
+// own.
 //
-// The tree keeps every level of interior hashes so that audit paths are
-// produced in O(log n) without recomputation. A batch insert merges the new
-// leaves into the sorted order and recomputes interior levels incrementally:
-// every node left of the first changed leaf position is copied from the
-// previous version, and only nodes at or right of it are rehashed. A batch
-// landing at the right edge of the serial space therefore costs
-// O(k·log n); a batch landing at position p costs O(n−p) (positions shift,
-// so everything to the right re-pairs), with the full O(n) of the paper's
-// "insert sₓ,n into the tree and rebuild it" as the worst case.
-//
-// Mutations are copy-on-write: InsertBatch never writes into the leaf,
-// leaf-hash, or level arrays of the previous version, so a treeView taken
-// before a mutation (see Snapshot) stays valid and immutable forever.
+// Mutations are copy-on-write: InsertBatch never writes into arrays
+// reachable from a previously taken view, so a LayoutView frozen before a
+// mutation (see Snapshot) stays valid and immutable forever.
 type Tree struct {
-	leaves     []Leaf            // sorted by serial
-	leafHashes []cryptoutil.Hash // parallel to leaves; == levels[0]
-	levels     [][]cryptoutil.Hash
-	bySerial   map[string]uint64 // canonical serial bytes -> revocation number
-	log        []serial.Number   // issuance order; log[i] has Num == i+1
+	commit   Layout
+	bySerial map[string]uint64 // canonical serial bytes -> revocation number
+	log      []serial.Number   // issuance order; log[i] has Num == i+1
 }
 
-// treeView is one immutable version of the tree's proving state: the sorted
-// leaves plus every interior level. Tree exposes its current version via
-// view(); Snapshot freezes one. All methods are read-only and therefore safe
-// for unsynchronized concurrent use as long as the arrays are never written
-// again — which the copy-on-write discipline of InsertBatch guarantees.
-type treeView struct {
-	leaves []Leaf
-	levels [][]cryptoutil.Hash
+// NewTree returns an empty dictionary tree with the default sorted layout.
+func NewTree() *Tree {
+	return NewTreeWithLayout(LayoutSorted)
 }
+
+// NewTreeWithLayout returns an empty dictionary tree with the given
+// commitment layout.
+func NewTreeWithLayout(kind LayoutKind) *Tree {
+	return &Tree{commit: newLayout(kind), bySerial: make(map[string]uint64)}
+}
+
+// Layout returns the tree's commitment layout.
+func (t *Tree) Layout() LayoutKind { return t.commit.kind() }
+
+// HashedNodes returns the cumulative number of hash computations performed
+// by inserts — the per-∆-cycle cost metric the layout benchmarks compare.
+func (t *Tree) HashedNodes() uint64 { return t.commit.hashedNodes() }
 
 // view returns the tree's current immutable proving state.
-func (t *Tree) view() treeView { return treeView{leaves: t.leaves, levels: t.levels} }
-
-// root returns the view's root hash (EmptyRoot when empty).
-func (v treeView) root() cryptoutil.Hash {
-	if len(v.leaves) == 0 {
-		return EmptyRoot
-	}
-	return v.levels[len(v.levels)-1][0]
-}
-
-// revoked reports whether s is a leaf of the view, by binary search (the
-// view carries no serial index; O(log n) is fine for its read-only users).
-func (v treeView) revoked(s serial.Number) (uint64, bool) {
-	lo := v.searchLeaf(s)
-	if lo < len(v.leaves) && v.leaves[lo].Serial.Equal(s) {
-		return v.leaves[lo].Num, true
-	}
-	return 0, false
-}
-
-// searchLeaf returns the index of the first leaf with Serial >= s.
-func (v treeView) searchLeaf(s serial.Number) int {
-	lo, hi := 0, len(v.leaves)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if v.leaves[mid].Serial.Compare(s) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-// NewTree returns an empty dictionary tree.
-func NewTree() *Tree {
-	return &Tree{bySerial: make(map[string]uint64)}
-}
+func (t *Tree) view() LayoutView { return t.commit.view() }
 
 // Count returns n, the number of revocations in the dictionary.
 func (t *Tree) Count() uint64 { return uint64(len(t.log)) }
 
 // Root returns the current root hash (EmptyRoot when the tree is empty).
 func (t *Tree) Root() cryptoutil.Hash {
-	if len(t.leaves) == 0 {
-		return EmptyRoot
-	}
-	return t.levels[len(t.levels)-1][0]
+	return t.commit.view().Root()
 }
 
 // Revoked reports whether s is in the dictionary, and its revocation number.
@@ -169,8 +134,8 @@ func (t *Tree) Revoked(s serial.Number) (uint64, bool) {
 }
 
 // Log returns a copy of the issuance-ordered serial log. Replaying the log
-// into an empty tree reproduces the dictionary exactly; it is the canonical
-// serialized form.
+// into an empty tree of the same layout reproduces the dictionary exactly;
+// it is the canonical serialized form (and is layout-independent).
 func (t *Tree) Log() []serial.Number {
 	out := make([]serial.Number, len(t.log))
 	copy(out, t.log)
@@ -189,8 +154,9 @@ func (t *Tree) LogSuffix(from, to uint64) ([]serial.Number, error) {
 }
 
 // InsertBatch revokes the given serials, assigning consecutive revocation
-// numbers in slice order, and rebuilds the tree. It validates the whole
-// batch before mutating anything, so on error the tree is unchanged.
+// numbers in slice order, and rebuilds the commitment structure. It
+// validates the whole batch before mutating anything, so on error the tree
+// is unchanged.
 func (t *Tree) InsertBatch(serials []serial.Number) error {
 	if len(serials) == 0 {
 		return nil
@@ -219,51 +185,51 @@ func (t *Tree) InsertBatch(serials []serial.Number) error {
 		t.bySerial[string(s.Raw())] = newLeaves[i].Num
 		t.log = append(t.log, s)
 	}
-	// Sort the batch by serial, then merge with the existing sorted leaves.
-	// The merge writes into fresh arrays (copy-on-write): the previous
-	// version's arrays — possibly aliased by a published Snapshot — are
-	// never touched.
+	// Sort the batch by serial, then hand it to the layout, which merges it
+	// copy-on-write: the previous version's arrays — possibly aliased by a
+	// published Snapshot — are never touched.
 	sortLeaves(newLeaves)
-	merged := make([]Leaf, 0, len(t.leaves)+len(newLeaves))
-	mergedHashes := make([]cryptoutil.Hash, 0, cap(merged))
-	firstChanged := -1 // merged index of the first new leaf
-	i, j := 0, 0
-	for i < len(t.leaves) && j < len(newLeaves) {
-		if t.leaves[i].Serial.Compare(newLeaves[j].Serial) < 0 {
-			merged = append(merged, t.leaves[i])
-			mergedHashes = append(mergedHashes, t.leafHashes[i])
-			i++
-		} else {
-			if firstChanged < 0 {
-				firstChanged = len(merged)
-			}
-			merged = append(merged, newLeaves[j])
-			mergedHashes = append(mergedHashes, newLeaves[j].hash())
-			j++
-		}
-	}
-	for ; i < len(t.leaves); i++ {
-		merged = append(merged, t.leaves[i])
-		mergedHashes = append(mergedHashes, t.leafHashes[i])
-	}
-	for ; j < len(newLeaves); j++ {
-		if firstChanged < 0 {
-			firstChanged = len(merged)
-		}
-		merged = append(merged, newLeaves[j])
-		mergedHashes = append(mergedHashes, newLeaves[j].hash())
-	}
-	oldLevels := t.levels
-	t.leaves = merged
-	t.leafHashes = mergedHashes
-	t.rebuildFrom(oldLevels, firstChanged)
+	t.commit.insert(newLeaves)
 	return nil
 }
 
-// RebuildFromLog resets the tree to contain exactly the given issuance log.
-// Replicas use it to roll back a rejected update.
+// treeCheckpoint captures one version of the tree for O(batch) rollback.
+// Thanks to the layouts' copy-on-write discipline the capture is O(1): the
+// checkpointed arrays are never written again, only replaced.
+type treeCheckpoint struct {
+	state  layoutState
+	logLen int
+}
+
+// checkpoint freezes the tree's current version. Replica.Update takes one
+// before replaying a batch; the checkpointed state is exactly the state of
+// the replica's last published snapshot.
+func (t *Tree) checkpoint() treeCheckpoint {
+	return treeCheckpoint{state: t.commit.checkpoint(), logLen: len(t.log)}
+}
+
+// rollback rewinds the tree to cp, undoing exactly one InsertBatch of the
+// given serials: the commitment structure is restored from the checkpoint
+// (O(1)), the batch keys leave the serial index, and the log is truncated.
+// This replaces the old full RebuildFromLog replay on the rejected-update
+// path: O(len(batch)) instead of re-inserting and re-hashing the whole log.
+func (t *Tree) rollback(cp treeCheckpoint, batch []serial.Number) {
+	t.commit.restore(cp.state)
+	for _, s := range batch {
+		delete(t.bySerial, string(s.Raw()))
+	}
+	// Truncating the slice header never writes the array, so snapshots
+	// sharing the log stay intact; later appends only touch positions the
+	// failed batch wrote, which no published snapshot covers.
+	t.log = t.log[:cp.logLen]
+}
+
+// RebuildFromLog resets the tree to contain exactly the given issuance log,
+// preserving the layout. It is the general (full-replay) recovery path;
+// the common rejected-update rollback uses checkpoint/rollback instead,
+// which restores the last published state without re-inserting anything.
 func (t *Tree) RebuildFromLog(log []serial.Number) error {
-	fresh := NewTree()
+	fresh := NewTreeWithLayout(t.Layout())
 	if err := fresh.InsertBatch(log); err != nil {
 		return fmt.Errorf("rebuild from log: %w", err)
 	}
@@ -271,122 +237,10 @@ func (t *Tree) RebuildFromLog(log []serial.Number) error {
 	return nil
 }
 
-// rebuildFrom recomputes the interior levels from the (already replaced)
-// leaf hashes, reusing every node left of leaf index firstChanged from
-// oldLevels: those nodes cover only unchanged, unshifted leaves, so their
-// values — including the odd-promotion rule, which depends only on indices
-// below them — are identical. Fresh arrays are allocated for every level,
-// never written through oldLevels, preserving snapshot immutability.
-//
-// A negative firstChanged (no leaf changed) still rebuilds everything, as
-// does 0; callers pass the merge position of the first inserted leaf.
-func (t *Tree) rebuildFrom(oldLevels [][]cryptoutil.Hash, firstChanged int) {
-	if len(t.leafHashes) == 0 {
-		t.levels = nil
-		return
-	}
-	if firstChanged < 0 {
-		firstChanged = 0
-	}
-	levels := make([][]cryptoutil.Hash, 1, 2+bitsLen(len(t.leafHashes)))
-	levels[0] = t.leafHashes
-	cur := t.leafHashes
-	dirty := firstChanged // first index of cur that differs from oldLevels
-	for lvl := 0; len(cur) > 1; lvl++ {
-		next := make([]cryptoutil.Hash, (len(cur)+1)/2)
-		// A parent k is unchanged iff both children are below dirty, i.e.
-		// 2k+1 < dirty — and the old level must actually hold it.
-		keep := dirty / 2
-		if lvl+1 < len(oldLevels) {
-			if n := len(oldLevels[lvl+1]); keep > n {
-				keep = n
-			}
-			copy(next[:keep], oldLevels[lvl+1])
-		} else {
-			keep = 0
-		}
-		for k := keep; k < len(next); k++ {
-			if 2*k+1 < len(cur) {
-				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
-			} else {
-				// Odd rightmost node: promoted unchanged; the verifier
-				// reproduces the same rule from (index, size) alone.
-				next[k] = cur[len(cur)-1]
-			}
-		}
-		levels = append(levels, next)
-		cur = next
-		dirty = keep
-	}
-	t.levels = levels
-}
-
-// bitsLen returns ⌈log₂(n)⌉-ish capacity hint for the level slice.
-func bitsLen(n int) int {
-	b := 0
-	for n > 1 {
-		n = (n + 1) / 2
-		b++
-	}
-	return b
-}
-
-// path returns the audit path for the leaf at index idx.
-func (v treeView) path(idx int) []cryptoutil.Hash {
-	if len(v.leaves) == 0 || idx < 0 || idx >= len(v.leaves) {
-		return nil
-	}
-	path := make([]cryptoutil.Hash, 0, len(v.levels))
-	for lvl := 0; lvl < len(v.levels)-1; lvl++ {
-		nodes := v.levels[lvl]
-		sib := idx ^ 1
-		if sib < len(nodes) {
-			path = append(path, nodes[sib])
-		}
-		// Odd rightmost node has no sibling: promoted, no path element.
-		idx /= 2
-	}
-	return path
-}
-
-// proofLeaf builds the ProofLeaf for index idx.
-func (v treeView) proofLeaf(idx int) *ProofLeaf {
-	return &ProofLeaf{
-		Serial: v.leaves[idx].Serial,
-		Num:    v.leaves[idx].Num,
-		Index:  uint64(idx),
-		Path:   v.path(idx),
-	}
-}
-
-// prove produces a presence or absence proof for s against the view. The
-// proof verifies against root() and the leaf count.
-func (v treeView) prove(s serial.Number) *Proof {
-	n := len(v.leaves)
-	if n == 0 {
-		return &Proof{Kind: ProofAbsenceEmpty}
-	}
-	lo := v.searchLeaf(s)
-	if lo < n && v.leaves[lo].Serial.Equal(s) {
-		return &Proof{Kind: ProofPresence, Left: v.proofLeaf(lo)}
-	}
-	switch {
-	case lo == 0:
-		// s precedes every leaf: the first leaf bounds it from above.
-		return &Proof{Kind: ProofAbsence, Right: v.proofLeaf(0)}
-	case lo == n:
-		// s follows every leaf: the last leaf bounds it from below.
-		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(n - 1)}
-	default:
-		// s falls strictly between two adjacent leaves.
-		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(lo - 1), Right: v.proofLeaf(lo)}
-	}
-}
-
 // Prove produces a presence or absence proof for s against the current tree
 // (Fig 2, prove step 1). The proof verifies against Root() and Count().
 func (t *Tree) Prove(s serial.Number) *Proof {
-	return t.view().prove(s)
+	return t.commit.view().Prove(s)
 }
 
 // SerializedSize returns the size in bytes of the canonical serialized form
@@ -400,21 +254,11 @@ func (t *Tree) SerializedSize() int {
 }
 
 // MemoryFootprint estimates the resident bytes of the tree structure:
-// leaves, leaf hashes, interior levels, and the serial index. It is an
-// analytic estimate used by the storage-overhead experiment (§VII-D).
+// the layout's hashed representation, the serial index, and the log. It is
+// an analytic estimate used by the storage-overhead experiment (§VII-D).
 func (t *Tree) MemoryFootprint() int {
-	const (
-		hashBytes     = cryptoutil.HashSize
-		leafOverhead  = 24 + 8 // slice header of serial + num
-		mapEntryBytes = 48     // measured approximation per map entry
-	)
-	total := 0
-	for _, lvl := range t.levels {
-		total += len(lvl) * hashBytes
-	}
-	for _, l := range t.leaves {
-		total += leafOverhead + l.Serial.Len()
-	}
+	const mapEntryBytes = 48 // measured approximation per map entry
+	total := t.commit.memoryFootprint()
 	total += len(t.bySerial) * mapEntryBytes
 	for _, s := range t.log {
 		total += 24 + s.Len()

@@ -24,30 +24,45 @@ import (
 // served — at worst a status computed from the snapshot that was current
 // when the lookup began is returned, which is exactly the guarantee an
 // uncached Prove gives too.
+//
+// Capacity is enforced per entry, not per shard reset: a full shard evicts
+// one cold entry per insert using a second-chance (CLOCK-approximated LRU)
+// policy — each hit sets the entry's access bit with no write lock, and the
+// eviction scan clears bits until it finds an unreferenced victim. Large
+// working sets therefore degrade to targeted evictions of the coldest keys
+// instead of the seed's wholesale shard reset, which threw away the hot set
+// alongside the cold one on every overflow.
 type statusCache struct {
-	seed   maphash.Seed
-	shards [cacheShardCount]cacheShard
+	seed     maphash.Seed
+	shardCap int // entries per shard; cacheShardCap outside tests
+	shards   [cacheShardCount]cacheShard
 }
 
 // cacheShardCount spreads the hot path over independent locks. 64 shards
 // keep contention negligible up to a few hundred data-path goroutines.
 const cacheShardCount = 64
 
-// cacheShardCap bounds each shard; a full shard is reset wholesale (the
-// resumption table uses the same policy). 4096 × 64 shards ≈ 256 k live
-// statuses, plenty above any realistic per-∆ working set.
+// cacheShardCap bounds each shard. 4096 × 64 shards ≈ 256 k live statuses,
+// plenty above any realistic per-∆ working set. Per-instance (shardCap)
+// so the eviction tests can exercise overflow without 256k inserts.
 const cacheShardCap = 4096
+
+// evictScanLimit bounds one eviction scan. Map iteration starts at a
+// pseudo-random position, so the scan samples the shard; if every sampled
+// entry was recently hit, the last one is evicted anyway — the bound keeps
+// the put path O(1) even when the whole shard is hot.
+const evictScanLimit = 16
 
 // cacheShard counts its own hits and misses: a single global counter pair
 // would put one contended cache line back onto the very path the sharding
 // de-serializes, while the shard's own line is already touched by its
 // RWMutex.
 type cacheShard struct {
-	mu     sync.RWMutex
-	m      map[cacheKey]*cacheEntry
-	hits   atomic.Int64
-	misses atomic.Int64
-	resets atomic.Int64
+	mu        sync.RWMutex
+	m         map[cacheKey]*cacheEntry
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type cacheKey struct {
@@ -67,10 +82,15 @@ type cacheEntry struct {
 	gen     uint64
 	status  *dictionary.Status
 	encoded []byte
+	// touched is the second-chance access bit: set on every hit (under the
+	// read lock only — an atomic store, not a list move), cleared by the
+	// eviction scan. An entry is evicted only after surviving untouched
+	// from one scan encounter to the next.
+	touched atomic.Bool
 }
 
 func newStatusCache() *statusCache {
-	return &statusCache{seed: maphash.MakeSeed()}
+	return &statusCache{seed: maphash.MakeSeed(), shardCap: cacheShardCap}
 }
 
 func (c *statusCache) shardFor(key cacheKey) *cacheShard {
@@ -83,13 +103,14 @@ func (c *statusCache) shardFor(key cacheKey) *cacheShard {
 }
 
 // get returns the entry for key if it matches the replica instance and
-// generation, counting hit/miss.
+// generation, counting hit/miss and marking the entry recently used.
 func (c *statusCache) get(key cacheKey, r *dictionary.Replica, gen uint64) (*cacheEntry, bool) {
 	sh := c.shardFor(key)
 	sh.mu.RLock()
 	e := sh.m[key]
 	sh.mu.RUnlock()
 	if e != nil && e.replica == r && e.gen == gen {
+		e.touched.Store(true)
 		sh.hits.Add(1)
 		return e, true
 	}
@@ -97,19 +118,46 @@ func (c *statusCache) get(key cacheKey, r *dictionary.Replica, gen uint64) (*cac
 	return nil, false
 }
 
-// put stores an entry, resetting the shard when it is full of (mostly
-// stale) entries.
+// put stores an entry, evicting one cold entry when the shard is full.
 func (c *statusCache) put(key cacheKey, e *cacheEntry) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if sh.m == nil {
 		sh.m = make(map[cacheKey]*cacheEntry)
-	} else if len(sh.m) >= cacheShardCap {
-		sh.m = make(map[cacheKey]*cacheEntry)
-		sh.resets.Add(1)
+	} else if _, replacing := sh.m[key]; !replacing && len(sh.m) >= c.shardCap {
+		sh.evictOneLocked()
 	}
 	sh.m[key] = e
 	sh.mu.Unlock()
+}
+
+// evictOneLocked removes one entry, preferring stale or cold ones: a stale
+// entry (its replica already published a newer generation) goes first; an
+// entry whose access bit is clear goes next; a scan full of hot entries
+// clears their bits (second chance) and falls back to the last sampled.
+// Caller holds the write lock.
+func (sh *cacheShard) evictOneLocked() {
+	var fallback cacheKey
+	scanned := 0
+	for k, e := range sh.m {
+		scanned++
+		if e.gen != e.replica.Snapshot().Generation() {
+			delete(sh.m, k) // stale: unservable, keep nothing of it
+			sh.evictions.Add(1)
+			return
+		}
+		if !e.touched.Swap(false) {
+			delete(sh.m, k)
+			sh.evictions.Add(1)
+			return
+		}
+		fallback = k
+		if scanned >= evictScanLimit {
+			break
+		}
+	}
+	delete(sh.m, fallback)
+	sh.evictions.Add(1)
 }
 
 // purgeCA drops every entry of one CA, used when a dictionary (for
@@ -127,6 +175,18 @@ func (c *statusCache) purgeCA(ca dictionary.CAID) {
 	}
 }
 
+// entries returns the live entry count across shards (stats/tests).
+func (c *statusCache) entries() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		total += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
 // CacheStats reports the status cache's effectiveness; benchmarks surface
 // HitRate and the snapshot-swap count so the hot-path trajectory is
 // trackable across PRs.
@@ -136,8 +196,11 @@ type CacheStats struct {
 	// Misses counts lookups that recomputed a proof (cold key or stale
 	// generation).
 	Misses int64
-	// ShardResets counts wholesale shard evictions on overflow.
-	ShardResets int64
+	// Evictions counts per-entry removals made to admit new entries into a
+	// full shard (the second-chance policy; stale entries go first).
+	Evictions int64
+	// Entries is the current number of live cached statuses.
+	Entries int
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -155,8 +218,9 @@ func (c *statusCache) stats() CacheStats {
 		sh := &c.shards[i]
 		out.Hits += sh.hits.Load()
 		out.Misses += sh.misses.Load()
-		out.ShardResets += sh.resets.Load()
+		out.Evictions += sh.evictions.Load()
 	}
+	out.Entries = c.entries()
 	return out
 }
 

@@ -1,0 +1,126 @@
+package ra
+
+import (
+	"fmt"
+	"testing"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
+)
+
+// smallStatusCache returns a cache with a tiny per-shard capacity so
+// overflow is reachable without 256k inserts; the knob is per instance,
+// never shared state.
+func smallStatusCache(shardCap int) *statusCache {
+	c := newStatusCache()
+	c.shardCap = shardCap
+	return c
+}
+
+func testReplica(t *testing.T) *dictionary.Replica {
+	t.Helper()
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dictionary.NewReplica("CacheCA", signer.Public())
+}
+
+func entryFor(r *dictionary.Replica, gen uint64) *cacheEntry {
+	return &cacheEntry{replica: r, gen: gen, encoded: []byte{1}}
+}
+
+func keyOf(i int) cacheKey {
+	return cacheKey{ca: "CacheCA", sn: fmt.Sprintf("sn-%d", i)}
+}
+
+// TestStatusCacheEvictionBounded floods the cache far past its capacity:
+// the entry count must stay bounded per shard and every admission beyond
+// capacity must be a single-entry eviction, not a shard reset.
+func TestStatusCacheEvictionBounded(t *testing.T) {
+	const shardCap = 4
+	c := smallStatusCache(shardCap)
+	r := testReplica(t)
+	const inserts = 64 * shardCap * 4
+	for i := 0; i < inserts; i++ {
+		c.put(keyOf(i), entryFor(r, 0))
+	}
+	st := c.stats()
+	if max := cacheShardCount * shardCap; st.Entries > max {
+		t.Errorf("entries = %d, want ≤ %d", st.Entries, max)
+	}
+	if st.Entries < shardCap { // the load spreads over 64 shards
+		t.Errorf("entries = %d, implausibly low", st.Entries)
+	}
+	if want := int64(inserts - cacheShardCount*shardCap); st.Evictions < want {
+		t.Errorf("evictions = %d, want ≥ %d", st.Evictions, want)
+	}
+}
+
+// TestStatusCacheHotEntrySurvivesEviction is the thrashing regression the
+// whole-shard reset had: a continuously hit entry must survive arbitrarily
+// many cold insertions, because every hit re-arms its second-chance bit.
+func TestStatusCacheHotEntrySurvivesEviction(t *testing.T) {
+	c := smallStatusCache(4)
+	r := testReplica(t)
+	gen := r.Snapshot().Generation()
+	hot := keyOf(1_000_000)
+	c.put(hot, entryFor(r, gen))
+	for i := 0; i < 2000; i++ {
+		c.put(keyOf(i), entryFor(r, gen))
+		if _, ok := c.get(hot, r, gen); !ok {
+			t.Fatalf("hot entry evicted after %d cold inserts", i+1)
+		}
+	}
+	if c.stats().Evictions == 0 {
+		t.Fatal("no evictions happened; the test exercised nothing")
+	}
+}
+
+// TestStatusCacheEvictsStaleFirst: an entry whose generation the replica
+// has already superseded is unservable dead weight, so the eviction scan
+// removes it before touching any live entry.
+func TestStatusCacheEvictsStaleFirst(t *testing.T) {
+	const shardCap = 4
+	c := smallStatusCache(shardCap)
+	r := testReplica(t)
+	gen := r.Snapshot().Generation()
+
+	// Collect cap+2 keys that hash to one shard so the overflow is local.
+	shard := c.shardFor(keyOf(0))
+	keys := []cacheKey{keyOf(0)}
+	for i := 1; len(keys) < shardCap+2; i++ {
+		if c.shardFor(keyOf(i)) == shard {
+			keys = append(keys, keyOf(i))
+		}
+	}
+
+	stale := keys[0]
+	c.put(stale, entryFor(r, gen+99)) // generation the replica never published
+	live := keys[1 : shardCap+1]
+	for _, k := range live[:len(live)-1] {
+		c.put(k, entryFor(r, gen))
+		c.get(k, r, gen) // arm the access bit
+	}
+	// The shard is now full; this admission must evict, and must pick the
+	// stale entry regardless of scan order.
+	c.put(live[len(live)-1], entryFor(r, gen))
+	shard.mu.RLock()
+	_, staleAlive := shard.m[stale]
+	liveCount := 0
+	for _, k := range live {
+		if _, ok := shard.m[k]; ok {
+			liveCount++
+		}
+	}
+	shard.mu.RUnlock()
+	if staleAlive {
+		t.Error("stale entry survived an eviction")
+	}
+	if liveCount != len(live) {
+		t.Errorf("live entries = %d, want %d", liveCount, len(live))
+	}
+	if got := c.stats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}

@@ -28,6 +28,11 @@ type Config struct {
 	// injects one revocation status per certificate of the server chain
 	// (for every issuer it replicates) instead of the leaf's status only.
 	ChainProofs bool
+	// Layout selects the dictionary commitment layout for every replica
+	// (zero value: LayoutSorted). It MUST match the layout the replicated
+	// CAs sign with — roots are layout-specific, and a mismatched replica
+	// rejects every update with ErrRootMismatch.
+	Layout dictionary.LayoutKind
 	// Now is the clock (nil = time.Now); experiments inject virtual time.
 	Now func() time.Time
 }
@@ -70,7 +75,7 @@ func New(cfg Config) (*RA, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	store, err := NewStore(cfg.Roots...)
+	store, err := NewStoreWithLayout(cfg.Layout, cfg.Roots...)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +197,10 @@ func (ra *RA) Resync(ca dictionary.CAID) error {
 	if err != nil {
 		return err
 	}
-	fresh := dictionary.NewReplica(ca, old.PublicKey())
+	// The replacement inherits the old replica's trust anchor AND layout:
+	// a rebuild that silently fell back to the default layout could never
+	// match the origin's signed roots again.
+	fresh := dictionary.NewReplicaWithLayout(ca, old.PublicKey(), old.Layout())
 	resp, err := ra.origin.Pull(ca, 0)
 	if err != nil {
 		return fmt.Errorf("ra: resync %s: %w", ca, err)

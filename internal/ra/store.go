@@ -50,9 +50,10 @@ var (
 // replica in turn publishes lock-free snapshots, so a status is produced
 // without acquiring any lock anywhere on the path.
 type Store struct {
-	view  atomic.Pointer[storeView]
-	wmu   sync.Mutex // serializes view writers
-	cache *statusCache
+	view   atomic.Pointer[storeView]
+	wmu    sync.Mutex // serializes view writers
+	cache  *statusCache
+	layout dictionary.LayoutKind // commitment layout for every replica
 }
 
 // storeView is one immutable configuration of the store. All fields —
@@ -65,13 +66,21 @@ type storeView struct {
 }
 
 // NewStore creates an empty store trusting the given root certificates; a
-// replica is created per root.
+// replica (with the default sorted layout) is created per root.
 func NewStore(roots ...*cert.Certificate) (*Store, error) {
+	return NewStoreWithLayout(dictionary.LayoutSorted, roots...)
+}
+
+// NewStoreWithLayout creates a store whose replicas use the given
+// commitment layout. The layout must match what the replicated CAs sign
+// with (roots are layout-specific; a mismatch rejects every update with
+// ErrRootMismatch), so it is a deployment-wide setting, not per-CA.
+func NewStoreWithLayout(layout dictionary.LayoutKind, roots ...*cert.Certificate) (*Store, error) {
 	pool, err := cert.NewPool()
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{cache: newStatusCache()}
+	s := &Store{cache: newStatusCache(), layout: layout}
 	s.view.Store(&storeView{
 		replicas: map[dictionary.CAID]*dictionary.Replica{},
 		pool:     pool,
@@ -117,7 +126,7 @@ func (s *Store) AddCA(root *cert.Certificate) error {
 		return fmt.Errorf("ra: add CA: %w", err)
 	}
 	if _, dup := next.replicas[root.Issuer]; !dup {
-		next.replicas[root.Issuer] = dictionary.NewReplica(root.Issuer, root.PublicKey)
+		next.replicas[root.Issuer] = dictionary.NewReplicaWithLayout(root.Issuer, root.PublicKey, s.layout)
 	}
 	next.rebuildCAs()
 	s.view.Store(next)
@@ -197,6 +206,9 @@ func (s *Store) ReplaceReplica(ca dictionary.CAID, r *dictionary.Replica) error 
 	return nil
 }
 
+// Layout returns the commitment layout the store's replicas use.
+func (s *Store) Layout() dictionary.LayoutKind { return s.layout }
+
 // Replica returns the replica for ca.
 func (s *Store) Replica(ca dictionary.CAID) (*dictionary.Replica, error) {
 	r, ok := s.view.Load().replicas[ca]
@@ -263,7 +275,7 @@ func (s *Store) Status(ca dictionary.CAID, sn serial.Number) (*dictionary.Status
 	// A concurrent Remove may have purged this CA between our view load
 	// and the put, in which case the entry just stored aliases a removed
 	// replica: unservable (the replica check in get fails) but pinning the
-	// dead dictionary's arrays until a shard reset. Re-check the current
+	// dead dictionary's arrays until it is evicted. Re-check the current
 	// view and purge again if we raced; one of the two purges necessarily
 	// observes the entry.
 	if cur, ok := s.view.Load().replicas[ca]; !ok || cur != r {
