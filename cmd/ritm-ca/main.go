@@ -10,9 +10,16 @@
 //	GET /admin/issue?subject=S&pub=HEX               issue a certificate
 //	GET /admin/revoke?serial=HEX                     revoke a serial number
 //
+// With -data-dir the CA is durable: the signing key, the dictionary (an
+// append-only WAL of signed update batches plus checkpoints), and the
+// distribution point's state all live under the directory, and a
+// restarted ritm-ca resumes with the exact signed root it crashed with —
+// same ETag, so edge caches revalidate with 304s and RAs just pull the
+// suffix they missed.
+//
 // Example:
 //
-//	ritm-ca -id DemoCA -delta 10s -listen 127.0.0.1:8440
+//	ritm-ca -id DemoCA -delta 10s -listen 127.0.0.1:8440 -data-dir /var/lib/ritm-ca
 package main
 
 import (
@@ -24,20 +31,29 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"ritm"
 	"ritm/internal/cdn"
+	"ritm/internal/cryptoutil"
+	"ritm/internal/dictionary"
 	"ritm/internal/serial"
 )
 
 func main() {
 	var (
-		id     = flag.String("id", "DemoCA", "CA identifier")
-		delta  = flag.Duration("delta", 10*time.Second, "dissemination interval ∆")
-		listen = flag.String("listen", "127.0.0.1:8440", "address for the dissemination + admin API")
-		layout = flag.String("layout", "sorted", "dictionary commitment layout (sorted|forest); every RA replicating this CA must use the same -layout")
+		id        = flag.String("id", "DemoCA", "CA identifier")
+		delta     = flag.Duration("delta", 10*time.Second, "dissemination interval ∆")
+		listen    = flag.String("listen", "127.0.0.1:8440", "address for the dissemination + admin API")
+		layout    = flag.String("layout", "sorted", "dictionary commitment layout (sorted|forest|forest:<cap>); every RA replicating this CA must use the same -layout")
+		forestCap = flag.Int("forest-bucket-cap", 0, "forest bucket capacity (0 = 256); shorthand for -layout forest:<cap>, part of the commitment contract and persisted in checkpoints")
+		dataDir   = flag.String("data-dir", "", "directory for durable state (signing key, dictionary WAL + checkpoints, distribution-point state); empty = in-memory only")
+		ckptEvery = flag.Int("checkpoint-every", 64, "WAL records between checkpoint snapshots")
+		fsync     = flag.Bool("fsync", true, "fsync the WAL on every committed update batch (off trades crash-durability of the newest batches for latency)")
+		gzipOn    = flag.Bool("gzip", false, "compress large /v1/pull bodies for gzip-accepting clients (Vary-safe, per-encoding ETags)")
 	)
 	flag.Parse()
 	kind, err := ritm.ParseLayout(*layout)
@@ -45,21 +61,123 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*id, *delta, *listen, kind); err != nil {
+	if *forestCap > 0 {
+		if kind.ForestCap() == 0 {
+			fmt.Fprintln(os.Stderr, "ritm-ca: -forest-bucket-cap requires -layout forest")
+			os.Exit(2)
+		}
+		kind = ritm.LayoutForestWithCap(*forestCap)
+	}
+	if err := run(*id, *delta, *listen, kind, *dataDir, *ckptEvery, *fsync, *gzipOn); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, delta time.Duration, listen string, layout ritm.LayoutKind) error {
-	dp := ritm.NewDistributionPoint(nil)
-	authority, err := ritm.NewCA(ritm.CAConfig{ID: ritm.CAID(id), Delta: delta, Publisher: dp, Layout: layout})
+// loadOrCreateSigner persists the CA's Ed25519 seed under dir (mode 0600):
+// a durable CA must restart with the identity its dictionary history was
+// signed with, or recovery verification refuses the store.
+func loadOrCreateSigner(dir string) (*ritm.Signer, error) {
+	path := filepath.Join(dir, "ca.key")
+	if raw, err := os.ReadFile(path); err == nil {
+		seedBytes, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil || len(seedBytes) != ed25519.SeedSize {
+			return nil, fmt.Errorf("ritm-ca: malformed key file %s", path)
+		}
+		var seed [32]byte
+		copy(seed[:], seedBytes)
+		return cryptoutil.NewSignerFromSeed(seed), nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	signer, err := ritm.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	seed := signer.Seed()
+	if err := os.WriteFile(path, []byte(hex.EncodeToString(seed[:])+"\n"), 0o600); err != nil {
+		return nil, fmt.Errorf("ritm-ca: persist key: %w", err)
+	}
+	return signer, nil
+}
+
+// catchUpOrigin re-feeds the distribution point whatever suffix the
+// authority committed (write-ahead) but the origin never ingested. It is
+// a no-op when both sides agree — the common case; the gap arises only
+// from a crash inside one revocation's WAL-commit→publish window, so it
+// is at most a few batches.
+func catchUpOrigin(dp *ritm.DistributionPoint, authority *ritm.CA) error {
+	auth := authority.Authority()
+	caN := auth.Count()
+	var dpN uint64
+	if root, err := dp.LatestRoot(authority.ID()); err == nil {
+		dpN = root.N
+	}
+	if dpN >= caN {
+		return nil
+	}
+	suffix, err := auth.LogSuffix(dpN, caN)
 	if err != nil {
 		return err
 	}
+	var bounds []uint64
+	for _, b := range auth.BatchBounds() {
+		if b > dpN && b < caN {
+			bounds = append(bounds, b)
+		}
+	}
+	log.Printf("ritm-ca: origin recovered at %d of the authority's %d revocations; re-feeding the missed suffix", dpN, caN)
+	return dp.PublishIssuanceBounded(&dictionary.IssuanceMessage{Serials: suffix, Root: auth.SignedRoot()}, bounds)
+}
+
+func run(id string, delta time.Duration, listen string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync, gzipOn bool) error {
+	var (
+		caBackend, dpBackend ritm.StorageBackend
+		signer               *ritm.Signer
+		err                  error
+	)
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
+		if signer, err = loadOrCreateSigner(dataDir); err != nil {
+			return err
+		}
+		// Authority and distribution point keep separate namespaces: both
+		// persist a log named after the CA id.
+		caBackend = ritm.NewFileBackend(filepath.Join(dataDir, "authority"), fsync)
+		dpBackend = ritm.NewFileBackend(filepath.Join(dataDir, "origin"), fsync)
+	}
+	dp := ritm.NewDistributionPointWithStorage(nil, dpBackend, ckptEvery)
+	defer dp.Close()
+	authority, err := ritm.NewCA(ritm.CAConfig{
+		ID:              ritm.CAID(id),
+		Delta:           delta,
+		Publisher:       dp,
+		Layout:          layout,
+		Signer:          signer,
+		Storage:         caBackend,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer authority.Close()
 	if err := dp.RegisterCAWithLayout(ritm.CAID(id), authority.PublicKey(), layout); err != nil {
 		return err
 	}
+	// The CA's log is write-ahead of the publish: a crash between the WAL
+	// commit and the distribution point's ingest leaves the recovered
+	// authority a suffix ahead of the recovered origin. Feed that suffix
+	// (under the authority's batch structure) before anything else, or the
+	// root publication below would be rejected as desynchronized on every
+	// restart.
+	if err := catchUpOrigin(dp, authority); err != nil {
+		return fmt.Errorf("ritm-ca: catch origin up to authority: %w", err)
+	}
+	// On a warm start both sides now hold the same state, so this is a
+	// verified no-op; on a cold start it publishes the empty dictionary's
+	// root (the bootstrapping manifest of §VIII).
 	if err := authority.PublishRoot(); err != nil {
 		return err
 	}
@@ -69,7 +187,7 @@ func run(id string, delta time.Duration, listen string, layout ritm.LayoutKind) 
 	defer refresher.Shutdown()
 
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", cdn.Handler(dp))
+	mux.Handle("/v1/", cdn.NewHandler(dp, cdn.HandlerOptions{Gzip: gzipOn}))
 	mux.HandleFunc("GET /admin/root", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(authority.RootCertificate().Encode())
@@ -108,7 +226,12 @@ func run(id string, delta time.Duration, listen string, layout ritm.LayoutKind) 
 	srv := &http.Server{Addr: listen, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("ritm-ca %s: ∆=%v, layout=%s, serving dissemination + admin on %s", id, delta, layout, listen)
+	durable := "in-memory"
+	if dataDir != "" {
+		durable = fmt.Sprintf("durable at %s (fsync=%v, checkpoint-every=%d)", dataDir, fsync, ckptEvery)
+	}
+	log.Printf("ritm-ca %s: ∆=%v, layout=%s, n=%d, %s, serving dissemination + admin on %s",
+		id, delta, layout, authority.Authority().Count(), durable, listen)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

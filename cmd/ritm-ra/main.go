@@ -26,14 +26,18 @@ import (
 
 func main() {
 	var (
-		caURL  = flag.String("ca", "http://127.0.0.1:8440", "CA base URL (dissemination + admin API)")
-		listen = flag.String("listen", "127.0.0.1:8443", "address clients connect to")
-		target = flag.String("target", "127.0.0.1:9443", "upstream server address")
-		delta  = flag.Duration("delta", 10*time.Second, "pull interval ∆")
-		jitter = flag.Duration("jitter", 0, "max random per-CA pull delay each cycle (avoids fleet-wide stampedes)")
-		expire = flag.Duration("expire-shards", 0, "expiry-shard bucket width; >0 drops fully expired shards every cycle")
-		chain  = flag.String("edge-chain", "", "comma-separated TTLs of local caching edge layers over the dissemination endpoint, nearest first (e.g. \"5s,30s\" = PoP-style 5s cache in front of a 30s regional-style cache); each layer also negative-caches unknown CAs for its TTL")
-		layout = flag.String("layout", "sorted", "dictionary commitment layout (sorted|forest); must match the CA's -layout, or every pulled update is rejected")
+		caURL     = flag.String("ca", "http://127.0.0.1:8440", "CA base URL (dissemination + admin API)")
+		listen    = flag.String("listen", "127.0.0.1:8443", "address clients connect to")
+		target    = flag.String("target", "127.0.0.1:9443", "upstream server address")
+		delta     = flag.Duration("delta", 10*time.Second, "pull interval ∆")
+		jitter    = flag.Duration("jitter", 0, "max random per-CA pull delay each cycle (avoids fleet-wide stampedes)")
+		expire    = flag.Duration("expire-shards", 0, "expiry-shard bucket width; >0 drops fully expired shards every cycle")
+		chain     = flag.String("edge-chain", "", "comma-separated TTLs of local caching edge layers over the dissemination endpoint, nearest first (e.g. \"5s,30s\" = PoP-style 5s cache in front of a 30s regional-style cache); each layer also negative-caches unknown CAs for its TTL")
+		layout    = flag.String("layout", "sorted", "dictionary commitment layout (sorted|forest|forest:<cap>); must match the CA's -layout, or every pulled update is rejected")
+		forestCap = flag.Int("forest-bucket-cap", 0, "forest bucket capacity (0 = 256); must match the CA's, and a durable store refuses to reopen under a different one")
+		dataDir   = flag.String("data-dir", "", "directory for durable replica state (WAL + checkpoints per CA); a restarted RA resumes at its persisted count and pulls only the missed suffix. Empty = in-memory only")
+		ckptEvery = flag.Int("checkpoint-every", 64, "persisted update batches between checkpoint snapshots")
+		fsync     = flag.Bool("fsync", true, "fsync the WAL on every persisted update batch")
 	)
 	flag.Parse()
 	kind, err := ritm.ParseLayout(*layout)
@@ -41,7 +45,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain, kind); err != nil {
+	if *forestCap > 0 {
+		if kind.ForestCap() == 0 {
+			fmt.Fprintln(os.Stderr, "ritm-ra: -forest-bucket-cap requires -layout forest")
+			os.Exit(2)
+		}
+		kind = ritm.LayoutForestWithCap(*forestCap)
+	}
+	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain, kind, *dataDir, *ckptEvery, *fsync); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -73,7 +84,7 @@ func buildEdgeChain(base ritm.Origin, ttls string) (ritm.Origin, error) {
 	return origin, nil
 }
 
-func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string, layout ritm.LayoutKind) error {
+func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync bool) error {
 	root, err := fetchRoot(caURL)
 	if err != nil {
 		return err
@@ -82,15 +93,22 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 	if err != nil {
 		return err
 	}
+	var backend ritm.StorageBackend
+	if dataDir != "" {
+		backend = ritm.NewFileBackend(dataDir, fsync)
+	}
 	agent, err := ritm.NewRA(ritm.RAConfig{
-		Roots:  []*ritm.Certificate{root},
-		Origin: origin,
-		Delta:  delta,
-		Layout: layout,
+		Roots:           []*ritm.Certificate{root},
+		Origin:          origin,
+		Delta:           delta,
+		Layout:          layout,
+		Storage:         backend,
+		CheckpointEvery: ckptEvery,
 	})
 	if err != nil {
 		return err
 	}
+	defer agent.Store().Close()
 	// Fail fast if the dissemination endpoint is unreachable; the fetcher
 	// also syncs immediately on start, so a transient race here only costs
 	// one extra (edge-cached) pull.

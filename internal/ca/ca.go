@@ -11,6 +11,8 @@ package ca
 
 import (
 	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
@@ -20,6 +22,7 @@ import (
 	"ritm/internal/cryptoutil"
 	"ritm/internal/dictionary"
 	"ritm/internal/serial"
+	"ritm/internal/storage"
 )
 
 // Publisher is the CA's interface to the dissemination network's
@@ -59,7 +62,24 @@ type Config struct {
 	// SerialSizes controls generated serial sizes (nil = paper distribution).
 	SerialSizes serial.SizeDistribution
 	// SerialSeed seeds the serial generator for reproducible workloads.
+	// When the CA warm-starts from Storage and SerialSeed is zero, a fresh
+	// random seed is drawn instead: replaying the boot-time deterministic
+	// sequence would re-issue serials already handed out before the crash.
+	// (Issued-but-unrevoked serials are not part of the dictionary state,
+	// so exact issuance continuity requires either a caller-managed seed
+	// or an external issuance registry — out of scope here.)
 	SerialSeed uint64
+	// Storage, when non-nil, persists the CA's dictionary — a WAL of
+	// signed update batches with the freshness-chain seed behind each,
+	// plus periodic checkpoints — and warm-starts from it: a restarted CA
+	// resumes with the exact tree, chain, and signed root it crashed
+	// with, so already-disseminated roots and statuses stay valid and the
+	// dissemination tier sees no regression (no ErrAhead, no resync).
+	// Restoring requires the same Signer; supply the persisted key.
+	Storage storage.Backend
+	// CheckpointEvery is the number of WAL records between checkpoint
+	// snapshots (0 = 64).
+	CheckpointEvery int
 }
 
 // CA is a certification authority. It is safe for concurrent use.
@@ -76,6 +96,11 @@ type CA struct {
 	mu      sync.Mutex
 	serials *serial.Generator
 	issued  map[string]*cert.Certificate // by canonical serial bytes
+
+	pmu       sync.Mutex // guards the durable log
+	log       storage.Log
+	ckptEvery int
+	appended  int
 }
 
 // New creates a CA with a self-signed root certificate and an empty,
@@ -101,22 +126,75 @@ func New(cfg Config) (*CA, error) {
 		}
 	}
 	nowUnix := cfg.Now().Unix()
-	authority, err := dictionary.NewAuthority(dictionary.AuthorityConfig{
+	authorityCfg := dictionary.AuthorityConfig{
 		CA:          cfg.ID,
 		Signer:      signer,
 		Delta:       cfg.Delta,
 		ChainLength: cfg.ChainLength,
 		Layout:      cfg.Layout,
 		Rand:        cfg.Rand,
-	}, nowUnix)
-	if err != nil {
-		return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+	}
+
+	var (
+		authority *dictionary.Authority
+		lg        storage.Log
+		restored  bool
+		err       error
+	)
+	if cfg.Storage != nil {
+		if lg, err = cfg.Storage.Open(string(cfg.ID)); err != nil {
+			return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+		}
+		if authority, restored, err = recoverAuthority(authorityCfg, lg); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+		}
+	}
+	if authority == nil {
+		if authority, err = dictionary.NewAuthority(authorityCfg, nowUnix); err != nil {
+			if lg != nil {
+				lg.Close()
+			}
+			return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+		}
+		if lg != nil {
+			// Anchor the fresh history: with an initial checkpoint on disk,
+			// every later recovery has a verified state to replay onto, and
+			// "WAL without checkpoint" becomes an unambiguous corruption
+			// signal rather than a valid cold-start shape.
+			if err := lg.Checkpoint(authority.PersistentState().Encode()); err != nil {
+				lg.Close()
+				return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+			}
+		}
+	}
+	serialSeed := cfg.SerialSeed
+	if restored && serialSeed == 0 {
+		// Replaying the boot-deterministic serial sequence would re-issue
+		// pre-crash serials; draw boot entropy instead (see Config.SerialSeed).
+		rng := cfg.Rand
+		if rng == nil {
+			rng = rand.Reader
+		}
+		var b [8]byte
+		if _, err := io.ReadFull(rng, b[:]); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("ca %s: serial seed: %w", cfg.ID, err)
+		}
+		serialSeed = binary.BigEndian.Uint64(b[:])
 	}
 	// The root certificate outlives every certificate it signs.
 	rootCert, err := cert.SelfSigned(cfg.ID, signer, nowUnix,
 		nowUnix+int64((cfg.CertValidity*10)/time.Second), uint32(cfg.Delta/time.Second))
 	if err != nil {
+		if lg != nil {
+			lg.Close()
+		}
 		return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
+	}
+	ckptEvery := cfg.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 64
 	}
 	return &CA{
 		id:        cfg.ID,
@@ -127,13 +205,100 @@ func New(cfg Config) (*CA, error) {
 		publisher: cfg.Publisher,
 		authority: authority,
 		root:      rootCert,
-		serials:   serial.NewGenerator(cfg.SerialSeed, cfg.SerialSizes),
+		serials:   serial.NewGenerator(serialSeed, cfg.SerialSizes),
 		issued:    make(map[string]*cert.Certificate),
+		log:       lg,
+		ckptEvery: ckptEvery,
 	}, nil
+}
+
+// recoverAuthority rebuilds the authority from a durable log, or reports
+// (nil, false, nil) when the log is genuinely fresh. Every recovered
+// artifact is re-verified (signature under the configured signer, rebuilt
+// root against the signed root, chain seed against the signed anchor); a
+// mismatch — including an operator supplying a different signing key than
+// the persisted history was signed with — fails loudly.
+func recoverAuthority(cfg dictionary.AuthorityConfig, lg storage.Log) (*dictionary.Authority, bool, error) {
+	ckpt, wal, err := lg.Load()
+	if err != nil {
+		return nil, false, err
+	}
+	if ckpt == nil {
+		if len(wal) > 0 {
+			// New stores are anchored by an initial checkpoint before any
+			// record is appended, so this shape only arises from damage.
+			return nil, false, fmt.Errorf("durable log has %d WAL records but no checkpoint", len(wal))
+		}
+		return nil, false, nil
+	}
+	st, err := dictionary.DecodePersistentState(ckpt)
+	if err != nil {
+		return nil, false, err
+	}
+	records := make([]*dictionary.UpdateRecord, len(wal))
+	for i, raw := range wal {
+		if records[i], err = dictionary.DecodeUpdateRecord(raw); err != nil {
+			return nil, false, fmt.Errorf("WAL record %d: %w", i, err)
+		}
+	}
+	a, err := dictionary.RestoreAuthority(cfg, st, records)
+	if err != nil {
+		return nil, false, err
+	}
+	return a, true, nil
+}
+
+// persistUpdateLocked WAL-appends one signed update (an insert batch or a
+// rotated root) together with the chain seed behind it, checkpointing on
+// cadence. It runs BEFORE the update is published: write-ahead means a
+// message the dissemination network has seen can always be recovered.
+//
+// Caller holds pmu and acquired it BEFORE the authority mutation that
+// produced msg: pmu is what serializes (mutate, read seed, append) as one
+// unit, so concurrent revocations can neither reorder WAL records against
+// the insertion order nor pair a record with a later batch's chain seed —
+// either corruption would verify-fail the whole store at the next
+// restart.
+func (c *CA) persistUpdateLocked(msg *dictionary.IssuanceMessage) error {
+	if c.log == nil {
+		return nil
+	}
+	seed := c.authority.ChainSeed()
+	rec := dictionary.UpdateRecord{Msg: msg, Seed: &seed}
+	if err := c.log.Append(rec.Encode()); err != nil {
+		return fmt.Errorf("ca %s: persist update: %w", c.id, err)
+	}
+	c.appended++
+	if c.appended < c.ckptEvery {
+		return nil
+	}
+	if err := c.log.Checkpoint(c.authority.PersistentState().Encode()); err != nil {
+		return fmt.Errorf("ca %s: checkpoint: %w", c.id, err)
+	}
+	c.appended = 0
+	return nil
+}
+
+// Close releases the CA's durable log (if any).
+func (c *CA) Close() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	err := c.log.Close()
+	c.log = nil
+	return err
 }
 
 // ID returns the CA identifier.
 func (c *CA) ID() dictionary.CAID { return c.id }
+
+// SetPublisher re-points the CA at a (possibly reopened) distribution
+// point. Restart drills use it: the dissemination endpoint that crashed
+// and recovered is a new value, but the CA's own state is unaffected.
+// Not safe to call concurrently with Revoke or PublishRefresh.
+func (c *CA) SetPublisher(p Publisher) { c.publisher = p }
 
 // RootCertificate returns the self-signed root certificate; clients and RAs
 // add it to their trust pools.
@@ -220,11 +385,25 @@ func (c *CA) IssueCACertificate(subject string, pub ed25519.PublicKey, delta tim
 }
 
 // Revoke revokes the given serials as one batch: it inserts them into the
-// dictionary (Fig 2, insert) and publishes the issuance message.
+// dictionary (Fig 2, insert), makes the batch durable (when a storage
+// backend is configured — write-ahead, so nothing the network sees can be
+// lost by a crash), and publishes the issuance message.
 func (c *CA) Revoke(serials ...serial.Number) (*dictionary.IssuanceMessage, error) {
+	// pmu spans insert + WAL append so concurrent revocations persist in
+	// insertion order with their own chain seeds (see persistUpdateLocked).
+	c.pmu.Lock()
 	msg, err := c.authority.Insert(serials, c.now().Unix())
 	if err != nil {
+		c.pmu.Unlock()
 		return nil, fmt.Errorf("ca %s: revoke: %w", c.id, err)
+	}
+	err = c.persistUpdateLocked(msg)
+	c.pmu.Unlock()
+	if err != nil {
+		// In memory the revocation took effect; on disk it did not. Surface
+		// it without publishing: disseminating state that a restart would
+		// roll back is how an origin ends up behind its own RAs.
+		return msg, err
 	}
 	if c.publisher != nil {
 		if err := c.publisher.PublishIssuance(msg); err != nil {
@@ -247,10 +426,21 @@ func (c *CA) IsRevoked(sn serial.Number) bool { return c.authority.Revoked(sn) }
 // signed root as a root-only issuance message. CAs call it at least every ∆
 // (Tab I rows two and three).
 func (c *CA) PublishRefresh() error {
+	c.pmu.Lock()
 	ref, err := c.authority.Refresh(c.now().Unix())
 	if err != nil {
+		c.pmu.Unlock()
 		return fmt.Errorf("ca %s: refresh: %w", c.id, err)
 	}
+	if ref.NewRoot != nil {
+		// Chain exhaustion rotated the root: the new chain's seed exists
+		// nowhere but memory until this record lands.
+		if err := c.persistUpdateLocked(&dictionary.IssuanceMessage{Root: ref.NewRoot}); err != nil {
+			c.pmu.Unlock()
+			return err
+		}
+	}
+	c.pmu.Unlock()
 	if c.publisher == nil {
 		return nil
 	}

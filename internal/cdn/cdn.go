@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ritm/internal/dictionary"
+	"ritm/internal/storage"
 	"ritm/internal/wire"
 )
 
@@ -61,6 +62,16 @@ type PullResponse struct {
 	// Freshness is the current freshness statement (nil before the CA's
 	// first publication).
 	Freshness *dictionary.FreshnessStatement
+	// Bounds lists the cumulative counts, strictly between the puller's
+	// from and the signed count, at which the suffix's original insertion
+	// batches ended. A puller replaying the suffix in these sub-batches
+	// reproduces the origin's commitment structure exactly — which the
+	// forest layout's root depends on (bucket splits chunk whatever the
+	// bucket holds at that moment, so batch boundaries are part of the
+	// structure). The bounds are an unsigned hint: the replica's commit
+	// rule is still the signed-root match, so corrupt bounds can only
+	// cause a rejection, never an accepted forgery.
+	Bounds []uint64
 
 	encOnce sync.Once
 	enc     []byte
@@ -85,6 +96,14 @@ func (pr *PullResponse) Encoded() []byte {
 			e.BytesField(pr.Freshness.Encode())
 		} else {
 			e.Bool(false)
+		}
+		// Bounds are ascending; delta encoding keeps them to a few bytes
+		// each regardless of dictionary size.
+		e.Uvarint(uint64(len(pr.Bounds)))
+		prev := uint64(0)
+		for _, b := range pr.Bounds {
+			e.Uvarint(b - prev)
+			prev = b
 		}
 		pr.enc = e.Bytes()
 	})
@@ -112,6 +131,27 @@ func DecodePullResponse(buf []byte) (*PullResponse, error) {
 			return nil, fmt.Errorf("decode pull response: %w", err)
 		}
 		pr.Freshness = st
+	}
+	// The bounds count is mandatory (0 when the suffix spans one batch).
+	// Making it optional-by-presence would let a body truncated at the
+	// field boundary decode cleanly — exactly the silent-truncation class
+	// PR 3 closed and TestHTTPClientTruncatedBody pins. The cost is that
+	// pull bodies are not cross-version compatible with pre-bounds nodes
+	// (in either direction — the old decoder rejects trailing bytes too);
+	// origin and pullers upgrade together, as the layout flag already
+	// requires for forest deployments.
+	nBounds := d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode pull response: %w", d.Err())
+	}
+	const maxBounds = 1 << 24 // one bound per batch; sanity cap
+	if nBounds > maxBounds {
+		return nil, fmt.Errorf("decode pull response: %d batch bounds exceed limit", nBounds)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < nBounds; i++ {
+		prev += d.Uvarint()
+		pr.Bounds = append(pr.Bounds, prev)
 	}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decode pull response: %w", err)
@@ -159,11 +199,38 @@ type Origin interface {
 type DistributionPoint struct {
 	now func() time.Time
 
-	mu    sync.RWMutex // guards dicts (registration vs lookup)
+	mu    sync.RWMutex // guards dicts (registration vs lookup) and logs
 	dicts map[dictionary.CAID]*dictionary.Replica
+
+	// Durable state tier (nil backend = in-memory only). Every verified
+	// ingest is WAL-appended; every ckptEvery records the dictionary is
+	// checkpointed. A reopened distribution point recovers each CA's
+	// replica — including the exact signed root bytes, so /v1/root ETags
+	// are stable across the restart and edges' conditional requests keep
+	// returning 304. This is the §VII availability story: the origin comes
+	// back from a crash without losing its update log, instead of forcing
+	// every RA through the ErrAhead → full-resync path.
+	backend   storage.Backend
+	ckptEvery int
+	logs      map[dictionary.CAID]*dpLog
 
 	stats distCounters
 }
+
+// dpLog pairs a CA's durable log with its records-since-checkpoint count.
+// Its mutex serializes (replica update, WAL append) per CA as one unit, so
+// WAL order always matches apply order — without holding the
+// registration lock across disk writes (PR 2 took the exclusive mutex off
+// the Pull path; an fsync under dp.mu would put a disk stall back on it).
+type dpLog struct {
+	mu       sync.Mutex
+	log      storage.Log
+	appended int
+}
+
+// DefaultCheckpointEvery is the default number of WAL records between
+// checkpoints for a storage-backed distribution point.
+const DefaultCheckpointEvery = 64
 
 // distCounters is the lock-free backing store for Stats.
 type distCounters struct {
@@ -175,12 +242,26 @@ type distCounters struct {
 // NewDistributionPoint creates an empty origin. now is the clock used to
 // validate freshness statements on ingest (nil = time.Now).
 func NewDistributionPoint(now func() time.Time) *DistributionPoint {
+	return NewDistributionPointWithStorage(now, nil, 0)
+}
+
+// NewDistributionPointWithStorage creates an origin whose per-CA state is
+// persisted to backend (nil = in-memory only, identical to
+// NewDistributionPoint) and recovered on RegisterCA, with a checkpoint
+// every checkpointEvery WAL records (0 = DefaultCheckpointEvery).
+func NewDistributionPointWithStorage(now func() time.Time, backend storage.Backend, checkpointEvery int) *DistributionPoint {
 	if now == nil {
 		now = time.Now
 	}
+	if checkpointEvery <= 0 {
+		checkpointEvery = DefaultCheckpointEvery
+	}
 	return &DistributionPoint{
-		now:   now,
-		dicts: make(map[dictionary.CAID]*dictionary.Replica),
+		now:       now,
+		dicts:     make(map[dictionary.CAID]*dictionary.Replica),
+		backend:   backend,
+		ckptEvery: checkpointEvery,
+		logs:      make(map[dictionary.CAID]*dpLog),
 	}
 }
 
@@ -207,8 +288,60 @@ func (dp *DistributionPoint) RegisterCAWithLayout(ca dictionary.CAID, pub []byte
 	if _, dup := dp.dicts[ca]; dup {
 		return fmt.Errorf("cdn: CA %s already registered", ca)
 	}
-	dp.dicts[ca] = dictionary.NewReplicaWithLayout(ca, pub, layout)
+	replica := dictionary.NewReplicaWithLayout(ca, pub, layout)
+	if dp.backend != nil {
+		lg, err := dp.backend.Open(string(ca))
+		if err != nil {
+			return fmt.Errorf("cdn: open durable log for %s: %w", ca, err)
+		}
+		// Recovery re-verifies the persisted log against the trust anchor
+		// and reinstalls the exact signed-root bytes — including the
+		// signature, so the root (and its HTTP ETag) is bit-identical
+		// across the restart.
+		if replica, err = dictionary.RecoverReplicaLog(lg, ca, pub, layout, dp.now().Unix()); err != nil {
+			lg.Close()
+			return fmt.Errorf("cdn: reopen %s: %w", ca, err)
+		}
+		dp.logs[ca] = &dpLog{log: lg}
+	}
+	dp.dicts[ca] = replica
 	return nil
+}
+
+// persistIngest WAL-appends a verified, state-changing ingest and
+// checkpoints when the cadence is due. Caller holds dl.mu.
+func (dp *DistributionPoint) persistIngest(dl *dpLog, ca dictionary.CAID, r *dictionary.Replica, msg *dictionary.IssuanceMessage, bounds []uint64) error {
+	rec := dictionary.UpdateRecord{Msg: msg, Bounds: bounds}
+	if err := dl.log.Append(rec.Encode()); err != nil {
+		return fmt.Errorf("cdn: persist ingest for %s: %w", ca, err)
+	}
+	dl.appended++
+	if dl.appended < dp.ckptEvery {
+		return nil
+	}
+	if err := dl.log.Checkpoint(r.PersistentState().Encode()); err != nil {
+		return fmt.Errorf("cdn: checkpoint %s: %w", ca, err)
+	}
+	dl.appended = 0
+	return nil
+}
+
+// Close releases the distribution point's durable logs (if any). Reads
+// keep working from memory; further ingests must not follow.
+func (dp *DistributionPoint) Close() error {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	var firstErr error
+	for ca, dl := range dp.logs {
+		dl.mu.Lock() // wait out any in-flight ingest on this CA
+		err := dl.log.Close()
+		dl.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(dp.logs, ca)
+	}
+	return firstErr
 }
 
 // PublishIssuance ingests a CA's revocation issuance message: the
@@ -216,17 +349,43 @@ func (dp *DistributionPoint) RegisterCAWithLayout(ca dictionary.CAID, pub []byte
 // corrupted or equivocating message is rejected at the origin) and stores
 // it for pulls. Implements ca.Publisher.
 func (dp *DistributionPoint) PublishIssuance(msg *dictionary.IssuanceMessage) error {
+	return dp.PublishIssuanceBounded(msg, nil)
+}
+
+// PublishIssuanceBounded is PublishIssuance for a message coalescing
+// several insertion batches, with the batch bounds to replay it under
+// (see dictionary.Replica.UpdateWithBounds). Operators use it to re-feed
+// a distribution point that fell behind its CA — for example after a
+// crash window in which the CA's write-ahead log committed a batch the
+// origin never saw.
+func (dp *DistributionPoint) PublishIssuanceBounded(msg *dictionary.IssuanceMessage, bounds []uint64) error {
 	if msg == nil || msg.Root == nil {
 		return fmt.Errorf("cdn: nil issuance message")
 	}
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
+	dp.mu.RLock()
 	r, ok := dp.dicts[msg.Root.CA]
+	dl := dp.logs[msg.Root.CA]
+	dp.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownCA, msg.Root.CA)
 	}
-	if err := r.Update(msg); err != nil {
+	// Serialize (verify-update, WAL append) per CA so the log order always
+	// matches the apply order; disk I/O happens outside dp.mu, so pulls
+	// (and other CAs' ingests) never stall behind an fsync.
+	if dl != nil {
+		dl.mu.Lock()
+		defer dl.mu.Unlock()
+	}
+	gen := r.Snapshot().Generation()
+	if err := r.UpdateWithBounds(msg, bounds); err != nil {
 		return fmt.Errorf("cdn: ingest issuance for %s: %w", msg.Root.CA, err)
+	}
+	// WAL the ingest when it changed state (a re-delivered identical root
+	// is a verified no-op and must not grow the log).
+	if dl != nil && r.Snapshot().Generation() != gen {
+		if err := dp.persistIngest(dl, msg.Root.CA, r, msg, bounds); err != nil {
+			return err
+		}
 	}
 	// A new signed root restarts the freshness chain; the replica's
 	// snapshot now carries its anchor as the period-0 statement.
@@ -240,9 +399,12 @@ func (dp *DistributionPoint) PublishFreshness(st *dictionary.FreshnessStatement)
 	if st == nil {
 		return fmt.Errorf("cdn: nil freshness statement")
 	}
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
+	// Read lock only: the replica serializes its own mutations, and
+	// freshness is never WAL'd (it is re-derived or re-pulled after a
+	// restart).
+	dp.mu.RLock()
 	r, ok := dp.dicts[st.CA]
+	dp.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownCA, st.CA)
 	}
@@ -292,6 +454,9 @@ func (dp *DistributionPoint) Pull(ca dictionary.CAID, from uint64) (*PullRespons
 	// Always include the latest root: a puller that is current still needs
 	// it to detect rotation, and it makes the response self-contained.
 	resp.Issuance = &dictionary.IssuanceMessage{Serials: suffix, Root: root}
+	// Interior batch bounds let the puller replay the suffix under the
+	// origin's batch structure (forest roots depend on it).
+	resp.Bounds = snap.BatchBounds(from, have)
 	return resp, nil
 }
 

@@ -1,6 +1,7 @@
 package cdn
 
 import (
+	"compress/gzip"
 	"errors"
 	"fmt"
 	"io"
@@ -131,22 +132,57 @@ func etagMatches(header, etag string) bool {
 	return false
 }
 
+// HandlerOptions configures the HTTP adapter.
+type HandlerOptions struct {
+	// Now is the clock used by the If-Modified-Since guard (a signing
+	// second is "elapsed" relative to this clock); nil = time.Now.
+	// Deployments whose dissemination tier runs on a virtual or tightly
+	// synced clock pass it here; with the default wall clock, an edge
+	// running behind the CA only costs full 200 bodies (the fallback
+	// stays quiet), never a stale 304.
+	Now func() time.Time
+	// Gzip enables opt-in response compression for clients advertising
+	// Accept-Encoding: gzip. Off by default: large pull suffixes are the
+	// target (a mass-revocation catch-up body is highly compressible
+	// framing around serials), and deployments that terminate compression
+	// in their CDN should leave it off here. Responses on compressible
+	// endpoints carry Vary: Accept-Encoding whenever Gzip is on — even
+	// when served identity — so shared caches never serve a gzipped body
+	// to a client that cannot decode it, and compressed representations
+	// get a per-encoding ETag variant ("<hash>-gzip") per RFC 9110 §8.8.3
+	// (a strong validator names one representation, encoding included).
+	Gzip bool
+	// GzipMinSize is the smallest body worth compressing (0 = 1 KiB).
+	// Small bodies — roots, empty suffixes — cost more in CPU and headers
+	// than the bytes saved.
+	GzipMinSize int
+}
+
 // Handler adapts an Origin to the HTTP API. Serve it on an edge server or
 // on the distribution point itself. When the origin reports cache metadata
 // (MetaOrigin — every EdgeServer does), pull responses carry Cache-Control
 // and Age headers derived from the edge TTL, so any HTTP cache in front
 // expires entries exactly when the edge would.
 func Handler(origin Origin) http.Handler {
-	return HandlerWithClock(origin, time.Now)
+	return NewHandler(origin, HandlerOptions{})
 }
 
-// HandlerWithClock is Handler with an injectable clock, used by the
-// If-Modified-Since guard (a signing second is "elapsed" relative to this
-// clock). Deployments whose dissemination tier runs on a virtual or
-// tightly synced clock pass it here; with the default wall clock, an edge
-// running behind the CA only costs full 200 bodies (the fallback stays
-// quiet), never a stale 304.
+// HandlerWithClock is Handler with an injectable clock; see
+// HandlerOptions.Now.
 func HandlerWithClock(origin Origin, now func() time.Time) http.Handler {
+	return NewHandler(origin, HandlerOptions{Now: now})
+}
+
+// NewHandler is Handler with full configuration.
+func NewHandler(origin Origin, opts HandlerOptions) http.Handler {
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	gz := gzipConfig{enabled: opts.Gzip, minSize: opts.GzipMinSize}
+	if gz.minSize <= 0 {
+		gz.minSize = 1024
+	}
 	meta, _ := origin.(MetaOrigin)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/cas", func(w http.ResponseWriter, r *http.Request) {
@@ -187,7 +223,7 @@ func HandlerWithClock(origin Origin, now func() time.Time) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(resp.Encoded())
+		gz.write(w, r, resp.Encoded())
 	})
 	mux.HandleFunc("GET /v1/root", func(w http.ResponseWriter, r *http.Request) {
 		ca := dictionary.CAID(r.URL.Query().Get("ca"))
@@ -206,7 +242,19 @@ func HandlerWithClock(origin Origin, now func() time.Time) http.Handler {
 		encoded := root.Encode()
 		etag := rootETag(encoded)
 		signedAt := time.Unix(root.Time, 0).UTC()
-		w.Header().Set("ETag", etag)
+		// A compressed representation is a different representation: it
+		// gets its own strong validator (RFC 9110 §8.8.3), and a cached
+		// validator for either representation revalidates the same root —
+		// both variants are derived from the same signed bytes.
+		willGzip := gz.wants(r, len(encoded))
+		servedETag := etag
+		if willGzip {
+			servedETag = gzipETagVariant(etag)
+		}
+		if gz.enabled {
+			w.Header().Add("Vary", "Accept-Encoding")
+		}
+		w.Header().Set("ETag", servedETag)
 		// Last-Modified (the root's signing time) is the weak-validator
 		// fallback for caches that strip ETags; its one-second granularity
 		// means a root re-signed within the same second revalidates as
@@ -220,8 +268,10 @@ func HandlerWithClock(origin Origin, now func() time.Time) http.Handler {
 		w.Header().Set("Cache-Control", "no-cache")
 		if inm := r.Header.Get("If-None-Match"); inm != "" {
 			// RFC 9110 §13.1.3: when If-None-Match is present,
-			// If-Modified-Since MUST be ignored.
-			if etagMatches(inm, etag) {
+			// If-Modified-Since MUST be ignored. Either encoding's
+			// validator revalidates the root — both name the same signed
+			// bytes.
+			if etagMatches(inm, etag) || etagMatches(inm, gzipETagVariant(etag)) {
 				w.WriteHeader(http.StatusNotModified)
 				return
 			}
@@ -241,9 +291,76 @@ func HandlerWithClock(origin Origin, now func() time.Time) http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(encoded)
+		if willGzip {
+			gz.compress(w, encoded)
+		} else {
+			w.Write(encoded)
+		}
 	})
 	return mux
+}
+
+// gzipConfig implements the handler's opt-in compression policy.
+type gzipConfig struct {
+	enabled bool
+	minSize int
+}
+
+// wants reports whether this request+body should be compressed.
+func (g gzipConfig) wants(r *http.Request, size int) bool {
+	return g.enabled && size >= g.minSize && acceptsGzip(r.Header.Get("Accept-Encoding"))
+}
+
+// write serves body on a compressible endpoint: Vary whenever compression
+// is enabled (the representation depends on Accept-Encoding even when
+// this response is identity), gzip when the client accepts it and the
+// body is large enough to pay off.
+func (g gzipConfig) write(w http.ResponseWriter, r *http.Request, body []byte) {
+	if g.enabled {
+		w.Header().Add("Vary", "Accept-Encoding")
+	}
+	if g.wants(r, len(body)) {
+		g.compress(w, body)
+		return
+	}
+	w.Write(body)
+}
+
+// compress writes body gzipped with the Content-Encoding header.
+func (g gzipConfig) compress(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Encoding", "gzip")
+	w.Header().Del("Content-Length")
+	zw := gzip.NewWriter(w)
+	zw.Write(body) //nolint:errcheck // error surfaces on Close, and the connection is the only failure mode
+	zw.Close()     //nolint:errcheck // ditto: nothing useful to do mid-response
+}
+
+// acceptsGzip reports whether an Accept-Encoding header value admits
+// gzip: the token present and not disabled with q=0.
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		token, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if tok := strings.TrimSpace(token); tok != "gzip" && tok != "*" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		if strings.HasPrefix(q, "q=") {
+			if v, err := strconv.ParseFloat(q[2:], 64); err == nil && v == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// gzipETagVariant derives the strong validator of the gzip representation
+// from the identity representation's quoted ETag.
+func gzipETagVariant(etag string) string {
+	if inner, ok := strings.CutSuffix(etag, `"`); ok {
+		return inner + `-gzip"`
+	}
+	return etag + "-gzip"
 }
 
 // setCacheHeaders translates an edge's cache disposition into the HTTP

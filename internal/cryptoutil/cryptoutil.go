@@ -185,6 +185,13 @@ func NewChainFromSeed(seed Hash, length int) *Chain {
 // Length returns m, the number of hash applications from seed to anchor.
 func (c *Chain) Length() int { return c.length }
 
+// Seed returns the chain's secret seed v. It is as sensitive as a signing
+// key: anyone holding it can mint freshness statements for every period of
+// this chain. The CA-side durable store persists it (in the CA's own trust
+// domain, next to the signing key) so that a restarted authority resumes
+// the exact chain — and therefore the exact signed root — it crashed with.
+func (c *Chain) Seed() Hash { return c.seed }
+
 // Anchor returns Hᵐ(v), the value committed to in a signed root.
 func (c *Chain) Anchor() Hash { return c.values[c.length] }
 
@@ -247,6 +254,15 @@ func NewSignerFromSeed(seed [32]byte) *Signer {
 
 // Public returns the public key.
 func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+
+// Seed returns the 32-byte Ed25519 private-key seed, from which
+// NewSignerFromSeed reconstructs the identity. CA operators persist it
+// (mode 0600, CA trust domain) so a restarted CA keeps its identity.
+func (s *Signer) Seed() [32]byte {
+	var seed [32]byte
+	copy(seed[:], s.priv.Seed())
+	return seed
+}
 
 // Sign returns the Ed25519 signature over msg.
 func (s *Signer) Sign(msg []byte) []byte {

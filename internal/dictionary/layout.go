@@ -2,19 +2,32 @@ package dictionary
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"ritm/internal/cryptoutil"
 	"ritm/internal/serial"
 )
 
-// LayoutKind selects the commitment structure behind a dictionary tree.
+// LayoutKind is a layout descriptor: the commitment structure behind a
+// dictionary tree, plus the structure's shape parameters (today: the
+// forest's bucket capacity). It is a single comparable value so that every
+// configuration surface that already carried "which layout" — authority
+// configs, replica constructors, -layout flags, persisted checkpoints —
+// carries the full proof-shape contract with no extra plumbing.
 //
-// The layout changes the root hash a dictionary commits to — authority and
-// replica MUST be configured with the same layout or every replayed update
-// fails with ErrRootMismatch (the signed-root match contract of Fig 2 is
-// per-layout). The issuance log, the dissemination wire formats, and the
-// sync protocol are layout-agnostic: only roots and proofs differ.
-type LayoutKind uint8
+// The descriptor changes the root hash a dictionary commits to — authority
+// and replica MUST be configured with the same descriptor or every
+// replayed update fails with ErrRootMismatch (the signed-root match
+// contract of Fig 2 is per-layout, and bucketization depends on the cap).
+// The issuance log, the dissemination wire formats, and the sync protocol
+// are layout-agnostic: only roots and proofs differ.
+//
+// Encoding: the low 8 bits are the structure kind; the bits above carry
+// the forest bucket capacity (0 = the 256-leaf default). LayoutForest ==
+// LayoutForestWithCap(DefaultForestBucketCap), so code comparing against
+// the named constants keeps working for default-capacity deployments.
+type LayoutKind uint32
 
 // Supported layouts.
 const (
@@ -29,32 +42,98 @@ const (
 	// bucket plus a spine path, so a k-insert batch costs O(k·log n)
 	// amortized for ANY serial distribution — the uniform (random-serial)
 	// case that costs the sorted layout O(n) per batch. Proofs carry an
-	// extra SpineSegment.
+	// extra SpineSegment. Buckets hold at most DefaultForestBucketCap
+	// leaves; LayoutForestWithCap tunes the bound.
 	LayoutForest
 )
 
+// DefaultForestBucketCap is the forest bucket capacity selected by plain
+// LayoutForest. 256 keeps the in-bucket rehash of one insert two to three
+// orders of magnitude below the whole-dictionary rehash the sorted layout
+// pays, while the proof (in-bucket path + spine path) stays within a hash
+// or two of the sorted layout's single path: log₂(cap) + log₂(n/cap) ≈
+// log₂(n).
+const DefaultForestBucketCap = 256
+
+// Forest bucket capacity bounds. The minimum keeps the ¾-fill split
+// target at least one leaf; the maximum is what fits in the descriptor.
+const (
+	minForestCap = 4
+	maxForestCap = 1<<24 - 1
+)
+
+// layoutKindMask extracts the structure kind from a descriptor.
+const layoutKindMask LayoutKind = 0xff
+
+// LayoutForestWithCap returns the forest layout descriptor with buckets of
+// at most cap leaves — the tuning knob for corpora whose batch sizes or
+// proof-size budgets differ from the default's sweet spot (larger caps:
+// fewer, taller buckets, smaller spine; smaller caps: cheaper inserts,
+// more spine). cap is clamped to [4, 2²⁴−1]; cap 0 or
+// DefaultForestBucketCap normalizes to plain LayoutForest, so descriptor
+// equality means proof-shape equality. The capacity is part of the root
+// commitment contract: every replica, and every persisted checkpoint,
+// carries it.
+func LayoutForestWithCap(cap int) LayoutKind {
+	switch {
+	case cap <= 0 || cap == DefaultForestBucketCap:
+		return LayoutForest
+	case cap < minForestCap:
+		cap = minForestCap
+	case cap > maxForestCap:
+		cap = maxForestCap
+	}
+	return LayoutForest | LayoutKind(cap)<<8
+}
+
+// base returns the structure kind without shape parameters.
+func (k LayoutKind) base() LayoutKind { return k & layoutKindMask }
+
+// ForestCap returns the forest bucket capacity the descriptor selects
+// (DefaultForestBucketCap for plain LayoutForest), or 0 for non-forest
+// layouts.
+func (k LayoutKind) ForestCap() int {
+	if k.base() != LayoutForest {
+		return 0
+	}
+	if cap := int(k >> 8); cap != 0 {
+		return cap
+	}
+	return DefaultForestBucketCap
+}
+
 // String returns the layout's flag/config name.
 func (k LayoutKind) String() string {
-	switch k {
+	switch k.base() {
 	case LayoutSorted:
 		return "sorted"
 	case LayoutForest:
+		if cap := int(k >> 8); cap != 0 {
+			return fmt.Sprintf("forest:%d", cap)
+		}
 		return "forest"
 	default:
-		return fmt.Sprintf("LayoutKind(%d)", uint8(k))
+		return fmt.Sprintf("LayoutKind(%d)", uint32(k))
 	}
 }
 
-// ParseLayout maps a flag/config name to its LayoutKind.
+// ParseLayout maps a flag/config name to its LayoutKind. The forest's
+// bucket capacity may be given inline as "forest:512".
 func ParseLayout(s string) (LayoutKind, error) {
 	switch s {
 	case "sorted", "":
 		return LayoutSorted, nil
 	case "forest":
 		return LayoutForest, nil
-	default:
-		return 0, fmt.Errorf("dictionary: unknown layout %q (want sorted or forest)", s)
 	}
+	if rest, ok := strings.CutPrefix(s, "forest:"); ok {
+		cap, err := strconv.Atoi(rest)
+		if err != nil || cap < minForestCap || cap > maxForestCap {
+			return 0, fmt.Errorf("dictionary: forest bucket capacity %q (want %d–%d)", rest, minForestCap, maxForestCap)
+		}
+		return LayoutForestWithCap(cap), nil
+	}
+	return 0, fmt.Errorf("dictionary: unknown layout %q (want sorted, forest, or forest:<cap>)", s)
 }
 
 // Layouts lists every supported layout; benches and CLIs iterate it.
@@ -104,11 +183,11 @@ type LayoutView interface {
 // layoutState is an opaque checkpoint; each layout returns its own type.
 type layoutState interface{}
 
-// newLayout constructs an empty layout of the given kind.
+// newLayout constructs an empty layout of the given descriptor.
 func newLayout(kind LayoutKind) Layout {
-	switch kind {
+	switch kind.base() {
 	case LayoutForest:
-		return &forestLayout{}
+		return newForestLayout(kind)
 	default:
 		return &sortedLayout{}
 	}

@@ -7,18 +7,16 @@ import (
 	"ritm/internal/serial"
 )
 
-// forestBucketCap bounds the leaves per bucket; a bucket that outgrows it is
-// split. 256 keeps the in-bucket rehash of one insert (≤ ~2·cap hashes, the
-// leaves to the right re-pair) two to three orders of magnitude below the
-// whole-dictionary rehash the sorted layout pays for the same insert, while
-// the proof (in-bucket path + spine path) stays within a hash or two of the
-// sorted layout's single path: log₂(cap) + log₂(n/cap) ≈ log₂(n).
-const forestBucketCap = 256
-
-// forestBucketTarget is the post-split fill. Splitting to ¾ capacity (rather
-// than exactly full) leaves growth headroom so a freshly split bucket does
-// not re-split on the next batch.
-const forestBucketTarget = forestBucketCap * 3 / 4
+// The bucket capacity bounds the leaves per bucket; a bucket that outgrows
+// it is split. The default of 256 (DefaultForestBucketCap) keeps the
+// in-bucket rehash of one insert (≤ ~2·cap hashes, the leaves to the right
+// re-pair) two to three orders of magnitude below the whole-dictionary
+// rehash the sorted layout pays for the same insert, while the proof
+// (in-bucket path + spine path) stays within a hash or two of the sorted
+// layout's single path: log₂(cap) + log₂(n/cap) ≈ log₂(n). The capacity is
+// configurable per deployment (LayoutForestWithCap) and committed to by
+// the layout descriptor — it decides where bucket boundaries fall, so two
+// forests of different capacity disagree on roots even over equal content.
 
 // forestBucket is one serial-range partition of the dictionary: a small
 // sorted hash tree over the leaves whose serials fall in [lo, hi), plus the
@@ -45,13 +43,25 @@ func (b *forestBucket) leafHashes() []cryptoutil.Hash { return b.tree.levels[0] 
 // layout's O(n) for uniform batches. Copy-on-write throughout: buckets are
 // replaced, spine levels freshly allocated, so published views stay valid.
 type forestLayout struct {
+	desc    LayoutKind // full descriptor, capacity included
+	cap     int        // bucket capacity (split threshold)
+	target  int        // post-split fill: ¾ of cap, so fresh buckets have headroom
 	buckets []*forestBucket
 	spine   [][]cryptoutil.Hash // spine[0][i] == buckets[i].node
 	root    cryptoutil.Hash     // memoized forest root; EmptyRoot when empty
 	hashed  uint64
 }
 
-func (f *forestLayout) kind() LayoutKind { return LayoutForest }
+// newForestLayout builds an empty forest with the descriptor's capacity.
+func newForestLayout(desc LayoutKind) *forestLayout {
+	cap := desc.ForestCap()
+	if cap == 0 {
+		cap = DefaultForestBucketCap
+	}
+	return &forestLayout{desc: desc, cap: cap, target: cap * 3 / 4}
+}
+
+func (f *forestLayout) kind() LayoutKind { return f.desc }
 
 func (f *forestLayout) insert(batch []Leaf) {
 	if len(batch) == 0 {
@@ -80,7 +90,7 @@ func (f *forestLayout) insert(batch []Leaf) {
 			}
 			merged, mergedHashes, firstChanged, leafOps := mergeLeaves(b.tree.leaves, b.leafHashes(), batch[start:j])
 			f.hashed += leafOps
-			if len(merged) <= forestBucketCap {
+			if len(merged) <= f.cap {
 				if structFrom < 0 {
 					dirty = append(dirty, len(next))
 				}
@@ -109,10 +119,10 @@ func (f *forestLayout) buildBucket(lo, hi serial.Number, leaves []Leaf, hashes [
 }
 
 // chunkBuckets splits an oversized run covering [lo, hi) into evenly sized
-// buckets of about forestBucketTarget leaves, each built from scratch. Chunk
+// buckets of about f.target leaves, each built from scratch. Chunk
 // boundaries become the new bucket bounds, preserving the tiling invariant.
 func (f *forestLayout) chunkBuckets(lo, hi serial.Number, leaves []Leaf, hashes []cryptoutil.Hash) []*forestBucket {
-	chunks := (len(leaves) + forestBucketTarget - 1) / forestBucketTarget
+	chunks := (len(leaves) + f.target - 1) / f.target
 	size := (len(leaves) + chunks - 1) / chunks
 	out := make([]*forestBucket, 0, chunks)
 	for start := 0; start < len(leaves); start += size {

@@ -55,7 +55,7 @@ func TestForestEmptyTree(t *testing.T) {
 // TestForestProveAllSizes crosses several bucket-split boundaries and
 // verifies every presence proof plus absence proofs in each gap region.
 func TestForestProveAllSizes(t *testing.T) {
-	for _, size := range []int{1, 2, forestBucketCap - 1, forestBucketCap, forestBucketCap + 1, 3 * forestBucketCap, 1000} {
+	for _, size := range []int{1, 2, DefaultForestBucketCap - 1, DefaultForestBucketCap, DefaultForestBucketCap + 1, 3 * DefaultForestBucketCap, 1000} {
 		tree := forestTree()
 		serials := make([]serial.Number, size)
 		for i := range serials {
@@ -123,8 +123,8 @@ func TestForestBucketInvariants(t *testing.T) {
 		if len(b.tree.leaves) == 0 {
 			t.Fatalf("bucket %d is empty", i)
 		}
-		if len(b.tree.leaves) > forestBucketCap {
-			t.Fatalf("bucket %d holds %d leaves, cap %d", i, len(b.tree.leaves), forestBucketCap)
+		if len(b.tree.leaves) > DefaultForestBucketCap {
+			t.Fatalf("bucket %d holds %d leaves, cap %d", i, len(b.tree.leaves), DefaultForestBucketCap)
 		}
 		total += len(b.tree.leaves)
 		if i > 0 && !f.buckets[i-1].hi.Equal(b.lo) {

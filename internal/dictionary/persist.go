@@ -1,0 +1,486 @@
+package dictionary
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+	"ritm/internal/storage"
+	"ritm/internal/wire"
+)
+
+// Durable-state hooks: the encodings and restore paths the storage tier
+// (internal/storage) persists dictionaries through. Two artifact kinds
+// exist:
+//
+//   - PersistentState is a checkpoint: the full committed state of one
+//     dictionary side (issuance log, layout descriptor — capacity
+//     included — latest signed root, freshness, and, on the authority
+//     side, the freshness-chain seed).
+//   - UpdateRecord is a WAL entry: one signed ∆ update batch (the exact
+//     IssuanceMessage that crossed the dissemination network), plus the
+//     authority's chain seed when the record was written CA-side.
+//
+// Restoring NEVER trusts the stored bytes: a replica is rebuilt by
+// replaying the log through Replica.Update, which re-verifies the root
+// signature against the trust anchor and the rebuilt root against the
+// signed root — exactly the acceptance rule for a message fresh off the
+// network (Fig 2, update step 3). An authority restore additionally checks
+// that the persisted chain seed reproduces the signed anchor. Storage
+// corruption that survives the storage tier's checksums therefore
+// surfaces as a loud verification error here, never as an unverifiable
+// root being served.
+
+// persistStateVersion versions the PersistentState encoding.
+const persistStateVersion = 1
+
+// PersistentState is the serializable committed state of one dictionary
+// side (checkpoint payload). The layout descriptor is persisted in full —
+// including the forest bucket capacity — so a restore can never silently
+// change proof shapes.
+type PersistentState struct {
+	// Layout is the commitment-structure descriptor the state was built
+	// with.
+	Layout LayoutKind
+	// Log is the issuance-ordered serial log; replaying it into an empty
+	// tree of the same layout, in the batches recorded by Batches,
+	// reproduces the dictionary exactly.
+	Log []serial.Number
+	// Batches is the batch structure of the insertion history: the
+	// cumulative count at the end of each insertion batch, ascending, the
+	// last equal to len(Log). Forest-layout roots depend on it (bucket
+	// splits chunk point-in-time content), so restoring under a different
+	// batching could commit to a different root and fail verification.
+	Batches []uint64
+	// Root is the latest verified signed root; nil only for a dictionary
+	// that never saw a publication.
+	Root *SignedRoot
+	// Freshness is the latest verified freshness-statement value; restored
+	// best-effort (its period is re-derived from the clock on restore, and
+	// a statement stale by then is simply dropped and replaced by the next
+	// pull).
+	Freshness cryptoutil.Hash
+	// ChainSeed is the authority's freshness-chain seed (nil on
+	// replica-side states). It is secret — CA-side storage only.
+	ChainSeed *cryptoutil.Hash
+}
+
+// Encode serializes the state.
+func (st *PersistentState) Encode() []byte {
+	e := wire.NewEncoder(256 + 8*len(st.Log))
+	e.Uint8(persistStateVersion)
+	e.Uint32(uint32(st.Layout))
+	e.Uvarint(uint64(len(st.Log)))
+	for _, s := range st.Log {
+		e.BytesField(s.Raw())
+	}
+	e.Uvarint(uint64(len(st.Batches)))
+	prev := uint64(0)
+	for _, b := range st.Batches {
+		e.Uvarint(b - prev) // ascending: delta-encoded
+		prev = b
+	}
+	if st.Root != nil {
+		e.Bool(true)
+		e.BytesField(st.Root.Encode())
+	} else {
+		e.Bool(false)
+	}
+	e.Raw(st.Freshness[:])
+	if st.ChainSeed != nil {
+		e.Bool(true)
+		e.Raw(st.ChainSeed[:])
+	} else {
+		e.Bool(false)
+	}
+	return e.Bytes()
+}
+
+// DecodePersistentState parses a state encoded by Encode.
+func DecodePersistentState(buf []byte) (*PersistentState, error) {
+	d := wire.NewDecoder(buf)
+	if v := d.Uint8(); v != persistStateVersion {
+		if d.Err() != nil {
+			return nil, fmt.Errorf("decode persistent state: %w", d.Err())
+		}
+		return nil, fmt.Errorf("decode persistent state: unknown version %d", v)
+	}
+	var st PersistentState
+	st.Layout = LayoutKind(d.Uint32())
+	count := d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode persistent state: %w", d.Err())
+	}
+	const maxLog = 1 << 28 // sanity bound, far beyond any real dictionary
+	if count > maxLog {
+		return nil, fmt.Errorf("decode persistent state: log of %d entries exceeds limit", count)
+	}
+	st.Log = make([]serial.Number, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s, err := serial.New(d.BytesField())
+		if err != nil {
+			return nil, fmt.Errorf("decode persistent state serial %d: %w", i, err)
+		}
+		st.Log = append(st.Log, s)
+	}
+	nBatches := d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode persistent state: %w", d.Err())
+	}
+	if nBatches > count {
+		return nil, fmt.Errorf("decode persistent state: %d batches for %d entries", nBatches, count)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < nBatches; i++ {
+		prev += d.Uvarint()
+		st.Batches = append(st.Batches, prev)
+	}
+	if d.Bool() {
+		root, err := DecodeSignedRoot(d.BytesField())
+		if err != nil {
+			return nil, fmt.Errorf("decode persistent state: %w", err)
+		}
+		st.Root = root
+	}
+	fresh, _ := cryptoutil.HashFromBytes(d.Raw(cryptoutil.HashSize))
+	st.Freshness = fresh
+	if d.Bool() {
+		seed, _ := cryptoutil.HashFromBytes(d.Raw(cryptoutil.HashSize))
+		st.ChainSeed = &seed
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode persistent state: %w", d.Err())
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decode persistent state: %w", err)
+	}
+	return &st, nil
+}
+
+// UpdateRecord is one WAL entry: a signed issuance batch, plus — on
+// authority-side records — the freshness-chain seed behind the batch's
+// root (each insert rotates the chain, and the seed cannot be recovered
+// from the signed message, which only commits its anchor). Replica-side
+// records carry the batch bounds the update was applied with, so a WAL
+// replay reproduces the structure a coalesced catch-up built.
+type UpdateRecord struct {
+	Msg    *IssuanceMessage
+	Seed   *cryptoutil.Hash
+	Bounds []uint64
+}
+
+// Encode serializes the record.
+func (r *UpdateRecord) Encode() []byte {
+	e := wire.NewEncoder(256)
+	if r.Seed != nil {
+		e.Bool(true)
+		e.Raw(r.Seed[:])
+	} else {
+		e.Bool(false)
+	}
+	e.BytesField(r.Msg.Encode())
+	e.Uvarint(uint64(len(r.Bounds)))
+	prev := uint64(0)
+	for _, b := range r.Bounds {
+		e.Uvarint(b - prev)
+		prev = b
+	}
+	return e.Bytes()
+}
+
+// DecodeUpdateRecord parses a record encoded by Encode.
+func DecodeUpdateRecord(buf []byte) (*UpdateRecord, error) {
+	d := wire.NewDecoder(buf)
+	var r UpdateRecord
+	if d.Bool() {
+		seed, _ := cryptoutil.HashFromBytes(d.Raw(cryptoutil.HashSize))
+		r.Seed = &seed
+	}
+	msgBytes := d.BytesField()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("decode update record: %w", d.Err())
+	}
+	msg, err := DecodeIssuanceMessage(msgBytes)
+	if err != nil {
+		return nil, fmt.Errorf("decode update record: %w", err)
+	}
+	r.Msg = msg
+	nBounds := d.Uvarint()
+	if nBounds > uint64(len(msg.Serials)) {
+		return nil, fmt.Errorf("decode update record: %d bounds for %d serials", nBounds, len(msg.Serials))
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < nBounds; i++ {
+		prev += d.Uvarint()
+		r.Bounds = append(r.Bounds, prev)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("decode update record: %w", err)
+	}
+	return &r, nil
+}
+
+// PersistentState exports the replica's current committed state for a
+// checkpoint. It reads one published snapshot, so the log, root, and
+// freshness are mutually consistent even under concurrent updates.
+func (r *Replica) PersistentState() *PersistentState {
+	snap := r.Snapshot()
+	return &PersistentState{
+		Layout:    r.layoutKind,
+		Log:       snap.Log(),
+		Batches:   snap.Batches(),
+		Root:      snap.Root(),
+		Freshness: snap.Freshness(),
+	}
+}
+
+// RestoreReplica rebuilds a replica from a checkpoint state, re-verifying
+// everything against the trust anchor pub: the persisted log is replayed
+// through Update, which accepts it only if the rebuilt root matches the
+// persisted signed root AND that root's signature verifies — a corrupted
+// or tampered checkpoint fails here, loudly, instead of producing a
+// replica that would serve unverifiable statuses. The freshness statement
+// is re-applied best-effort (it re-verifies against the chain anchor; if
+// it is stale by now it is simply dropped and the next pull replaces it).
+// now is the Unix time used for that freshness evaluation.
+func RestoreReplica(ca CAID, pub ed25519.PublicKey, st *PersistentState, now int64) (*Replica, error) {
+	r := NewReplicaWithLayout(ca, pub, st.Layout)
+	if st.Root == nil {
+		if len(st.Log) != 0 {
+			return nil, fmt.Errorf("dictionary: restore %s: %d logged revocations but no signed root", ca, len(st.Log))
+		}
+		return r, nil
+	}
+	// Replay under the persisted batch structure: forest roots depend on
+	// it, and the final root must reproduce the signed one.
+	if err := r.UpdateWithBounds(&IssuanceMessage{Serials: st.Log, Root: st.Root}, st.Batches); err != nil {
+		return nil, fmt.Errorf("dictionary: restore %s: %w", ca, err)
+	}
+	if !st.Freshness.IsZero() && !st.Freshness.Equal(st.Root.Anchor) {
+		// Best-effort: ApplyFreshness re-verifies the value against the
+		// anchor for the current period; staleness is not an error.
+		_ = r.ApplyFreshness(&FreshnessStatement{CA: ca, Value: st.Freshness}, now)
+	}
+	return r, nil
+}
+
+// ReplayUpdate applies a WAL-recovered issuance message (with the batch
+// bounds it was originally applied under) to a replica. It tolerates
+// overlap with state the replica already holds (a crash between
+// checkpoint install and WAL truncation leaves records that partially
+// predate the checkpoint): already-covered serials are trimmed and a
+// fully-covered record degrades to a root-only update, which still
+// verifies the recorded root against the replica's state. Gaps — a record
+// starting beyond the replica's count — fail with ErrDesynchronized, as
+// they would coming off the network.
+func ReplayUpdate(r *Replica, msg *IssuanceMessage, bounds []uint64) error {
+	if msg == nil || msg.Root == nil {
+		return fmt.Errorf("dictionary: replay of nil issuance message")
+	}
+	have := r.Count()
+	switch {
+	case msg.Root.N < have:
+		// Entirely covered by newer state; nothing to verify against.
+		return nil
+	case msg.Root.N == have:
+		return r.Update(&IssuanceMessage{Root: msg.Root})
+	default:
+		missing := msg.Root.N - have
+		if uint64(len(msg.Serials)) > missing {
+			msg = &IssuanceMessage{Serials: msg.Serials[uint64(len(msg.Serials))-missing:], Root: msg.Root}
+		}
+		// Bounds are absolute counts; those at or below the replica's
+		// count are skipped by the replay automatically.
+		return r.UpdateWithBounds(msg, bounds)
+	}
+}
+
+// RecoverReplicaLog rebuilds a replica from an opened durable log: the
+// checkpoint (if any) is restored via RestoreReplica — re-verified
+// against the trust anchor pub — and the WAL records after it are
+// replayed via ReplayUpdate. The persisted layout descriptor must equal
+// layout: adopting either silently would change proof shapes (or reject
+// every future update) without the operator noticing, so a mismatch is
+// an error — wipe the store to change layouts. It is the shared recovery
+// protocol of every replica-holding component (the RA's store and the
+// distribution point); the caller owns the log's lifecycle.
+func RecoverReplicaLog(lg storage.Log, ca CAID, pub ed25519.PublicKey, layout LayoutKind, now int64) (*Replica, error) {
+	ckpt, wal, err := lg.Load()
+	if err != nil {
+		return nil, fmt.Errorf("dictionary: load durable log for %s: %w", ca, err)
+	}
+	replica := NewReplicaWithLayout(ca, pub, layout)
+	if ckpt != nil {
+		st, err := DecodePersistentState(ckpt)
+		if err != nil {
+			return nil, fmt.Errorf("dictionary: decode checkpoint for %s: %w", ca, err)
+		}
+		if st.Layout != layout {
+			return nil, fmt.Errorf("dictionary: %s persisted with layout %v, configured for %v (the layout — bucket capacity included — is part of the committed state; wipe the data dir to change it)",
+				ca, st.Layout, layout)
+		}
+		if replica, err = RestoreReplica(ca, pub, st, now); err != nil {
+			return nil, err
+		}
+	}
+	for i, raw := range wal {
+		rec, err := DecodeUpdateRecord(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dictionary: decode WAL record %d for %s: %w", i, ca, err)
+		}
+		if err := ReplayUpdate(replica, rec.Msg, rec.Bounds); err != nil {
+			return nil, fmt.Errorf("dictionary: replay WAL record %d for %s: %w", i, ca, err)
+		}
+	}
+	return replica, nil
+}
+
+// BatchBounds returns a copy of the authority's insertion batch bounds
+// (the cumulative count at the end of each insert). Recovery tooling
+// slices it to re-feed a lagging distribution point a suffix under the
+// authority's exact batch structure.
+func (a *Authority) BatchBounds() []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]uint64(nil), a.tree.BatchBounds()...)
+}
+
+// ChainSeed returns the secret seed of the authority's current freshness
+// chain, for CA-side WAL records. See cryptoutil.Chain.Seed for the
+// sensitivity caveat.
+func (a *Authority) ChainSeed() cryptoutil.Hash {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.chain.Seed()
+}
+
+// PersistentState exports the authority's committed state — log, signed
+// root, and chain seed — for a checkpoint.
+func (a *Authority) PersistentState() *PersistentState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seed := a.chain.Seed()
+	return &PersistentState{
+		Layout:    a.cfg.Layout,
+		Log:       a.tree.Log(),
+		Batches:   append([]uint64(nil), a.tree.BatchBounds()...),
+		Root:      a.root,
+		ChainSeed: &seed,
+	}
+}
+
+// RestoreAuthority rebuilds a CA-side dictionary from a checkpoint plus
+// the WAL records appended after it, verifying every step: the rebuilt
+// tree must reproduce each recorded signed root, each root's signature
+// must verify under the configured signer's public key, and each chain
+// seed must hash to the root's committed anchor. A restored authority is
+// bit-for-bit the one that crashed — same tree, same chain, same signed
+// root (and therefore the same dissemination ETag).
+//
+// The layout in cfg must match the persisted one: silently adopting
+// either would change proof shapes (or reject every future replica
+// update) without the operator noticing.
+func RestoreAuthority(cfg AuthorityConfig, st *PersistentState, records []*UpdateRecord) (*Authority, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ChainLength == 0 {
+		cfg.ChainLength = DefaultChainLength
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Reader
+	}
+	if cfg.Layout != st.Layout {
+		return nil, fmt.Errorf("dictionary: restore authority %s: configured layout %v, persisted %v (the layout — bucket capacity included — is part of the committed state)",
+			cfg.CA, cfg.Layout, st.Layout)
+	}
+	a := &Authority{cfg: cfg, tree: NewTreeWithLayout(cfg.Layout)}
+	if err := a.adoptState(st); err != nil {
+		return nil, err
+	}
+	for i, rec := range records {
+		if err := a.applyRecord(rec); err != nil {
+			return nil, fmt.Errorf("dictionary: restore authority %s: WAL record %d: %w", cfg.CA, i, err)
+		}
+	}
+	return a, nil
+}
+
+// adoptState installs a verified checkpoint into a fresh authority,
+// replaying the log under its recorded batch structure (forest
+// bucketization depends on it).
+func (a *Authority) adoptState(st *PersistentState) error {
+	if st.Root == nil || st.ChainSeed == nil {
+		return fmt.Errorf("dictionary: restore authority %s: checkpoint missing root or chain seed", a.cfg.CA)
+	}
+	start := uint64(0)
+	for _, b := range st.Batches {
+		if b <= start || b > uint64(len(st.Log)) {
+			continue
+		}
+		if err := a.tree.InsertBatch(st.Log[start:b]); err != nil {
+			return fmt.Errorf("dictionary: restore authority %s: %w", a.cfg.CA, err)
+		}
+		start = b
+	}
+	if start < uint64(len(st.Log)) {
+		if err := a.tree.InsertBatch(st.Log[start:]); err != nil {
+			return fmt.Errorf("dictionary: restore authority %s: %w", a.cfg.CA, err)
+		}
+	}
+	return a.install(st.Root, *st.ChainSeed)
+}
+
+// applyRecord replays one authority WAL record: insert the batch's
+// not-yet-applied suffix, then install the recorded root and chain.
+func (a *Authority) applyRecord(rec *UpdateRecord) error {
+	if rec.Msg == nil || rec.Msg.Root == nil {
+		return fmt.Errorf("nil issuance message")
+	}
+	if rec.Seed == nil {
+		return fmt.Errorf("record carries no chain seed")
+	}
+	have := a.tree.Count()
+	root := rec.Msg.Root
+	switch {
+	case root.N < have:
+		return nil // covered by the checkpoint
+	case root.N > have:
+		serials := rec.Msg.Serials
+		missing := root.N - have
+		if uint64(len(serials)) < missing {
+			return fmt.Errorf("%w: record covers up to %d, tree has %d, batch of %d", ErrDesynchronized, root.N, have, len(serials))
+		}
+		if err := a.tree.InsertBatch(serials[uint64(len(serials))-missing:]); err != nil {
+			return err
+		}
+	}
+	return a.install(root, *rec.Seed)
+}
+
+// install verifies (signature, root match, count, chain anchor) and adopts
+// a signed root plus its chain seed. Used only on the restore path; the
+// caller is the constructor, so no locking.
+func (a *Authority) install(root *SignedRoot, seed cryptoutil.Hash) error {
+	if root.CA != a.cfg.CA {
+		return fmt.Errorf("persisted root names %s, restoring %s", root.CA, a.cfg.CA)
+	}
+	if err := root.VerifySignature(a.cfg.Signer.Public()); err != nil {
+		return err
+	}
+	if a.tree.Count() != root.N {
+		return fmt.Errorf("%w: rebuilt %d revocations, root commits %d", ErrRootMismatch, a.tree.Count(), root.N)
+	}
+	if !a.tree.Root().Equal(root.Root) {
+		return fmt.Errorf("%w: rebuilt root differs at n=%d", ErrRootMismatch, root.N)
+	}
+	chain := cryptoutil.NewChainFromSeed(seed, int(root.ChainLen))
+	if !chain.Anchor().Equal(root.Anchor) {
+		return fmt.Errorf("%w: persisted chain seed does not reproduce the signed anchor", ErrRootMismatch)
+	}
+	a.root = root
+	a.chain = chain
+	return nil
+}

@@ -1,0 +1,563 @@
+package dictionary
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// persistLayouts are the descriptors the round-trip tests cover: both
+// structures plus a non-default forest capacity (whose bucketization — and
+// therefore roots — differ from the default's).
+func persistLayouts() []LayoutKind {
+	return []LayoutKind{LayoutSorted, LayoutForest, LayoutForestWithCap(64)}
+}
+
+func newPersistAuthority(t *testing.T, layout LayoutKind) *Authority {
+	t.Helper()
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAuthority(AuthorityConfig{
+		CA:     "CA1",
+		Signer: signer,
+		Delta:  10 * time.Second,
+		Layout: layout,
+	}, time.Now().Unix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestLayoutForestWithCap(t *testing.T) {
+	if LayoutForestWithCap(0) != LayoutForest || LayoutForestWithCap(DefaultForestBucketCap) != LayoutForest {
+		t.Error("default capacities must normalize to plain LayoutForest")
+	}
+	if got := LayoutForestWithCap(512).ForestCap(); got != 512 {
+		t.Errorf("ForestCap = %d, want 512", got)
+	}
+	if got := LayoutForest.ForestCap(); got != DefaultForestBucketCap {
+		t.Errorf("default ForestCap = %d, want %d", got, DefaultForestBucketCap)
+	}
+	if got := LayoutSorted.ForestCap(); got != 0 {
+		t.Errorf("sorted ForestCap = %d, want 0", got)
+	}
+	if s := LayoutForestWithCap(512).String(); s != "forest:512" {
+		t.Errorf("String = %q", s)
+	}
+	parsed, err := ParseLayout("forest:512")
+	if err != nil || parsed != LayoutForestWithCap(512) {
+		t.Errorf("ParseLayout(forest:512) = %v, %v", parsed, err)
+	}
+	if _, err := ParseLayout("forest:1"); err == nil {
+		t.Error("ParseLayout accepted an unusable capacity")
+	}
+	if _, err := ParseLayout("forest:x"); err == nil {
+		t.Error("ParseLayout accepted a non-numeric capacity")
+	}
+}
+
+// TestForestCapChangesRoot pins the reason the capacity must be persisted:
+// two forests over identical content but different caps commit to
+// different roots, so a restore that silently changed the cap would reject
+// every subsequent update.
+func TestForestCapChangesRoot(t *testing.T) {
+	serials := serial.NewGenerator(1, nil).NextN(600)
+	a := NewTreeWithLayout(LayoutForest)
+	b := NewTreeWithLayout(LayoutForestWithCap(64))
+	if err := a.InsertBatch(serials); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.InsertBatch(serials); err != nil {
+		t.Fatal(err)
+	}
+	if a.Root().Equal(b.Root()) {
+		t.Fatal("different bucket capacities committed to the same root")
+	}
+	// And the non-default cap is honored structurally.
+	f := b.commit.(*forestLayout)
+	for i, bk := range f.buckets {
+		if len(bk.tree.leaves) > 64 {
+			t.Fatalf("bucket %d holds %d leaves, cap 64", i, len(bk.tree.leaves))
+		}
+	}
+	// Proofs from the non-default cap still verify against its root.
+	for _, s := range serials[:50] {
+		p := b.Prove(s)
+		revoked, err := p.Verify(s, b.Root(), b.Count())
+		if err != nil || !revoked {
+			t.Fatalf("cap-64 proof for %v: revoked=%v err=%v", s, revoked, err)
+		}
+	}
+}
+
+func TestReplicaPersistRoundTrip(t *testing.T) {
+	for _, layout := range persistLayouts() {
+		t.Run(layout.String(), func(t *testing.T) {
+			a := newPersistAuthority(t, layout)
+			replica := NewReplicaWithLayout("CA1", a.PublicKey(), layout)
+			gen := serial.NewGenerator(7, nil)
+			now := time.Now().Unix()
+			for i := 0; i < 5; i++ {
+				msg, err := a.Insert(gen.NextN(20), now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := replica.Update(msg); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			st, err := DecodePersistentState(replica.PersistentState().Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Layout != layout {
+				t.Fatalf("persisted layout %v, want %v", st.Layout, layout)
+			}
+			restored, err := RestoreReplica("CA1", a.PublicKey(), st, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Count() != replica.Count() {
+				t.Fatalf("restored count %d, want %d", restored.Count(), replica.Count())
+			}
+			if restored.Layout() != layout {
+				t.Fatalf("restored layout %v, want %v", restored.Layout(), layout)
+			}
+			if !restored.Root().Equal(replica.Root()) {
+				t.Fatal("restored signed root differs")
+			}
+			// The restored replica proves statuses that verify against the
+			// trust anchor, for present and absent serials alike.
+			for _, s := range []serial.Number{replica.Log()[3], serial.NewGenerator(99, nil).Next()} {
+				status, err := restored.Prove(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := status.Check(s, a.PublicKey(), now); err != nil {
+					t.Fatalf("restored status for %v does not verify: %v", s, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRestoreReplicaRejectsTamperedState(t *testing.T) {
+	a := newPersistAuthority(t, LayoutSorted)
+	replica := NewReplica("CA1", a.PublicKey())
+	now := time.Now().Unix()
+	msg, err := a.Insert(serial.NewGenerator(3, nil).NextN(10), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.Update(msg); err != nil {
+		t.Fatal(err)
+	}
+
+	// A swapped serial (bit rot past the storage CRCs, or tampering) must
+	// fail the root-match check on restore.
+	st := replica.PersistentState()
+	st.Log[4] = serial.NewGenerator(0xBAD, nil).Next()
+	if _, err := RestoreReplica("CA1", a.PublicKey(), st, now); !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("tampered log restored: err = %v, want ErrRootMismatch", err)
+	}
+
+	// A checkpoint re-signed by a different key fails the trust-anchor
+	// check.
+	other, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := replica.PersistentState()
+	if _, err := RestoreReplica("CA1", other.Public(), st2, now); err == nil {
+		t.Fatal("restore accepted a root signed by an untrusted key")
+	}
+
+	// A truncated log (fewer serials than the root commits) must not
+	// produce a replica either.
+	st3 := replica.PersistentState()
+	st3.Log = st3.Log[:5]
+	if _, err := RestoreReplica("CA1", a.PublicKey(), st3, now); err == nil {
+		t.Fatal("restore accepted a log shorter than the signed count")
+	}
+}
+
+// TestForestCoalescedCatchupNeedsBounds pins the reason batch bounds
+// exist end to end: a replica catching up across bucket splits with one
+// coalesced batch commits to a different forest root (and is correctly
+// rejected), while the same suffix replayed under the origin's batch
+// bounds converges. Before the bounds plumbing, a lagging forest replica
+// was permanently wedged here — Resync rebuilt from a single batch too.
+func TestForestCoalescedCatchupNeedsBounds(t *testing.T) {
+	for _, layout := range []LayoutKind{LayoutForest, LayoutForestWithCap(64)} {
+		t.Run(layout.String(), func(t *testing.T) {
+			a := newPersistAuthority(t, layout)
+			gen := serial.NewGenerator(17, nil)
+			now := time.Now().Unix()
+			var all []serial.Number
+			var bounds []uint64
+			var last *IssuanceMessage
+			for i := 0; i < 10; i++ {
+				batch := gen.NextN(100)
+				all = append(all, batch...)
+				msg, err := a.Insert(batch, now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				last = msg
+				bounds = append(bounds, msg.Root.N)
+			}
+
+			flat := NewReplicaWithLayout("CA1", a.PublicKey(), layout)
+			err := flat.Update(&IssuanceMessage{Serials: all, Root: last.Root})
+			if err == nil {
+				t.Skip("no split between batches; coalescing happened to agree")
+			}
+			if !errors.Is(err, ErrRootMismatch) {
+				t.Fatalf("coalesced update: err = %v, want ErrRootMismatch", err)
+			}
+
+			bounded := NewReplicaWithLayout("CA1", a.PublicKey(), layout)
+			if err := bounded.UpdateWithBounds(&IssuanceMessage{Serials: all, Root: last.Root}, bounds); err != nil {
+				t.Fatalf("bounded catch-up rejected: %v", err)
+			}
+			if bounded.Count() != 1000 {
+				t.Fatalf("count = %d, want 1000", bounded.Count())
+			}
+			// Hostile bounds can only cause rejection, never acceptance of a
+			// different root; the replica is left unchanged and retryable.
+			hostile := NewReplicaWithLayout("CA1", a.PublicKey(), layout)
+			if err := hostile.UpdateWithBounds(&IssuanceMessage{Serials: all, Root: last.Root}, []uint64{37, 911}); err == nil {
+				t.Fatal("fabricated bounds produced an accepted root")
+			}
+			if hostile.Count() != 0 {
+				t.Fatalf("failed bounded update left %d revocations behind", hostile.Count())
+			}
+			if err := hostile.UpdateWithBounds(&IssuanceMessage{Serials: all, Root: last.Root}, bounds); err != nil {
+				t.Fatalf("retry with honest bounds after hostile attempt: %v", err)
+			}
+		})
+	}
+}
+
+// TestRejectedUpdateKeepsSerialIndex pins the rollback scoping: a hostile
+// message pairing the genuine latest signed root with a fabricated suffix
+// that re-lists an already-revoked serial is rejected — and the rejection
+// must not evict that serial from the index (it was never inserted by the
+// failed update; deleting by the attacker's batch instead of the actual
+// log tail did exactly that).
+func TestRejectedUpdateKeepsSerialIndex(t *testing.T) {
+	a := newPersistAuthority(t, LayoutSorted)
+	gen := serial.NewGenerator(31, nil)
+	now := time.Now().Unix()
+	first := gen.NextN(4)
+	msg1, err := a.Insert(first, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Insert(gen.NextN(4), now); err != nil {
+		t.Fatal(err)
+	}
+
+	// A replica synced through the first batch only — it is behind by 4.
+	r := NewReplica("CA1", a.PublicKey())
+	if err := r.Update(msg1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hostile catch-up: the genuine latest signed root (n=8) paired with a
+	// fabricated suffix that re-lists victim, a serial revoked in batch 1.
+	victim := first[0]
+	hostile := &IssuanceMessage{
+		Serials: append([]serial.Number{victim}, gen.NextN(3)...),
+		Root:    a.SignedRoot(),
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := r.Update(hostile); !errors.Is(err, ErrDuplicateSerial) {
+			t.Fatalf("attempt %d: err = %v, want ErrDuplicateSerial", attempt, err)
+		}
+		if !r.Revoked(victim) {
+			t.Fatal("rejected update evicted a pre-existing serial from the index")
+		}
+		if _, ok := r.tree.Revoked(victim); !ok {
+			t.Fatal("rejected update evicted the serial from the live tree index")
+		}
+		if got := r.Count(); got != 4 {
+			t.Fatalf("attempt %d: count = %d, want 4", attempt, got)
+		}
+	}
+	// The honest suffix still applies afterwards.
+	sfx, err := a.LogSuffix(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Update(&IssuanceMessage{Serials: sfx, Root: a.SignedRoot()}); err != nil {
+		t.Fatalf("honest suffix after hostile attempts: %v", err)
+	}
+}
+
+func TestReplayUpdateToleratesOverlap(t *testing.T) {
+	a := newPersistAuthority(t, LayoutSorted)
+	gen := serial.NewGenerator(5, nil)
+	now := time.Now().Unix()
+	msg1, err := a.Insert(gen.NextN(4), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg2, err := a.Insert(gen.NextN(3), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replica already holds msg1 (the checkpoint); replaying msg1 again
+	// (covered), then msg2 (fresh) must converge without error.
+	r := NewReplica("CA1", a.PublicKey())
+	if err := r.Update(msg1); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*IssuanceMessage{msg1, msg2} {
+		if err := ReplayUpdate(r, m, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Count() != 7 {
+		t.Fatalf("count = %d, want 7", r.Count())
+	}
+	// A gap (record starts past our state) fails loudly.
+	r2 := NewReplica("CA1", a.PublicKey())
+	if err := ReplayUpdate(r2, msg2, nil); !errors.Is(err, ErrDesynchronized) {
+		t.Fatalf("gap replay: err = %v, want ErrDesynchronized", err)
+	}
+}
+
+func TestAuthorityPersistRoundTrip(t *testing.T) {
+	for _, layout := range persistLayouts() {
+		t.Run(layout.String(), func(t *testing.T) {
+			a := newPersistAuthority(t, layout)
+			gen := serial.NewGenerator(11, nil)
+			now := time.Now().Unix()
+
+			// Checkpoint mid-history, then more WAL'd inserts.
+			var records []*UpdateRecord
+			if _, err := a.Insert(gen.NextN(30), now); err != nil {
+				t.Fatal(err)
+			}
+			st := a.PersistentState()
+			for i := 0; i < 3; i++ {
+				msg, err := a.Insert(gen.NextN(10), now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seed := a.ChainSeed()
+				records = append(records, &UpdateRecord{Msg: msg, Seed: &seed})
+			}
+
+			// Encode/decode everything, as the storage tier would.
+			st2, err := DecodePersistentState(st.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := make([]*UpdateRecord, len(records))
+			for i, r := range records {
+				if recs[i], err = DecodeUpdateRecord(r.Encode()); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			restored, err := RestoreAuthority(AuthorityConfig{
+				CA:     "CA1",
+				Signer: a.cfg.Signer,
+				Delta:  10 * time.Second,
+				Layout: layout,
+			}, st2, recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Count() != a.Count() {
+				t.Fatalf("restored count %d, want %d", restored.Count(), a.Count())
+			}
+			if !restored.SignedRoot().Equal(a.SignedRoot()) {
+				t.Fatal("restored authority signs a different root")
+			}
+			// The exact chain survives: freshness statements for the same
+			// period are identical, which is what keeps already-delivered
+			// statuses verifiable across the restart.
+			later := now + 25
+			want, err := a.Statement(later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := restored.Statement(later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Value.Equal(got.Value) {
+				t.Fatal("restored chain produces different freshness statements")
+			}
+			// And it keeps operating: the next insert verifies on a replica
+			// synced across the restart boundary.
+			replica := NewReplicaWithLayout("CA1", a.PublicKey(), layout)
+			fullLog, err := restored.LogSuffix(0, restored.Count())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := replica.UpdateWithBounds(&IssuanceMessage{Serials: fullLog, Root: restored.SignedRoot()},
+				restored.PersistentState().Batches); err != nil {
+				t.Fatal(err)
+			}
+			msg, err := restored.Insert(gen.NextN(5), later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := replica.Update(msg); err != nil {
+				t.Fatalf("post-restore insert rejected by replica: %v", err)
+			}
+		})
+	}
+}
+
+func TestRestoreAuthorityRejectsMismatch(t *testing.T) {
+	a := newPersistAuthority(t, LayoutForest)
+	now := time.Now().Unix()
+	if _, err := a.Insert(serial.NewGenerator(2, nil).NextN(10), now); err != nil {
+		t.Fatal(err)
+	}
+	st := a.PersistentState()
+	cfg := AuthorityConfig{CA: "CA1", Signer: a.cfg.Signer, Delta: 10 * time.Second}
+
+	// Layout (or bucket capacity) drift is refused.
+	cfg.Layout = LayoutForestWithCap(64)
+	if _, err := RestoreAuthority(cfg, st, nil); err == nil {
+		t.Fatal("restore accepted a changed bucket capacity")
+	}
+	cfg.Layout = LayoutForest
+
+	// A tampered chain seed no longer reproduces the signed anchor.
+	bad := *st.ChainSeed
+	bad[0] ^= 1
+	st.ChainSeed = &bad
+	if _, err := RestoreAuthority(cfg, st, nil); !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("tampered chain seed: err = %v, want ErrRootMismatch", err)
+	}
+
+	// A different signing key fails signature verification.
+	st2 := a.PersistentState()
+	other, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Signer = other
+	if _, err := RestoreAuthority(cfg, st2, nil); err == nil {
+		t.Fatal("restore accepted a root under the wrong signer")
+	}
+}
+
+// TestPersistCrashConsistencyProperty is the dictionary half of the
+// crash-consistency story: random corruption of checkpoint or WAL bytes
+// either fails decode/restore loudly or — when the corruption happens to
+// leave valid framing — restores a state whose signed root verifies
+// against the trust anchor and whose log is one of the honest history's
+// prefixes. It can never fabricate a state the CA did not sign.
+func TestPersistCrashConsistencyProperty(t *testing.T) {
+	a := newPersistAuthority(t, LayoutForest)
+	replica := NewReplicaWithLayout("CA1", a.PublicKey(), LayoutForest)
+	gen := serial.NewGenerator(21, nil)
+	now := time.Now().Unix()
+	honestRoots := map[cryptoutil.Hash]uint64{} // root hash → count
+	for i := 0; i < 8; i++ {
+		msg, err := a.Insert(gen.NextN(16), now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := replica.Update(msg); err != nil {
+			t.Fatal(err)
+		}
+		honestRoots[msg.Root.Root] = msg.Root.N
+	}
+	clean := replica.PersistentState().Encode()
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		buf := append([]byte(nil), clean...)
+		switch trial % 3 {
+		case 0: // single bit flip
+			buf[rng.Intn(len(buf))] ^= byte(1) << rng.Intn(8)
+		case 1: // truncation
+			buf = buf[:rng.Intn(len(buf))]
+		default: // a flipped bit AND a truncation
+			buf = buf[:1+rng.Intn(len(buf)-1)]
+			buf[rng.Intn(len(buf))] ^= byte(1) << rng.Intn(8)
+		}
+		st, err := DecodePersistentState(buf)
+		if err != nil {
+			continue // loud decode failure: acceptable
+		}
+		restored, err := RestoreReplica("CA1", a.PublicKey(), st, now)
+		if err != nil {
+			continue // loud verification failure: acceptable
+		}
+		// Whatever restored must be an honest, signed state.
+		root := restored.Root()
+		if root == nil {
+			if restored.Count() != 0 {
+				t.Fatalf("trial %d: rootless replica with %d revocations", trial, restored.Count())
+			}
+			continue
+		}
+		if err := root.VerifySignature(a.PublicKey()); err != nil {
+			t.Fatalf("trial %d: restored an unverifiable root: %v", trial, err)
+		}
+		if n, ok := honestRoots[root.Root]; !ok || n != restored.Count() {
+			t.Fatalf("trial %d: restored a root the CA never signed (n=%d)", trial, restored.Count())
+		}
+	}
+}
+
+// FuzzDecodePersistentState exercises the checkpoint decoder on arbitrary
+// bytes: it must never panic, and anything it accepts must re-encode to
+// the same canonical bytes.
+func FuzzDecodePersistentState(f *testing.F) {
+	a, err := NewAuthority(AuthorityConfig{
+		CA:     "CA1",
+		Signer: mustSigner(f),
+		Delta:  10 * time.Second,
+		Layout: LayoutForestWithCap(64),
+	}, 1000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := a.Insert(serial.NewGenerator(1, nil).NextN(30), 1000); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(a.PersistentState().Encode())
+	r := NewReplica("CA1", a.PublicKey())
+	f.Add(r.PersistentState().Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodePersistentState(data)
+		if err != nil {
+			return
+		}
+		round, err := DecodePersistentState(st.Encode())
+		if err != nil {
+			t.Fatalf("accepted state does not re-decode: %v", err)
+		}
+		if round.Layout != st.Layout || len(round.Log) != len(st.Log) {
+			t.Fatal("re-decoded state differs")
+		}
+	})
+}
+
+func mustSigner(f *testing.F) *cryptoutil.Signer {
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return signer
+}

@@ -103,6 +103,25 @@ func (r *Replica) Revoked(s serial.Number) bool { return r.snap.Load().Revoked(s
 // ErrDesynchronized; the caller should resynchronize via the sync protocol
 // (§III), requesting the log suffix after Count().
 func (r *Replica) Update(msg *IssuanceMessage) error {
+	return r.UpdateWithBounds(msg, nil)
+}
+
+// UpdateWithBounds is Update for a message that coalesces several of the
+// authority's insertion batches (a catch-up suffix): bounds lists the
+// cumulative counts, strictly between the replica's count and the signed
+// count, at which the original batches ended, and the replay inserts the
+// serials in exactly those sub-batches.
+//
+// The bounds matter because the forest layout's bucketization — and so
+// the root it commits to — depends on the batch structure of the
+// insertion history, not only on the final content: replaying a multi-
+// batch suffix as one batch can split buckets differently and fail the
+// root match even though every serial agrees. The bounds are an unsigned
+// hint with no trust requirement: the commit rule is still "the rebuilt
+// root equals the CA-signed root", so wrong or malicious bounds can only
+// cause a rejection (exactly as dropping the message would), never an
+// accepted forgery. Out-of-range or non-increasing bounds are ignored.
+func (r *Replica) UpdateWithBounds(msg *IssuanceMessage, bounds []uint64) error {
 	if msg == nil || msg.Root == nil {
 		return fmt.Errorf("dictionary: nil issuance message")
 	}
@@ -140,7 +159,8 @@ func (r *Replica) Update(msg *IssuanceMessage) error {
 			ErrCount, want, have, len(msg.Serials))
 	default:
 		cp := r.tree.checkpoint()
-		if err := r.tree.InsertBatch(msg.Serials); err != nil {
+		if err := r.insertSubBatches(msg.Serials, have, bounds); err != nil {
+			r.tree.rollback(cp)
 			return err
 		}
 		if !r.tree.Root().Equal(msg.Root.Root) || r.tree.Count() != want {
@@ -148,7 +168,7 @@ func (r *Replica) Update(msg *IssuanceMessage) error {
 			// honest replay produces (update step 3). The checkpoint is the
 			// state of the last published snapshot, so restoring it costs
 			// O(batch) — not the full-log re-insert the old rollback paid.
-			r.tree.rollback(cp, msg.Serials)
+			r.tree.rollback(cp)
 			return ErrRootMismatch
 		}
 	}
@@ -159,6 +179,27 @@ func (r *Replica) Update(msg *IssuanceMessage) error {
 	r.freshPer = 0
 	r.publish()
 	return nil
+}
+
+// insertSubBatches replays serials (covering counts (have, have+len])
+// into the tree as the sub-batches delimited by bounds — cumulative
+// counts, each meaningful only if strictly inside the covered range and
+// increasing; bounds outside that range are skipped. Caller holds mu and
+// owns rollback on error.
+func (r *Replica) insertSubBatches(serials []serial.Number, have uint64, bounds []uint64) error {
+	start := uint64(0)
+	end := have + uint64(len(serials))
+	for _, b := range bounds {
+		if b <= have+start || b >= end {
+			continue
+		}
+		cut := b - have
+		if err := r.tree.InsertBatch(serials[start:cut]); err != nil {
+			return err
+		}
+		start = cut
+	}
+	return r.tree.InsertBatch(serials[start:])
 }
 
 // ApplyFreshness verifies a freshness statement for the current period and,

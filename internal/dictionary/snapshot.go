@@ -27,6 +27,7 @@ type Snapshot struct {
 	ca        CAID
 	view      LayoutView
 	log       []serial.Number // issuance order, length == Count(); immutable
+	bounds    []uint64        // batch structure of the history; immutable
 	root      *SignedRoot     // nil until the replica's first verified update
 	freshness cryptoutil.Hash
 	freshPer  int    // period the freshness value was verified for
@@ -44,6 +45,7 @@ func newSnapshot(ca CAID, t *Tree, root *SignedRoot, freshness cryptoutil.Hash, 
 		ca:        ca,
 		view:      t.view(),
 		log:       t.log,
+		bounds:    t.bounds,
 		root:      root,
 		freshness: freshness,
 		freshPer:  freshPer,
@@ -93,6 +95,30 @@ func (s *Snapshot) LogSuffix(from, to uint64) ([]serial.Number, error) {
 	out := make([]serial.Number, to-from)
 	copy(out, s.log[from:to])
 	return out, nil
+}
+
+// BatchBounds returns the cumulative counts strictly inside (from, to) at
+// which this version's insertion batches ended. The dissemination network
+// serves them alongside a log suffix so the puller can replay the suffix
+// under the origin's batch structure — which the forest layout's
+// bucketization (and so its root) depends on. The result is freshly
+// allocated.
+func (s *Snapshot) BatchBounds(from, to uint64) []uint64 {
+	var out []uint64
+	for _, b := range s.bounds {
+		if b > from && b < to {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Batches returns the full batch-structure record of this version: the
+// cumulative count at the end of each insertion batch, newest last (empty
+// for an empty dictionary). Checkpoints persist it so a restore rebuilds
+// the exact commitment structure. The result is freshly allocated.
+func (s *Snapshot) Batches() []uint64 {
+	return append([]uint64(nil), s.bounds...)
 }
 
 // Revoked reports whether sn is revoked in this version.

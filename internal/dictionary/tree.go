@@ -96,6 +96,16 @@ type Tree struct {
 	commit   Layout
 	bySerial map[string]uint64 // canonical serial bytes -> revocation number
 	log      []serial.Number   // issuance order; log[i] has Num == i+1
+	// bounds records the cumulative revocation count after each InsertBatch,
+	// strictly increasing, bounds[len-1] == Count(). It is the batch
+	// structure of the insertion history — which the forest layout's
+	// bucketization (and therefore its root) depends on: a bucket split
+	// chunks whatever the bucket holds at that moment, so replaying the
+	// same log under different batch boundaries can commit to a different
+	// root. Synchronization and recovery paths carry these bounds so a
+	// replica reproducing the history reproduces the structure exactly
+	// (see Replica.UpdateWithBounds, PersistentState.Batches).
+	bounds []uint64
 }
 
 // NewTree returns an empty dictionary tree with the default sorted layout.
@@ -190,38 +200,56 @@ func (t *Tree) InsertBatch(serials []serial.Number) error {
 	// published Snapshot — are never touched.
 	sortLeaves(newLeaves)
 	t.commit.insert(newLeaves)
+	t.bounds = append(t.bounds, t.Count())
 	return nil
 }
+
+// BatchBounds returns the cumulative counts at which the tree's insertion
+// batches ended (the newest last). The returned slice is shared
+// copy-on-write with the tree (appends never write positions a previous
+// caller observed); callers must not modify it.
+func (t *Tree) BatchBounds() []uint64 { return t.bounds }
 
 // treeCheckpoint captures one version of the tree for O(batch) rollback.
 // Thanks to the layouts' copy-on-write discipline the capture is O(1): the
 // checkpointed arrays are never written again, only replaced.
 type treeCheckpoint struct {
-	state  layoutState
-	logLen int
+	state     layoutState
+	logLen    int
+	boundsLen int
 }
 
 // checkpoint freezes the tree's current version. Replica.Update takes one
 // before replaying a batch; the checkpointed state is exactly the state of
 // the replica's last published snapshot.
 func (t *Tree) checkpoint() treeCheckpoint {
-	return treeCheckpoint{state: t.commit.checkpoint(), logLen: len(t.log)}
+	return treeCheckpoint{state: t.commit.checkpoint(), logLen: len(t.log), boundsLen: len(t.bounds)}
 }
 
-// rollback rewinds the tree to cp, undoing exactly one InsertBatch of the
-// given serials: the commitment structure is restored from the checkpoint
-// (O(1)), the batch keys leave the serial index, and the log is truncated.
-// This replaces the old full RebuildFromLog replay on the rejected-update
-// path: O(len(batch)) instead of re-inserting and re-hashing the whole log.
-func (t *Tree) rollback(cp treeCheckpoint, batch []serial.Number) {
+// rollback rewinds the tree to cp, undoing the InsertBatch calls (one or
+// several — a bounds-structured update replays sub-batches) made since
+// the checkpoint: the commitment structure is restored from the
+// checkpoint (O(1)), the inserted keys leave the serial index, and the
+// log and bounds are truncated. This replaces the old full RebuildFromLog
+// replay on the rejected-update path: O(inserted) instead of re-inserting
+// and re-hashing the whole log.
+//
+// The keys to delete come from the log tail — exactly what was actually
+// inserted — NOT from the failed message's batch: a hostile message can
+// pair a genuine signed root with a suffix re-listing serials revoked
+// long ago (rejected as duplicates before insertion), and deleting by
+// batch would evict those pre-existing serials from the index while they
+// remain committed.
+func (t *Tree) rollback(cp treeCheckpoint) {
 	t.commit.restore(cp.state)
-	for _, s := range batch {
+	for _, s := range t.log[cp.logLen:] {
 		delete(t.bySerial, string(s.Raw()))
 	}
 	// Truncating the slice header never writes the array, so snapshots
 	// sharing the log stay intact; later appends only touch positions the
 	// failed batch wrote, which no published snapshot covers.
 	t.log = t.log[:cp.logLen]
+	t.bounds = t.bounds[:cp.boundsLen]
 }
 
 // RebuildFromLog resets the tree to contain exactly the given issuance log,

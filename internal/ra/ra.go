@@ -11,6 +11,7 @@ import (
 	"ritm/internal/cert"
 	"ritm/internal/dictionary"
 	"ritm/internal/serial"
+	"ritm/internal/storage"
 )
 
 // Config configures a Revocation Agent.
@@ -33,6 +34,18 @@ type Config struct {
 	// CAs sign with — roots are layout-specific, and a mismatched replica
 	// rejects every update with ErrRootMismatch.
 	Layout dictionary.LayoutKind
+	// Storage, when non-nil, persists every replica (WAL of verified
+	// update batches + periodic checkpoints) and warm-starts them on
+	// construction: a restarted RA resumes at its persisted count and the
+	// first pull fetches only the missed suffix, instead of re-downloading
+	// the whole dictionary. Nil (the default) keeps the RA purely
+	// in-memory.
+	Storage storage.Backend
+	// CheckpointEvery is the number of persisted update batches between
+	// checkpoint snapshots (0 = ra.DefaultCheckpointEvery). Smaller values
+	// bound recovery replay tighter; larger values amortize the
+	// O(dictionary) checkpoint write over more syncs.
+	CheckpointEvery int
 	// Now is the clock (nil = time.Now); experiments inject virtual time.
 	Now func() time.Time
 }
@@ -75,7 +88,12 @@ func New(cfg Config) (*RA, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	store, err := NewStoreWithLayout(cfg.Layout, cfg.Roots...)
+	store, err := NewStoreWithOptions(StoreOptions{
+		Layout:          cfg.Layout,
+		Storage:         cfg.Storage,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Now:             cfg.Now,
+	}, cfg.Roots...)
 	if err != nil {
 		return nil, err
 	}
@@ -124,10 +142,13 @@ func (ra *RA) syncCA(ca dictionary.CAID) error {
 		return fmt.Errorf("ra: pull %s: %w", ca, err)
 	}
 	if resp.Issuance != nil {
-		if err := replica.Update(resp.Issuance); err != nil {
-			// A root mismatch here is an attack signal, not a transient
-			// failure: the network delivered a message whose signed root does
-			// not match its own content (§V).
+		// The bounds replay a coalesced catch-up suffix under the origin's
+		// batch structure (forest-layout roots depend on it); applyUpdate
+		// also WALs the verified update when a storage backend is
+		// configured. An update error is an attack signal, not a transient
+		// failure: the network delivered a message whose signed root does
+		// not match its own content (§V).
+		if err := ra.store.applyUpdate(ca, replica, resp.Issuance, resp.Bounds); err != nil {
 			return fmt.Errorf("ra: update %s: %w", ca, err)
 		}
 	}
@@ -206,7 +227,7 @@ func (ra *RA) Resync(ca dictionary.CAID) error {
 		return fmt.Errorf("ra: resync %s: %w", ca, err)
 	}
 	if resp.Issuance != nil {
-		if err := fresh.Update(resp.Issuance); err != nil {
+		if err := fresh.UpdateWithBounds(resp.Issuance, resp.Bounds); err != nil {
 			return fmt.Errorf("ra: resync %s: %w", ca, err)
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"ritm/internal/cert"
 	"ritm/internal/dictionary"
 	"ritm/internal/serial"
+	"ritm/internal/storage"
 )
 
 // Errors returned by RA operations.
@@ -54,6 +55,51 @@ type Store struct {
 	wmu    sync.Mutex // serializes view writers
 	cache  *statusCache
 	layout dictionary.LayoutKind // commitment layout for every replica
+
+	// Durable state tier (nil backend = purely in-memory, the default).
+	// Verified updates are WAL-appended per CA; every ckptEvery records
+	// the replica's state is checkpointed and the WAL reset, bounding both
+	// replay time and WAL growth. AddCA warm-starts each replica from its
+	// log, so a restarted RA resumes at its persisted count and the
+	// fetcher pulls only the missed suffix — O(missed ∆) instead of the
+	// full-dictionary resync a cold start pays.
+	backend   storage.Backend
+	ckptEvery int
+	now       func() time.Time
+	pmu       sync.Mutex // guards logs and their append counters
+	logs      map[dictionary.CAID]*caLog
+}
+
+// caLog pairs a CA's durable log with its records-since-checkpoint count.
+// Its mutex serializes (replica update, WAL append) per CA as one unit,
+// so concurrent syncs can never write WAL records out of apply order —
+// an inverted pair would replay as a gap and fail recovery loudly.
+type caLog struct {
+	mu       sync.Mutex
+	log      storage.Log
+	appended int
+}
+
+// DefaultCheckpointEvery is the default number of WAL records between
+// checkpoint snapshots. Checkpoints cost O(dictionary) while appends cost
+// O(batch); once per 64 batches keeps the amortized overhead per sync
+// cycle small while bounding crash-recovery replay to 64 records.
+const DefaultCheckpointEvery = 64
+
+// StoreOptions configures a Store beyond its trust anchors.
+type StoreOptions struct {
+	// Layout is the commitment layout for every replica (see
+	// NewStoreWithLayout for the matching contract).
+	Layout dictionary.LayoutKind
+	// Storage, when non-nil, persists every replica to the backend and
+	// warm-starts replicas from it on AddCA.
+	Storage storage.Backend
+	// CheckpointEvery is the number of WAL records between checkpoints
+	// (0 = DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Now is the clock used when re-validating persisted freshness on
+	// warm start (nil = time.Now).
+	Now func() time.Time
 }
 
 // storeView is one immutable configuration of the store. All fields —
@@ -76,11 +122,30 @@ func NewStore(roots ...*cert.Certificate) (*Store, error) {
 // with (roots are layout-specific; a mismatch rejects every update with
 // ErrRootMismatch), so it is a deployment-wide setting, not per-CA.
 func NewStoreWithLayout(layout dictionary.LayoutKind, roots ...*cert.Certificate) (*Store, error) {
+	return NewStoreWithOptions(StoreOptions{Layout: layout}, roots...)
+}
+
+// NewStoreWithOptions creates a store with full configuration, including
+// the optional durable state tier.
+func NewStoreWithOptions(opts StoreOptions, roots ...*cert.Certificate) (*Store, error) {
 	pool, err := cert.NewPool()
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{cache: newStatusCache(), layout: layout}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Store{
+		cache:     newStatusCache(),
+		layout:    opts.Layout,
+		backend:   opts.Storage,
+		ckptEvery: opts.CheckpointEvery,
+		now:       opts.Now,
+		logs:      make(map[dictionary.CAID]*caLog),
+	}
 	s.view.Store(&storeView{
 		replicas: map[dictionary.CAID]*dictionary.Replica{},
 		pool:     pool,
@@ -118,19 +183,137 @@ func (v *storeView) rebuildCAs() {
 
 // AddCA starts replicating one more CA's dictionary, trusting the given
 // self-signed root certificate (the bootstrapping manifest of §VIII).
+// With a storage backend configured, the replica warm-starts from its
+// durable log: the persisted checkpoint is restored (re-verified against
+// this trust anchor) and the WAL replayed, so the replica resumes at the
+// count it crashed with.
 func (s *Store) AddCA(root *cert.Certificate) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	next := s.view.Load().clone()
+	cur := s.view.Load()
+	if _, dup := cur.replicas[root.Issuer]; dup {
+		// Same trust anchor, replica already live: only the pool changes.
+		next := cur.clone()
+		if err := next.pool.AddRoot(root); err != nil {
+			return fmt.Errorf("ra: add CA: %w", err)
+		}
+		next.rebuildCAs()
+		s.view.Store(next)
+		return nil
+	}
+	replica, lg, err := s.openReplica(root)
+	if err != nil {
+		return err
+	}
+	next := cur.clone()
 	if err := next.pool.AddRoot(root); err != nil {
+		if lg != nil {
+			lg.Close()
+		}
 		return fmt.Errorf("ra: add CA: %w", err)
 	}
-	if _, dup := next.replicas[root.Issuer]; !dup {
-		next.replicas[root.Issuer] = dictionary.NewReplicaWithLayout(root.Issuer, root.PublicKey, s.layout)
-	}
+	next.replicas[root.Issuer] = replica
 	next.rebuildCAs()
+	if lg != nil {
+		s.pmu.Lock()
+		s.logs[root.Issuer] = &caLog{log: lg}
+		s.pmu.Unlock()
+	}
 	s.view.Store(next)
 	return nil
+}
+
+// openReplica builds the replica for a trust anchor: fresh when no
+// backend (or no durable state) exists, recovered otherwise. Recovery
+// fails loudly on anything unverifiable — a corrupt store must not
+// silently degrade to a cold start, because the operator would read the
+// ensuing full resync as normal.
+func (s *Store) openReplica(root *cert.Certificate) (*dictionary.Replica, storage.Log, error) {
+	ca := root.Issuer
+	if s.backend == nil {
+		return dictionary.NewReplicaWithLayout(ca, root.PublicKey, s.layout), nil, nil
+	}
+	lg, err := s.backend.Open(string(ca))
+	if err != nil {
+		return nil, nil, fmt.Errorf("ra: open durable log for %s: %w", ca, err)
+	}
+	replica, err := dictionary.RecoverReplicaLog(lg, ca, root.PublicKey, s.layout, s.now().Unix())
+	if err != nil {
+		lg.Close()
+		return nil, nil, fmt.Errorf("ra: warm-start %s: %w", ca, err)
+	}
+	return replica, lg, nil
+}
+
+// applyUpdate applies a verified issuance message to the CA's replica
+// and, when it changed state and a backend is configured, WAL-appends it
+// (checkpointing on cadence) — the update and the append are one unit
+// under the CA's log mutex, so the WAL order always matches the apply
+// order even under concurrent SyncOnce calls. Persistence failures are
+// returned so the sync loop can surface them; the in-memory replica
+// already advanced, so nothing is lost until the process dies — the next
+// successful checkpoint covers the gap.
+func (s *Store) applyUpdate(ca dictionary.CAID, replica *dictionary.Replica, msg *dictionary.IssuanceMessage, bounds []uint64) error {
+	var cl *caLog
+	if s.backend != nil {
+		s.pmu.Lock()
+		cl = s.logs[ca]
+		s.pmu.Unlock()
+	}
+	if cl != nil {
+		cl.mu.Lock()
+		defer cl.mu.Unlock()
+	}
+	gen := replica.Snapshot().Generation()
+	if err := replica.UpdateWithBounds(msg, bounds); err != nil {
+		return err
+	}
+	if cl == nil || replica.Snapshot().Generation() == gen {
+		// No backend, a removed CA, or a verified no-op (re-delivered
+		// root): nothing to persist.
+		return nil
+	}
+	rec := dictionary.UpdateRecord{Msg: msg, Bounds: bounds}
+	if err := cl.log.Append(rec.Encode()); err != nil {
+		return fmt.Errorf("ra: persist update for %s: %w", ca, err)
+	}
+	cl.appended++
+	if cl.appended < s.ckptEvery {
+		return nil
+	}
+	return s.checkpointLocked(ca, cl)
+}
+
+// checkpointLocked snapshots the CA's replica into its log. Caller holds
+// cl.mu.
+func (s *Store) checkpointLocked(ca dictionary.CAID, cl *caLog) error {
+	r, ok := s.view.Load().replicas[ca]
+	if !ok {
+		return nil
+	}
+	if err := cl.log.Checkpoint(r.PersistentState().Encode()); err != nil {
+		return fmt.Errorf("ra: checkpoint %s: %w", ca, err)
+	}
+	cl.appended = 0
+	return nil
+}
+
+// Close releases the store's durable logs (if any). The store must not be
+// mutated afterwards; reads keep working from memory.
+func (s *Store) Close() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	var firstErr error
+	for ca, cl := range s.logs {
+		cl.mu.Lock() // wait out any in-flight persisted update
+		err := cl.log.Close()
+		cl.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.logs, ca)
+	}
+	return firstErr
 }
 
 // Remove stops replicating a dictionary, frees its replica, and purges its
@@ -150,6 +333,17 @@ func (s *Store) Remove(ca dictionary.CAID) {
 	next.rebuildCAs()
 	s.view.Store(next)
 	s.cache.purgeCA(ca)
+	// Reclaim the durable state too: removal is the §VIII storage-reclaim
+	// path, and a shard that expired will never be pulled again.
+	s.pmu.Lock()
+	cl := s.logs[ca]
+	delete(s.logs, ca)
+	s.pmu.Unlock()
+	if cl != nil {
+		cl.mu.Lock()     // wait out any in-flight persisted update
+		cl.log.Destroy() //nolint:errcheck // reclaim is best-effort; the shard is already gone from memory
+		cl.mu.Unlock()
+	}
 }
 
 // RemoveExpired walks the replicated dictionaries and removes every
@@ -203,6 +397,20 @@ func (s *Store) ReplaceReplica(ca dictionary.CAID, r *dictionary.Replica) error 
 	next.rebuildCAs()
 	s.view.Store(next)
 	s.cache.purgeCA(ca)
+	// A replaced replica's history diverges from whatever the WAL holds
+	// (that is the point of a resync); checkpoint the new state now so a
+	// crash never replays old-history records onto it.
+	s.pmu.Lock()
+	cl := s.logs[ca]
+	s.pmu.Unlock()
+	if cl != nil {
+		cl.mu.Lock()
+		err := s.checkpointLocked(ca, cl)
+		cl.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

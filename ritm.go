@@ -60,6 +60,7 @@ import (
 	"ritm/internal/ra"
 	"ritm/internal/ritmclient"
 	"ritm/internal/serial"
+	"ritm/internal/storage"
 	"ritm/internal/tlssim"
 )
 
@@ -119,8 +120,42 @@ const (
 	LayoutForest = dictionary.LayoutForest
 )
 
-// ParseLayout maps a -layout flag value ("sorted", "forest") to its kind.
+// ParseLayout maps a -layout flag value ("sorted", "forest",
+// "forest:<cap>") to its kind.
 func ParseLayout(s string) (LayoutKind, error) { return dictionary.ParseLayout(s) }
+
+// LayoutForestWithCap returns the forest layout with buckets of at most
+// cap leaves (default 256): the tuning knob for corpora whose batch sizes
+// or proof-size budgets differ from the default's sweet spot. The
+// capacity is part of the commitment contract — persisted in checkpoints
+// and refused on mismatch at restore, so a restart can never silently
+// change proof shapes.
+func LayoutForestWithCap(cap int) LayoutKind { return dictionary.LayoutForestWithCap(cap) }
+
+// Durable state tier: WAL + checkpoint persistence for CAs, distribution
+// points, and RAs. A nil backend anywhere keeps that component purely
+// in-memory (the historical behavior).
+type (
+	// StorageBackend opens durable logs for named dictionaries.
+	StorageBackend = storage.Backend
+	// FileBackend persists each dictionary under a directory: an
+	// append-only CRC-framed WAL of signed update batches plus atomically
+	// installed checkpoint snapshots.
+	FileBackend = storage.FileBackend
+	// MemoryBackend retains logs in process memory — restart semantics
+	// without a filesystem, for tests and simulations.
+	MemoryBackend = storage.Memory
+)
+
+// NewFileBackend returns a file-backed storage backend rooted at dir.
+// fsync selects fsync-on-commit for WAL appends (checkpoints always
+// sync); see the README's durability table for the tradeoff.
+func NewFileBackend(dir string, fsync bool) *FileBackend {
+	return storage.NewFileBackend(dir, fsync)
+}
+
+// NewMemoryBackend returns an in-process storage backend.
+func NewMemoryBackend() *MemoryBackend { return storage.NewMemory() }
 
 // Status check outcomes.
 const (
@@ -138,6 +173,10 @@ type (
 	EdgeServer = cdn.EdgeServer
 	// Origin is the pull API spoken across the network.
 	Origin = cdn.Origin
+	// PullResponse is one pull's payload: the missing suffix with its
+	// signed root, the current freshness statement, and the suffix's
+	// batch bounds.
+	PullResponse = cdn.PullResponse
 	// HTTPClient is an Origin over the HTTP transport.
 	HTTPClient = cdn.HTTPClient
 	// Topology is the two-tier edge hierarchy (regions × PoPs): PoPs pull
@@ -172,6 +211,16 @@ func EdgeHitRate(s EdgeStats) float64 { return cdn.HitRate(s) }
 // validate ingested freshness statements (nil = time.Now).
 func NewDistributionPoint(now func() time.Time) *DistributionPoint {
 	return cdn.NewDistributionPoint(now)
+}
+
+// NewDistributionPointWithStorage creates a CDN origin persisting every
+// dictionary to backend: a reopened origin recovers its exact signed
+// roots (same ETags — edges keep getting 304s) and serves suffixes from
+// where it crashed, instead of forcing every RA through the full-resync
+// path. checkpointEvery is the WAL-records-per-checkpoint cadence (0 =
+// default).
+func NewDistributionPointWithStorage(now func() time.Time, backend StorageBackend, checkpointEvery int) *DistributionPoint {
+	return cdn.NewDistributionPointWithStorage(now, backend, checkpointEvery)
 }
 
 // NewEdgeServer creates an edge server caching upstream responses for ttl
