@@ -38,6 +38,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "directory for durable replica state (WAL + checkpoints per CA); a restarted RA resumes at its persisted count and pulls only the missed suffix. Empty = in-memory only")
 		ckptEvery = flag.Int("checkpoint-every", 64, "persisted update batches between checkpoint snapshots")
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every persisted update batch")
+		shared    = flag.Bool("shared-data", false, "serve read-only from another ritm-ra's -data-dir instead of pulling: the checkpoint is mmap'd (physical pages shared across co-located RAs) and the writer's stamp is polled at ∆/8. Exactly one process writes a data dir; any number may read it")
 	)
 	flag.Parse()
 	kind, err := ritm.ParseLayout(*layout)
@@ -52,7 +53,11 @@ func main() {
 		}
 		kind = ritm.LayoutForestWithCap(*forestCap)
 	}
-	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain, kind, *dataDir, *ckptEvery, *fsync); err != nil {
+	if *shared && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "ritm-ra: -shared-data requires -data-dir (the writer RA's directory)")
+		os.Exit(2)
+	}
+	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain, kind, *dataDir, *ckptEvery, *fsync, *shared); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -84,14 +89,21 @@ func buildEdgeChain(base ritm.Origin, ttls string) (ritm.Origin, error) {
 	return origin, nil
 }
 
-func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync bool) error {
+func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync bool, shared bool) error {
+	// The trust anchor always comes from the CA, even for shared readers:
+	// a reader trusts nothing in the mapped directory beyond what the
+	// anchor's key verifies.
 	root, err := fetchRoot(caURL)
 	if err != nil {
 		return err
 	}
-	origin, err := buildEdgeChain(&ritm.HTTPClient{BaseURL: caURL}, chain)
-	if err != nil {
-		return err
+	var origin ritm.Origin
+	if !shared {
+		// Shared readers never pull from the dissemination network; their
+		// sync cycle polls the writer's stamp instead.
+		if origin, err = buildEdgeChain(&ritm.HTTPClient{BaseURL: caURL}, chain); err != nil {
+			return err
+		}
 	}
 	var backend ritm.StorageBackend
 	if dataDir != "" {
@@ -104,6 +116,7 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 		Layout:          layout,
 		Storage:         backend,
 		CheckpointEvery: ckptEvery,
+		SharedData:      shared,
 	})
 	if err != nil {
 		return err
@@ -115,8 +128,19 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 	if err := agent.SyncOnce(); err != nil {
 		return fmt.Errorf("initial sync: %w", err)
 	}
+	interval := delta
+	if shared {
+		// A reader's sync cycle is two stat calls against a local file, so
+		// poll well inside ∆: the writer is already up to ∆ behind the CA,
+		// and a reader lagging another full ∆ behind the writer can serve
+		// freshness outside the client's {p, p−1} tolerance.
+		interval = delta / 8
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+	}
 	fetcher := agent.StartFetcherWith(ritm.FetcherOptions{
-		Interval:    delta,
+		Interval:    interval,
 		Jitter:      jitter,
 		ShardExpiry: expire,
 		OnError:     func(err error) { log.Printf("sync: %v", err) },
@@ -129,8 +153,12 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 	}
 	defer proxy.Close()
 	proxy.SetOnError(func(err error) { log.Printf("proxy: %v", err) })
-	log.Printf("ritm-ra: replicating %s (∆=%v, layout=%s), proxying %s → %s",
-		root.Issuer, delta, layout, proxy.Addr(), target)
+	mode := "replicating"
+	if shared {
+		mode = "sharing (read-only map of " + dataDir + ")"
+	}
+	log.Printf("ritm-ra: %s %s (∆=%v, layout=%s), proxying %s → %s",
+		mode, root.Issuer, delta, layout, proxy.Addr(), target)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -111,5 +111,27 @@ func BenchmarkLayoutProve(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(len(tree.Prove(absent[0]).Encode())), "proof-bytes")
 		})
+		// The encode half of the hot path, isolated: with the pooled
+		// encoder a steady-state Encode costs exactly one allocation
+		// (the right-sized output copy) — allocs/op pins it.
+		b.Run(layout.String()+"/encode", func(b *testing.B) {
+			gen := serial.NewGenerator(0x9201, nil)
+			tree := dictionary.NewTreeWithLayout(layout)
+			if err := tree.InsertBatch(gen.NextN(workload.LargestCRLEntries)); err != nil {
+				b.Fatal(err)
+			}
+			absent := gen.NextN(256)
+			proofs := make([]*dictionary.Proof, len(absent))
+			for i, s := range absent {
+				proofs[i] = tree.Prove(s)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(proofs[i%len(proofs)].Encode()) == 0 {
+					b.Fatal("empty encoding")
+				}
+			}
+		})
 	}
 }

@@ -162,7 +162,7 @@ func New(cfg Config) (*CA, error) {
 			// every later recovery has a verified state to replay onto, and
 			// "WAL without checkpoint" becomes an unambiguous corruption
 			// signal rather than a valid cold-start shape.
-			if err := lg.Checkpoint(authority.PersistentState().Encode()); err != nil {
+			if err := lg.Checkpoint(authority.PersistentStateV2()); err != nil {
 				lg.Close()
 				return nil, fmt.Errorf("ca %s: %w", cfg.ID, err)
 			}
@@ -272,23 +272,37 @@ func (c *CA) persistUpdateLocked(msg *dictionary.IssuanceMessage) error {
 	if c.appended < c.ckptEvery {
 		return nil
 	}
-	if err := c.log.Checkpoint(c.authority.PersistentState().Encode()); err != nil {
+	if err := c.log.Checkpoint(c.authority.PersistentStateV2()); err != nil {
 		return fmt.Errorf("ca %s: checkpoint: %w", c.id, err)
 	}
 	c.appended = 0
 	return nil
 }
 
-// Close releases the CA's durable log (if any).
+// Close releases the CA's durable log (if any). A clean shutdown with
+// records appended since the last cadence checkpoint writes one final
+// checkpoint first, so the next start maps state instead of replaying a
+// WAL tail (and shared-data readers of this directory get the v2 format
+// immediately).
 func (c *CA) Close() error {
 	c.pmu.Lock()
 	defer c.pmu.Unlock()
 	if c.log == nil {
 		return nil
 	}
-	err := c.log.Close()
+	var firstErr error
+	if c.appended > 0 {
+		if err := c.log.Checkpoint(c.authority.PersistentStateV2()); err != nil {
+			firstErr = fmt.Errorf("ca %s: final checkpoint: %w", c.id, err)
+		} else {
+			c.appended = 0
+		}
+	}
+	if err := c.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	c.log = nil
-	return err
+	return firstErr
 }
 
 // ID returns the CA identifier.

@@ -319,7 +319,7 @@ func (dp *DistributionPoint) persistIngest(dl *dpLog, ca dictionary.CAID, r *dic
 	if dl.appended < dp.ckptEvery {
 		return nil
 	}
-	if err := dl.log.Checkpoint(r.PersistentState().Encode()); err != nil {
+	if err := dl.log.Checkpoint(r.PersistentStateV2()); err != nil {
 		return fmt.Errorf("cdn: checkpoint %s: %w", ca, err)
 	}
 	dl.appended = 0

@@ -1,0 +1,937 @@
+package dictionary
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// Checkpoint format v2: an offset-indexed encoding of one dictionary's
+// committed state that is traversable WITHOUT deserialization. Where the
+// v1 encoding (PersistentState.Encode) persists the issuance log and makes
+// recovery replay it — O(n) hashing to rebuild the commitment structure —
+// v2 persists the structure itself in fixed-width, offset-computable
+// records, so that:
+//
+//   - a restart materializes the heap tree by copying arrays instead of
+//     rehashing them (map-don't-replay), and
+//   - a mapped view (MappedSnapshot) serves Prove/Status straight off the
+//     encoded bytes: a leaf lookup, an inclusion/absence path, and a
+//     bucket-range probe are each O(log n) pointer arithmetic over []byte,
+//     with zero per-process heap for the dictionary.
+//
+// Layout. The payload opens with an 8-byte magic, a section count, and a
+// fixed-width section table; every section is CRC-framed and starts at an
+// 8-byte-aligned offset. All fixed-width fields in v2 are LITTLE-endian —
+// deliberately unlike the big-endian wire formats: these bytes are read in
+// place on the serving path, and every deployment target is little-endian,
+// so reads compile to plain loads. (The wire formats cross trust
+// boundaries and stay big-endian; nothing here is wire.)
+//
+//	magic "RITMDV2\x00"
+//	sectionCount u32 | reserved u32
+//	sectionCount × { id u32, crc32(section) u32, offset u64, length u64 }
+//	...sections, each 8-byte aligned...
+//
+// Sections (ids below; 4–6 exist only for the forest layout):
+//
+//	header       layout u32 | flags u32 | count u64
+//	leaves       count × 32 B { num u64, serialLen u8, pad[3], serial[20] },
+//	             sorted ascending by serial; num inverts to the issuance log
+//	levels       sorted: every interior level, level 0 (leaf hashes) first,
+//	             ceil-halved up to the root — sizes derivable from count.
+//	             forest: the global leaf-hash array only (each bucket's
+//	             level 0 is a contiguous slice of it, because buckets tile
+//	             the sorted leaf order)
+//	bucketdir    nb × 96 B { leafStart u64, leafCount u64, levelsOff u64,
+//	             loLen u8, hiLen u8, pad[6], lo[20], hi[20], node[20], pad[4] }
+//	bucketlevels the interior levels (level ≥ 1) of every bucket,
+//	             concatenated in directory order at levelsOff
+//	spine        the spine levels, level 0 (bucket nodes) first
+//	batches      nBatches × u64, the cumulative insertion-batch bounds
+//	root         treeRoot[20] | freshness[20] | hasRoot u8 | hasSeed u8 |
+//	             pad[2] | rootLen u32 | SignedRoot.Encode() | seed[20]?
+//
+// Trust. v2 restores do NOT re-verify the whole structure by rehashing —
+// that would be the O(n) work the format exists to avoid. The reader
+// verifies the embedded SignedRoot's signature against the trust anchor,
+// checks the structural root recorded by the file (the top of the stored
+// hash arrays) against the signed root, and CRC-checks every section; the
+// interior arrays are then trusted as-is. This is sound for the RA's
+// serving role: RAs are untrusted provers (§V), every emitted proof is
+// verified by the client against the CA signature, so bytes that are
+// CRC-valid but wrong can only produce proofs that FAIL client
+// verification — a self-advertising outage, never an accepted forgery.
+// The CA-side restore path keeps full replay verification (see
+// RestoreAuthority); v2 only changes what replicas and mapped readers do.
+
+// stateV2Magic opens every v2 checkpoint payload. The first byte ('R')
+// is distinct from v1's leading version byte 0x01 and from a WAL record's
+// leading bool byte (0x00/0x01), so all three dispatch on one byte.
+var stateV2Magic = []byte("RITMDV2\x00")
+
+// v2 section identifiers.
+const (
+	v2SecHeader       = 1
+	v2SecLeaves       = 2
+	v2SecLevels       = 3
+	v2SecBucketDir    = 4
+	v2SecBucketLevels = 5
+	v2SecSpine        = 6
+	v2SecBatches      = 7
+	v2SecRoot         = 8
+)
+
+// Fixed record sizes of the v2 format.
+const (
+	v2LeafRecSize   = 32
+	v2BucketRecSize = 96
+	v2TableEntry    = 24
+	v2HeaderLen     = 16 // magic + count + reserved
+)
+
+// ErrBadCheckpoint reports a v2 checkpoint that fails structural
+// validation (framing, CRC, ordering, or tiling invariants). Callers treat
+// it like any other corruption: refuse loudly, never degrade silently.
+var ErrBadCheckpoint = errors.New("dictionary: malformed v2 checkpoint")
+
+// IsStateV2 reports whether buf begins with the v2 checkpoint magic.
+func IsStateV2(buf []byte) bool {
+	return len(buf) >= len(stateV2Magic) && bytes.Equal(buf[:len(stateV2Magic)], stateV2Magic)
+}
+
+// levelSizesFor returns the node count of every level of a tree over n
+// leaves, level 0 first: n, ⌈n/2⌉, …, 1. Nil for n == 0. This is the shape
+// contract shared with buildLevels, which is what lets the mapped reader
+// derive every level offset from the leaf count alone.
+func levelSizesFor(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	sizes := make([]int, 1, 2+bitsLen(n))
+	sizes[0] = n
+	for n > 1 {
+		n = (n + 1) / 2
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// totalLevelNodes returns the total node count over all levels of a tree
+// with n leaves (level 0 included).
+func totalLevelNodes(n int) int {
+	total := 0
+	for _, s := range levelSizesFor(n) {
+		total += s
+	}
+	return total
+}
+
+// interiorLevelBytes returns the encoded size of levels ≥ 1 of a tree with
+// n leaves — a bucket's share of the bucketlevels blob.
+func interiorLevelBytes(n int) int {
+	return (totalLevelNodes(n) - n) * cryptoutil.HashSize
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// v2Section is one section to lay out.
+type v2Section struct {
+	id   uint32
+	data []byte
+}
+
+// encodeV2Sections assembles the final payload: magic, table, and
+// 8-byte-aligned CRC-framed sections.
+func encodeV2Sections(secs []v2Section) []byte {
+	le := binary.LittleEndian
+	off := v2HeaderLen + v2TableEntry*len(secs)
+	offs := make([]int, len(secs))
+	for i, s := range secs {
+		off = align8(off)
+		offs[i] = off
+		off += len(s.data)
+	}
+	buf := make([]byte, align8(off))
+	copy(buf, stateV2Magic)
+	le.PutUint32(buf[8:], uint32(len(secs)))
+	for i, s := range secs {
+		e := v2HeaderLen + v2TableEntry*i
+		le.PutUint32(buf[e:], s.id)
+		le.PutUint32(buf[e+4:], crc32.ChecksumIEEE(s.data))
+		le.PutUint64(buf[e+8:], uint64(offs[i]))
+		le.PutUint64(buf[e+16:], uint64(len(s.data)))
+		copy(buf[offs[i]:], s.data)
+	}
+	return buf
+}
+
+// putLeafRec writes one 32-byte leaf record.
+func putLeafRec(dst []byte, lf Leaf) {
+	binary.LittleEndian.PutUint64(dst, lf.Num)
+	raw := lf.Serial.Raw()
+	dst[8] = byte(len(raw))
+	copy(dst[12:], raw)
+}
+
+// encodeLeaves writes the sorted leaf array section.
+func encodeLeaves(leaves []Leaf) []byte {
+	buf := make([]byte, len(leaves)*v2LeafRecSize)
+	for i, lf := range leaves {
+		putLeafRec(buf[i*v2LeafRecSize:], lf)
+	}
+	return buf
+}
+
+// encodeHashLevels concatenates hash levels, level 0 first.
+func encodeHashLevels(levels [][]cryptoutil.Hash) []byte {
+	total := 0
+	for _, lvl := range levels {
+		total += len(lvl)
+	}
+	buf := make([]byte, 0, total*cryptoutil.HashSize)
+	for _, lvl := range levels {
+		for i := range lvl {
+			buf = append(buf, lvl[i][:]...)
+		}
+	}
+	return buf
+}
+
+// encodeRootSection writes the root/freshness/seed section.
+func encodeRootSection(treeRoot, freshness cryptoutil.Hash, root *SignedRoot, seed *cryptoutil.Hash) []byte {
+	var rootBytes []byte
+	if root != nil {
+		rootBytes = root.Encode()
+	}
+	buf := make([]byte, 48, 48+len(rootBytes)+cryptoutil.HashSize)
+	copy(buf, treeRoot[:])
+	copy(buf[20:], freshness[:])
+	if root != nil {
+		buf[40] = 1
+	}
+	if seed != nil {
+		buf[41] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[44:], uint32(len(rootBytes)))
+	buf = append(buf, rootBytes...)
+	if seed != nil {
+		buf = append(buf, seed[:]...)
+	}
+	return buf
+}
+
+// encodeStateV2 serializes one committed dictionary version in checkpoint
+// format v2. view must be the frozen LayoutView the other arguments are
+// consistent with (same publication).
+func encodeStateV2(layout LayoutKind, view LayoutView, bounds []uint64, root *SignedRoot, freshness cryptoutil.Hash, seed *cryptoutil.Hash) []byte {
+	le := binary.LittleEndian
+
+	batches := make([]byte, len(bounds)*8)
+	for i, b := range bounds {
+		le.PutUint64(batches[i*8:], b)
+	}
+
+	var secs []v2Section
+	header := make([]byte, 16)
+	le.PutUint32(header, uint32(layout))
+
+	switch v := view.(type) {
+	case sortedView:
+		le.PutUint64(header[8:], uint64(len(v.leaves)))
+		secs = []v2Section{
+			{v2SecHeader, header},
+			{v2SecLeaves, encodeLeaves(v.leaves)},
+			{v2SecLevels, encodeHashLevels(v.levels)},
+			{v2SecBatches, batches},
+			{v2SecRoot, encodeRootSection(v.Root(), freshness, root, seed)},
+		}
+
+	case forestView:
+		count := 0
+		for _, b := range v.buckets {
+			count += len(b.tree.leaves)
+		}
+		le.PutUint64(header[8:], uint64(count))
+
+		leaves := make([]byte, count*v2LeafRecSize)
+		leafHashes := make([]byte, 0, count*cryptoutil.HashSize)
+		dir := make([]byte, len(v.buckets)*v2BucketRecSize)
+		var blob []byte
+		leafStart, levelsOff := 0, 0
+		for bi, b := range v.buckets {
+			for i, lf := range b.tree.leaves {
+				putLeafRec(leaves[(leafStart+i)*v2LeafRecSize:], lf)
+			}
+			for _, h := range b.leafHashes() {
+				leafHashes = append(leafHashes, h[:]...)
+			}
+			rec := dir[bi*v2BucketRecSize:]
+			le.PutUint64(rec, uint64(leafStart))
+			le.PutUint64(rec[8:], uint64(len(b.tree.leaves)))
+			le.PutUint64(rec[16:], uint64(levelsOff))
+			lo, hi := b.lo.Raw(), b.hi.Raw()
+			rec[24], rec[25] = byte(len(lo)), byte(len(hi))
+			copy(rec[32:], lo)
+			copy(rec[52:], hi)
+			copy(rec[72:], b.node[:])
+			for _, lvl := range b.tree.levels[1:] {
+				for i := range lvl {
+					blob = append(blob, lvl[i][:]...)
+				}
+			}
+			leafStart += len(b.tree.leaves)
+			levelsOff += interiorLevelBytes(len(b.tree.leaves))
+		}
+		secs = []v2Section{
+			{v2SecHeader, header},
+			{v2SecLeaves, leaves},
+			{v2SecLevels, leafHashes},
+			{v2SecBucketDir, dir},
+			{v2SecBucketLevels, blob},
+			{v2SecSpine, encodeHashLevels(v.spine)},
+			{v2SecBatches, batches},
+			{v2SecRoot, encodeRootSection(v.Root(), freshness, root, seed)},
+		}
+
+	default:
+		// Unknown view implementation: fall back to an empty structure of
+		// the layout. Unreachable for the layouts this package defines.
+		panic(fmt.Sprintf("dictionary: encodeStateV2 over unknown view %T", view))
+	}
+	return encodeV2Sections(secs)
+}
+
+// PersistentStateV2 exports the replica's current committed state encoded
+// in checkpoint format v2. Like PersistentState it reads one published
+// snapshot, so log, root, and freshness are mutually consistent; unlike
+// v1 it persists the commitment structure itself, making the checkpoint
+// mappable (MappedSnapshot) and the restart replay-free.
+func (r *Replica) PersistentStateV2() []byte {
+	snap := r.Snapshot()
+	return encodeStateV2(r.layoutKind, snap.view, snap.bounds, snap.root, snap.freshness, nil)
+}
+
+// PersistentStateV2 exports the authority's committed state — structure,
+// signed root, and chain seed — encoded in checkpoint format v2.
+func (a *Authority) PersistentStateV2() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seed := a.chain.Seed()
+	return encodeStateV2(a.cfg.Layout, a.tree.view(), append([]uint64(nil), a.tree.BatchBounds()...), a.root, cryptoutil.Hash{}, &seed)
+}
+
+// MappedState is a validated, zero-copy view of one v2 checkpoint payload.
+// Every accessor is pointer arithmetic over the underlying buffer; nothing
+// is deserialized up front except the (small) signed-root section and the
+// per-level offset tables. The buffer typically aliases an mmap'd file —
+// the caller owns its lifetime and must keep it valid for the life of the
+// MappedState and everything derived from it.
+type MappedState struct {
+	layout LayoutKind
+	count  int
+
+	leaves []byte // section 2: count × 32 B records
+	levels []byte // section 3: global hash array(s)
+
+	// Sorted layout: byte offset of each level inside levels.
+	levelOffs  []int
+	levelSizes []int
+
+	// Forest layout.
+	nb        int
+	dir       []byte // section 4
+	blob      []byte // section 5
+	spine     []byte // section 6
+	spineOffs []int
+	spineSize []int
+
+	bounds []byte // section 7: nBatches × u64
+
+	treeRoot  cryptoutil.Hash
+	freshness cryptoutil.Hash
+	root      *SignedRoot
+	seed      *cryptoutil.Hash
+}
+
+// Layout returns the layout descriptor the checkpoint was built with.
+func (st *MappedState) Layout() LayoutKind { return st.layout }
+
+// Count returns the number of revocations in the checkpoint.
+func (st *MappedState) Count() uint64 { return uint64(st.count) }
+
+// Root returns the embedded signed root (nil for a never-published
+// dictionary). The caller must verify its signature before serving.
+func (st *MappedState) Root() *SignedRoot { return st.root }
+
+// RootHash returns the structural root recorded by the checkpoint.
+func (st *MappedState) RootHash() cryptoutil.Hash { return st.treeRoot }
+
+// Freshness returns the recorded freshness-statement value.
+func (st *MappedState) Freshness() cryptoutil.Hash { return st.freshness }
+
+// ChainSeed returns the recorded authority chain seed, nil on
+// replica-side checkpoints.
+func (st *MappedState) ChainSeed() *cryptoutil.Hash { return st.seed }
+
+// Batches materializes the insertion-batch bounds.
+func (st *MappedState) Batches() []uint64 {
+	n := len(st.bounds) / 8
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(st.bounds[i*8:])
+	}
+	return out
+}
+
+// leafRaw returns the serial bytes and revocation number of sorted leaf i
+// without copying or validating; the serial aliases the mapped buffer.
+func (st *MappedState) leafRaw(i int) ([]byte, uint64) {
+	rec := st.leaves[i*v2LeafRecSize : (i+1)*v2LeafRecSize]
+	return rec[12 : 12+rec[8]], binary.LittleEndian.Uint64(rec)
+}
+
+// leafAt materializes sorted leaf i as a Leaf (the serial is copied).
+func (st *MappedState) leafAt(i int) (Leaf, error) {
+	raw, num := st.leafRaw(i)
+	s, err := serial.New(raw)
+	if err != nil {
+		return Leaf{}, fmt.Errorf("%w: leaf %d: %v", ErrBadCheckpoint, i, err)
+	}
+	return Leaf{Serial: s, Num: num}, nil
+}
+
+// hashAt reads the 20-byte hash at index idx of a hash region.
+func hashAt(region []byte, base, idx int) cryptoutil.Hash {
+	var h cryptoutil.Hash
+	copy(h[:], region[base+idx*cryptoutil.HashSize:])
+	return h
+}
+
+// compareRaw orders two canonical serial encodings the way serial.Number
+// does: by length, then lexicographically — numeric order for minimal
+// big-endian encodings.
+func compareRaw(a, b []byte) int {
+	if d := len(a) - len(b); d != 0 {
+		if d < 0 {
+			return -1
+		}
+		return 1
+	}
+	return bytes.Compare(a, b)
+}
+
+// searchLeaf returns the index of the first leaf with serial ≥ s over the
+// global sorted leaf array — binary search, two loads per probe.
+func (st *MappedState) searchLeaf(s serial.Number) int {
+	raw := s.Raw()
+	lo, hi := 0, st.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		leaf, _ := st.leafRaw(mid)
+		if compareRaw(leaf, raw) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mlev is one hash level of a mapped structure: a region, a base offset,
+// and a node count. pathOver walks a []mlev the way pathAt walks heap
+// levels, so mapped and heap proofs are byte-identical.
+type mlev struct {
+	region []byte
+	base   int
+	size   int
+}
+
+// pathOver returns the audit path for position idx, copying only the
+// O(log n) sibling hashes onto the heap.
+func pathOver(levels []mlev, idx int) []cryptoutil.Hash {
+	if len(levels) == 0 || idx < 0 || idx >= levels[0].size {
+		return nil
+	}
+	path := make([]cryptoutil.Hash, 0, len(levels))
+	for lvl := 0; lvl < len(levels)-1; lvl++ {
+		sib := idx ^ 1
+		if sib < levels[lvl].size {
+			path = append(path, hashAt(levels[lvl].region, levels[lvl].base, sib))
+		}
+		idx /= 2
+	}
+	return path
+}
+
+// sortedLevels returns the mapped level structure of the sorted layout.
+func (st *MappedState) sortedLevels() []mlev {
+	out := make([]mlev, len(st.levelSizes))
+	for i := range out {
+		out[i] = mlev{region: st.levels, base: st.levelOffs[i], size: st.levelSizes[i]}
+	}
+	return out
+}
+
+// proofLeaf builds the ProofLeaf for global sorted index idx.
+func (st *MappedState) proofLeaf(idx int) (*ProofLeaf, error) {
+	lf, err := st.leafAt(idx)
+	if err != nil {
+		return nil, err
+	}
+	return &ProofLeaf{
+		Serial: lf.Serial,
+		Num:    lf.Num,
+		Index:  uint64(idx),
+		Path:   pathOver(st.sortedLevels(), idx),
+	}, nil
+}
+
+// bucketRec returns the raw 96-byte directory record of bucket bi.
+func (st *MappedState) bucketRec(bi int) []byte {
+	return st.dir[bi*v2BucketRecSize : (bi+1)*v2BucketRecSize]
+}
+
+// bucketMeta decodes the directory entry of bucket bi.
+type bucketMeta struct {
+	leafStart, leafCount int
+	levelsOff            int
+	lo, hi               []byte // canonical serial bytes; empty = unbounded
+	node                 cryptoutil.Hash
+}
+
+func (st *MappedState) bucketMeta(bi int) bucketMeta {
+	rec := st.bucketRec(bi)
+	le := binary.LittleEndian
+	var m bucketMeta
+	m.leafStart = int(le.Uint64(rec))
+	m.leafCount = int(le.Uint64(rec[8:]))
+	m.levelsOff = int(le.Uint64(rec[16:]))
+	m.lo = rec[32 : 32+rec[24]]
+	m.hi = rec[52 : 52+rec[25]]
+	copy(m.node[:], rec[72:])
+	return m
+}
+
+// bucketFor returns the bucket whose committed range contains s — the
+// mapped analog of forestView.bucketFor, a binary search over the
+// directory's lo bounds.
+func (st *MappedState) bucketFor(s serial.Number) int {
+	raw := s.Raw()
+	lo, hi := 0, st.nb
+	for lo < hi {
+		mid := (lo + hi) / 2
+		rec := st.bucketRec(mid)
+		bLo := rec[32 : 32+rec[24]]
+		// First bucket with a bounded lo strictly above s.
+		if len(bLo) != 0 && compareRaw(bLo, raw) > 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo - 1
+}
+
+// bucketLevels returns the mapped level structure of bucket bi: level 0 is
+// its slice of the global leaf-hash array, the rest live in the blob.
+func (st *MappedState) bucketLevels(m bucketMeta) []mlev {
+	sizes := levelSizesFor(m.leafCount)
+	out := make([]mlev, len(sizes))
+	out[0] = mlev{region: st.levels, base: m.leafStart * cryptoutil.HashSize, size: sizes[0]}
+	off := m.levelsOff
+	for i := 1; i < len(sizes); i++ {
+		out[i] = mlev{region: st.blob, base: off, size: sizes[i]}
+		off += sizes[i] * cryptoutil.HashSize
+	}
+	return out
+}
+
+// bucketSearch returns the first bucket-local leaf index with serial ≥ s.
+func (st *MappedState) bucketSearch(m bucketMeta, s serial.Number) int {
+	raw := s.Raw()
+	lo, hi := 0, m.leafCount
+	for lo < hi {
+		mid := (lo + hi) / 2
+		leaf, _ := st.leafRaw(m.leafStart + mid)
+		if compareRaw(leaf, raw) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// bucketProofLeaf builds the bucket-local ProofLeaf for index idx of the
+// bucket described by m.
+func (st *MappedState) bucketProofLeaf(m bucketMeta, idx int) (*ProofLeaf, error) {
+	lf, err := st.leafAt(m.leafStart + idx)
+	if err != nil {
+		return nil, err
+	}
+	return &ProofLeaf{
+		Serial: lf.Serial,
+		Num:    lf.Num,
+		Index:  uint64(idx),
+		Path:   pathOver(st.bucketLevels(m), idx),
+	}, nil
+}
+
+// spineLevels returns the mapped spine structure.
+func (st *MappedState) spineLevels() []mlev {
+	out := make([]mlev, len(st.spineSize))
+	for i := range out {
+		out[i] = mlev{region: st.spine, base: st.spineOffs[i], size: st.spineSize[i]}
+	}
+	return out
+}
+
+// spineNode returns spine level-0 node bi (== bucket bi's commitment).
+func (st *MappedState) spineNode(bi int) cryptoutil.Hash {
+	return hashAt(st.spine, 0, bi)
+}
+
+// sectionTable maps section ids to payload slices after bounds and CRC
+// validation.
+func sectionTable(buf []byte) (map[uint32][]byte, error) {
+	if !IsStateV2(buf) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	le := binary.LittleEndian
+	if len(buf) < v2HeaderLen {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadCheckpoint)
+	}
+	n := int(le.Uint32(buf[8:]))
+	const maxSections = 64
+	if n > maxSections || v2HeaderLen+n*v2TableEntry > len(buf) {
+		return nil, fmt.Errorf("%w: section table of %d entries", ErrBadCheckpoint, n)
+	}
+	secs := make(map[uint32][]byte, n)
+	for i := 0; i < n; i++ {
+		e := buf[v2HeaderLen+i*v2TableEntry:]
+		id := le.Uint32(e)
+		crc := le.Uint32(e[4:])
+		off := le.Uint64(e[8:])
+		length := le.Uint64(e[16:])
+		if off%8 != 0 || off > uint64(len(buf)) || length > uint64(len(buf))-off {
+			return nil, fmt.Errorf("%w: section %d out of bounds", ErrBadCheckpoint, id)
+		}
+		data := buf[off : off+length]
+		if crc32.ChecksumIEEE(data) != crc {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch", ErrBadCheckpoint, id)
+		}
+		if _, dup := secs[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrBadCheckpoint, id)
+		}
+		secs[id] = data
+	}
+	return secs, nil
+}
+
+// OpenMappedState validates a v2 checkpoint payload and returns its
+// zero-copy view. Validation is structural — framing, section CRCs,
+// leaf ordering, bucket tiling, and the recorded root's consistency with
+// the stored top-level hash — and deliberately NOT a rehash of the
+// interior (see the package trust note above). buf is retained; it must
+// stay valid (and unmodified) for the life of the result.
+func OpenMappedState(buf []byte) (*MappedState, error) {
+	secs, err := sectionTable(buf)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+
+	header, ok := secs[v2SecHeader]
+	if !ok || len(header) != 16 {
+		return nil, fmt.Errorf("%w: missing or misshapen header section", ErrBadCheckpoint)
+	}
+	st := &MappedState{layout: LayoutKind(le.Uint32(header))}
+	switch st.layout.base() {
+	case LayoutSorted, LayoutForest:
+	default:
+		return nil, fmt.Errorf("%w: unknown layout %v", ErrBadCheckpoint, st.layout)
+	}
+	count := le.Uint64(header[8:])
+	const maxLog = 1 << 28
+	if count > maxLog {
+		return nil, fmt.Errorf("%w: %d leaves exceeds limit", ErrBadCheckpoint, count)
+	}
+	st.count = int(count)
+
+	st.leaves, ok = secs[v2SecLeaves]
+	if !ok || len(st.leaves) != st.count*v2LeafRecSize {
+		return nil, fmt.Errorf("%w: leaf section holds %d bytes, want %d", ErrBadCheckpoint, len(st.leaves), st.count*v2LeafRecSize)
+	}
+	// One linear pass over the leaf records: canonical serials, strict
+	// ascending order, revocation numbers in range. Byte compares only —
+	// no hashing, no allocation.
+	var prev []byte
+	for i := 0; i < st.count; i++ {
+		rec := st.leaves[i*v2LeafRecSize:]
+		sl := int(rec[8])
+		if sl < 1 || sl > serial.MaxLen || (sl > 1 && rec[12] == 0) {
+			return nil, fmt.Errorf("%w: leaf %d has invalid serial", ErrBadCheckpoint, i)
+		}
+		raw := rec[12 : 12+sl]
+		if prev != nil && compareRaw(prev, raw) >= 0 {
+			return nil, fmt.Errorf("%w: leaves not strictly sorted at %d", ErrBadCheckpoint, i)
+		}
+		prev = raw
+		if num := le.Uint64(rec); num < 1 || num > count {
+			return nil, fmt.Errorf("%w: leaf %d revocation number %d outside [1,%d]", ErrBadCheckpoint, i, num, count)
+		}
+	}
+
+	st.levels, ok = secs[v2SecLevels]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing levels section", ErrBadCheckpoint)
+	}
+
+	if st.layout.base() == LayoutForest {
+		if err := st.openForest(secs); err != nil {
+			return nil, err
+		}
+	} else {
+		st.levelSizes = levelSizesFor(st.count)
+		if len(st.levels) != totalLevelNodes(st.count)*cryptoutil.HashSize {
+			return nil, fmt.Errorf("%w: levels section holds %d bytes, want %d", ErrBadCheckpoint, len(st.levels), totalLevelNodes(st.count)*cryptoutil.HashSize)
+		}
+		st.levelOffs = make([]int, len(st.levelSizes))
+		off := 0
+		for i, s := range st.levelSizes {
+			st.levelOffs[i] = off
+			off += s * cryptoutil.HashSize
+		}
+	}
+
+	st.bounds, ok = secs[v2SecBatches]
+	if !ok || len(st.bounds)%8 != 0 {
+		return nil, fmt.Errorf("%w: missing or misaligned batches section", ErrBadCheckpoint)
+	}
+	nB := len(st.bounds) / 8
+	if uint64(nB) > count {
+		return nil, fmt.Errorf("%w: %d batches for %d leaves", ErrBadCheckpoint, nB, count)
+	}
+	prevB := uint64(0)
+	for i := 0; i < nB; i++ {
+		b := le.Uint64(st.bounds[i*8:])
+		if b <= prevB || b > count {
+			return nil, fmt.Errorf("%w: batch bounds not strictly ascending at %d", ErrBadCheckpoint, i)
+		}
+		prevB = b
+	}
+	if count > 0 && (nB == 0 || prevB != count) {
+		return nil, fmt.Errorf("%w: batch bounds end at %d, leaf count %d", ErrBadCheckpoint, prevB, count)
+	}
+
+	if err := st.openRoot(secs); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// openForest validates the forest-only sections: the bucket directory's
+// tiling invariants, the per-bucket interior-level blob, and the spine.
+func (st *MappedState) openForest(secs map[uint32][]byte) error {
+	le := binary.LittleEndian
+	if len(st.levels) != st.count*cryptoutil.HashSize {
+		return fmt.Errorf("%w: leaf-hash section holds %d bytes, want %d", ErrBadCheckpoint, len(st.levels), st.count*cryptoutil.HashSize)
+	}
+	var ok bool
+	st.dir, ok = secs[v2SecBucketDir]
+	if !ok || len(st.dir)%v2BucketRecSize != 0 {
+		return fmt.Errorf("%w: missing or misshapen bucket directory", ErrBadCheckpoint)
+	}
+	st.nb = len(st.dir) / v2BucketRecSize
+	st.blob, ok = secs[v2SecBucketLevels]
+	if !ok {
+		return fmt.Errorf("%w: missing bucket-levels section", ErrBadCheckpoint)
+	}
+	st.spine, ok = secs[v2SecSpine]
+	if !ok {
+		return fmt.Errorf("%w: missing spine section", ErrBadCheckpoint)
+	}
+	if st.count == 0 {
+		if st.nb != 0 || len(st.blob) != 0 || len(st.spine) != 0 {
+			return fmt.Errorf("%w: empty forest with structure sections", ErrBadCheckpoint)
+		}
+		return nil
+	}
+	if st.nb == 0 {
+		return fmt.Errorf("%w: %d leaves but no buckets", ErrBadCheckpoint, st.count)
+	}
+	cap := st.layout.ForestCap()
+	leafStart, levelsOff := 0, 0
+	var prevHi []byte
+	for bi := 0; bi < st.nb; bi++ {
+		rec := st.bucketRec(bi)
+		loLen, hiLen := int(rec[24]), int(rec[25])
+		if loLen > serial.MaxLen || hiLen > serial.MaxLen ||
+			(loLen > 1 && rec[32] == 0) || (hiLen > 1 && rec[52] == 0) {
+			return fmt.Errorf("%w: bucket %d bound encoding", ErrBadCheckpoint, bi)
+		}
+		lo, hi := rec[32:32+loLen], rec[52:52+hiLen]
+		switch {
+		case bi == 0 && loLen != 0:
+			return fmt.Errorf("%w: first bucket bounded below", ErrBadCheckpoint)
+		case bi > 0 && !bytes.Equal(prevHi, lo):
+			return fmt.Errorf("%w: buckets %d/%d do not tile", ErrBadCheckpoint, bi-1, bi)
+		case bi == st.nb-1 && hiLen != 0:
+			return fmt.Errorf("%w: last bucket bounded above", ErrBadCheckpoint)
+		case bi < st.nb-1 && hiLen == 0:
+			return fmt.Errorf("%w: interior bucket %d unbounded above", ErrBadCheckpoint, bi)
+		}
+		prevHi = hi
+		start := int(le.Uint64(rec))
+		n := int(le.Uint64(rec[8:]))
+		off := int(le.Uint64(rec[16:]))
+		if start != leafStart || n < 1 || n > cap || leafStart+n > st.count {
+			return fmt.Errorf("%w: bucket %d leaf range [%d,+%d) inconsistent", ErrBadCheckpoint, bi, start, n)
+		}
+		if off != levelsOff || levelsOff+interiorLevelBytes(n) > len(st.blob) {
+			return fmt.Errorf("%w: bucket %d levels offset %d inconsistent", ErrBadCheckpoint, bi, off)
+		}
+		// Boundary containment: the bucket's first and last leaves must fall
+		// in [lo, hi). Interior leaves are sorted (validated globally), so
+		// the two checks cover the bucket.
+		first, _ := st.leafRaw(leafStart)
+		last, _ := st.leafRaw(leafStart + n - 1)
+		if loLen != 0 && compareRaw(lo, first) > 0 {
+			return fmt.Errorf("%w: bucket %d leaf below range", ErrBadCheckpoint, bi)
+		}
+		if hiLen != 0 && compareRaw(last, hi) >= 0 {
+			return fmt.Errorf("%w: bucket %d leaf at/above range", ErrBadCheckpoint, bi)
+		}
+		leafStart += n
+		levelsOff += interiorLevelBytes(n)
+	}
+	if leafStart != st.count || levelsOff != len(st.blob) {
+		return fmt.Errorf("%w: buckets cover %d leaves / %d level bytes, want %d / %d", ErrBadCheckpoint, leafStart, levelsOff, st.count, len(st.blob))
+	}
+	st.spineSize = levelSizesFor(st.nb)
+	if len(st.spine) != totalLevelNodes(st.nb)*cryptoutil.HashSize {
+		return fmt.Errorf("%w: spine section holds %d bytes, want %d", ErrBadCheckpoint, len(st.spine), totalLevelNodes(st.nb)*cryptoutil.HashSize)
+	}
+	st.spineOffs = make([]int, len(st.spineSize))
+	off := 0
+	for i, s := range st.spineSize {
+		st.spineOffs[i] = off
+		off += s * cryptoutil.HashSize
+	}
+	// The spine's level 0 must be the bucket commitments.
+	for bi := 0; bi < st.nb; bi++ {
+		if !st.spineNode(bi).Equal(st.bucketMeta(bi).node) {
+			return fmt.Errorf("%w: spine[0][%d] does not match bucket node", ErrBadCheckpoint, bi)
+		}
+	}
+	return nil
+}
+
+// openRoot validates the root section and checks the recorded structural
+// root against the stored top-level hash — the O(1) consistency check the
+// trust model rests on (with the signed root itself verified by the
+// caller against the trust anchor).
+func (st *MappedState) openRoot(secs map[uint32][]byte) error {
+	sec, ok := secs[v2SecRoot]
+	if !ok || len(sec) < 48 {
+		return fmt.Errorf("%w: missing or truncated root section", ErrBadCheckpoint)
+	}
+	copy(st.treeRoot[:], sec)
+	copy(st.freshness[:], sec[20:])
+	hasRoot, hasSeed := sec[40] != 0, sec[41] != 0
+	rootLen := int(binary.LittleEndian.Uint32(sec[44:]))
+	want := 48 + rootLen
+	if hasSeed {
+		want += cryptoutil.HashSize
+	}
+	if len(sec) != want {
+		return fmt.Errorf("%w: root section holds %d bytes, want %d", ErrBadCheckpoint, len(sec), want)
+	}
+	if hasRoot {
+		root, err := DecodeSignedRoot(sec[48 : 48+rootLen])
+		if err != nil {
+			return fmt.Errorf("%w: embedded signed root: %v", ErrBadCheckpoint, err)
+		}
+		st.root = root
+	} else if rootLen != 0 {
+		return fmt.Errorf("%w: root bytes without root flag", ErrBadCheckpoint)
+	}
+	if hasSeed {
+		var seed cryptoutil.Hash
+		copy(seed[:], sec[48+rootLen:])
+		st.seed = &seed
+	}
+
+	// Structural root consistency: the recorded root must be what the
+	// stored arrays commit to.
+	var computed cryptoutil.Hash
+	switch {
+	case st.count == 0:
+		computed = EmptyRoot
+	case st.layout.base() == LayoutForest:
+		top := hashAt(st.spine, st.spineOffs[len(st.spineOffs)-1], 0)
+		computed = cryptoutil.HashForestRoot(uint64(st.nb), top)
+	default:
+		computed = hashAt(st.levels, st.levelOffs[len(st.levelOffs)-1], 0)
+	}
+	if !computed.Equal(st.treeRoot) {
+		return fmt.Errorf("%w: recorded root does not match stored structure", ErrBadCheckpoint)
+	}
+	if st.root != nil && st.root.N != uint64(st.count) {
+		return fmt.Errorf("%w: signed root commits %d revocations, checkpoint holds %d", ErrBadCheckpoint, st.root.N, st.count)
+	}
+	if st.root != nil && !st.root.Root.Equal(st.treeRoot) {
+		return fmt.Errorf("%w: signed root does not match recorded structural root", ErrBadCheckpoint)
+	}
+	if st.root == nil && st.count != 0 {
+		return fmt.Errorf("%w: %d revocations but no signed root", ErrBadCheckpoint, st.count)
+	}
+	return nil
+}
+
+// materializeLog inverts the leaf records' revocation numbers back into
+// the issuance-ordered log. Filling every slot exactly once doubles as
+// the permutation check deferred by OpenMappedState.
+func (st *MappedState) materializeLog() ([]serial.Number, error) {
+	log := make([]serial.Number, st.count)
+	for i := 0; i < st.count; i++ {
+		lf, err := st.leafAt(i)
+		if err != nil {
+			return nil, err
+		}
+		slot := lf.Num - 1
+		if !log[slot].IsZero() {
+			return nil, fmt.Errorf("%w: duplicate revocation number %d", ErrBadCheckpoint, lf.Num)
+		}
+		log[slot] = lf.Serial
+	}
+	return log, nil
+}
+
+// toPersistent materializes the v2 checkpoint into the v1 in-memory
+// PersistentState (log + batches + root), the form full-replay restores
+// consume. The CA-side recovery path uses it so its replay verification
+// is unchanged by the format bump.
+func (st *MappedState) toPersistent() (*PersistentState, error) {
+	log, err := st.materializeLog()
+	if err != nil {
+		return nil, err
+	}
+	return &PersistentState{
+		Layout:    st.layout,
+		Log:       log,
+		Batches:   st.Batches(),
+		Root:      st.root,
+		Freshness: st.freshness,
+		ChainSeed: st.seed,
+	}, nil
+}

@@ -1,0 +1,521 @@
+package dictionary
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+	"ritm/internal/storage"
+)
+
+// mappedFixture builds an authority and a fully caught-up heap replica
+// for kind, inserting batches in order and returning the per-batch
+// issuance messages (the same messages a WAL would carry).
+func mappedFixture(t *testing.T, kind LayoutKind, batches [][]serial.Number, now int64) (*Authority, *Replica, []*IssuanceMessage) {
+	t.Helper()
+	a := newTestAuthorityWithLayout(t, now, kind)
+	r := NewReplicaWithLayout(a.CA(), a.PublicKey(), kind)
+	msgs := make([]*IssuanceMessage, 0, len(batches))
+	for _, b := range batches {
+		msg, err := a.Insert(b, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Update(msg); err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, msg)
+	}
+	return a, r, msgs
+}
+
+// fixtureBatches deals out enough serials, in uneven batches, to force a
+// multi-bucket forest at the default capacity.
+func fixtureBatches(seed uint64, sizes []int) [][]serial.Number {
+	gen := serial.NewGenerator(seed, nil)
+	out := make([][]serial.Number, len(sizes))
+	for i, n := range sizes {
+		out[i] = gen.NextN(n)
+	}
+	return out
+}
+
+func layoutKinds() []LayoutKind { return []LayoutKind{LayoutSorted, LayoutForest} }
+
+// requireSameStatus asserts that the heap and mapped paths produce
+// byte-identical Status messages for s — same proof shape, same root,
+// same freshness — which is the zero-copy tier's core contract.
+func requireSameStatus(t *testing.T, heap *Snapshot, mapped *MappedSnapshot, s serial.Number) {
+	t.Helper()
+	hs, herr := heap.Prove(s)
+	ms, merr := mapped.Prove(s)
+	if (herr == nil) != (merr == nil) {
+		t.Fatalf("Prove(%v): heap err %v, mapped err %v", s, herr, merr)
+	}
+	if herr != nil {
+		return
+	}
+	if !bytes.Equal(hs.Encode(), ms.Encode()) {
+		t.Fatalf("Prove(%v): heap and mapped statuses differ", s)
+	}
+}
+
+func TestMappedSnapshotAgreement(t *testing.T) {
+	now := int64(1_700_000_000)
+	sizes := []int{3, 190, 71, 256, 44, 130, 9, 280}
+	roots := make(map[LayoutKind]*MappedSnapshot)
+	queries := make(map[LayoutKind][]serial.Number)
+	for _, kind := range layoutKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			batches := fixtureBatches(0xD1C7, sizes)
+			a, r, _ := mappedFixture(t, kind, batches, now)
+
+			// Advance two periods and adopt a freshness statement so the
+			// checkpoint carries a non-anchor value the mapped opener must
+			// re-verify and keep.
+			later := now + 2*int64(testDelta.Seconds())
+			stmt, err := a.Statement(later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.ApplyFreshness(stmt, later); err != nil {
+				t.Fatal(err)
+			}
+
+			heap := r.Snapshot()
+			ms, err := NewMappedSnapshot(a.CA(), a.PublicKey(), kind, r.PersistentStateV2(), nil, later, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms.Count() != heap.Count() {
+				t.Fatalf("mapped count %d, heap %d", ms.Count(), heap.Count())
+			}
+			if !ms.RootHash().Equal(heap.RootHash()) {
+				t.Fatal("mapped root hash differs from heap")
+			}
+			if !ms.Freshness().Equal(heap.Freshness()) || ms.FreshnessPeriod() != heap.FreshnessPeriod() {
+				t.Fatalf("mapped freshness (%v, %d), heap (%v, %d)",
+					ms.Freshness(), ms.FreshnessPeriod(), heap.Freshness(), heap.FreshnessPeriod())
+			}
+			if ms.Generation() != 7 {
+				t.Fatalf("generation %d, want 7", ms.Generation())
+			}
+			if ms.OverlayRecords() != 0 {
+				t.Fatalf("pure-mapped snapshot reports %d overlay records", ms.OverlayRecords())
+			}
+
+			var qs []serial.Number
+			for _, b := range batches {
+				qs = append(qs, b[0], b[len(b)-1], b[len(b)/2])
+			}
+			qs = append(qs, serial.NewGenerator(0xAB5E17, nil).NextN(64)...)
+			for _, s := range qs {
+				requireSameStatus(t, heap, ms, s)
+				if ms.Revoked(s) != heap.Revoked(s) {
+					t.Fatalf("Revoked(%v) disagrees", s)
+				}
+				st, err := ms.Prove(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := st.Check(s, a.PublicKey(), later)
+				if err != nil {
+					t.Fatalf("Check(%v): %v", s, err)
+				}
+				if (res == CheckRevoked) != heap.Revoked(s) {
+					t.Fatalf("Check(%v) = %v, heap revoked %v", s, res, heap.Revoked(s))
+				}
+			}
+			roots[kind] = ms
+			queries[kind] = qs
+		})
+	}
+
+	// Cross-root rejection: a proof from one layout must not verify
+	// against the other layout's root (same inserted set, different
+	// commitment structure).
+	if len(roots) == 2 {
+		for _, kind := range layoutKinds() {
+			other := roots[LayoutSorted]
+			if kind == LayoutSorted {
+				other = roots[LayoutForest]
+			}
+			ms := roots[kind]
+			for _, s := range queries[kind][:6] {
+				st, err := ms.Prove(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := st.Proof.Verify(s, other.RootHash(), other.Count()); err == nil {
+					t.Fatalf("%v proof for %v verified against the other layout's root", kind, s)
+				}
+			}
+		}
+	}
+}
+
+func TestMappedSnapshotOverlay(t *testing.T) {
+	now := int64(1_700_000_000)
+	sizes := []int{120, 256, 31, 300, 5, 77, 190}
+	for _, kind := range layoutKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			batches := fixtureBatches(0xC0FFEE, sizes)
+			a, full, msgs := mappedFixture(t, kind, batches, now)
+			// Freshness statement for the final root; the heap reference
+			// adopts it directly, mapped readers receive it via the WAL.
+			later := now + int64(testDelta.Seconds())
+			stmt, err := a.Statement(later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := full.ApplyFreshness(stmt, later); err != nil {
+				t.Fatal(err)
+			}
+			heap := full.Snapshot()
+
+			for _, split := range []int{0, 3, len(msgs)} {
+				// A second replica stops at the split: its state is the
+				// checkpoint, the remaining messages are the WAL suffix.
+				part := NewReplicaWithLayout(a.CA(), a.PublicKey(), kind)
+				for _, msg := range msgs[:split] {
+					if err := part.Update(msg); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var wal [][]byte
+				for _, msg := range msgs[split:] {
+					wal = append(wal, (&UpdateRecord{Msg: msg}).Encode())
+				}
+				// Re-delivered last root: must be deduped, not replayed.
+				if len(msgs) > 0 {
+					wal = append(wal, (&UpdateRecord{Msg: msgs[len(msgs)-1]}).Encode())
+				}
+				wal = append(wal, (&FreshnessRecord{Value: stmt.Value}).Encode())
+
+				ms, err := NewMappedSnapshot(a.CA(), a.PublicKey(), kind, part.PersistentStateV2(), wal, later, 1)
+				if err != nil {
+					t.Fatalf("split %d: %v", split, err)
+				}
+				if got, want := ms.OverlayRecords(), len(msgs)-split; got != want {
+					t.Fatalf("split %d: %d overlay records, want %d", split, got, want)
+				}
+				if ms.Count() != heap.Count() {
+					t.Fatalf("split %d: count %d, want %d", split, ms.Count(), heap.Count())
+				}
+				if !ms.RootHash().Equal(heap.RootHash()) {
+					t.Fatalf("split %d: overlay root differs from heap", split)
+				}
+				if !ms.Freshness().Equal(stmt.Value) {
+					t.Fatalf("split %d: WAL freshness record not adopted", split)
+				}
+				for _, b := range batches {
+					for _, s := range []serial.Number{b[0], b[len(b)-1], b[len(b)/2]} {
+						requireSameStatus(t, heap, ms, s)
+					}
+				}
+				for _, s := range serial.NewGenerator(0xFACE, nil).NextN(48) {
+					requireSameStatus(t, heap, ms, s)
+				}
+			}
+		})
+	}
+}
+
+// TestMappedSnapshotOverlayRejectsForgedRecord pins that the overlay
+// verifies each rebuilt root against the record's signed root: a record
+// whose serials disagree with its root fails loudly instead of serving a
+// state the CA never signed.
+func TestMappedSnapshotOverlayRejectsForgedRecord(t *testing.T) {
+	now := int64(1_700_000_000)
+	batches := fixtureBatches(0xBAD, []int{60, 80})
+	a, _, msgs := mappedFixture(t, LayoutSorted, batches, now)
+
+	part := NewReplicaWithLayout(a.CA(), a.PublicKey(), LayoutSorted)
+	if err := part.Update(msgs[0]); err != nil {
+		t.Fatal(err)
+	}
+	forged := *msgs[1]
+	forged.Serials = append([]serial.Number(nil), msgs[1].Serials...)
+	forged.Serials[3] = serial.NewGenerator(0xEE, nil).Next()
+	wal := [][]byte{(&UpdateRecord{Msg: &forged}).Encode()}
+	_, err := NewMappedSnapshot(a.CA(), a.PublicKey(), LayoutSorted, part.PersistentStateV2(), wal, now, 1)
+	if !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("forged WAL record: err = %v, want ErrRootMismatch", err)
+	}
+}
+
+func TestPersistentStateV2RoundTrip(t *testing.T) {
+	now := int64(1_700_000_000)
+	for _, kind := range layoutKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			batches := fixtureBatches(0x5EED, []int{90, 210, 40})
+			a, r, _ := mappedFixture(t, kind, batches, now)
+
+			// Replica state: decoding the v2 payload must reproduce the v1
+			// PersistentState byte for byte.
+			st, err := DecodePersistentState(r.PersistentStateV2())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(st.Encode(), r.PersistentState().Encode()) {
+				t.Fatal("v2 round trip differs from PersistentState for replica")
+			}
+
+			// Authority state: same, including the chain seed.
+			ast, err := DecodePersistentState(a.PersistentStateV2())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ast.Encode(), a.PersistentState().Encode()) {
+				t.Fatal("v2 round trip differs from PersistentState for authority")
+			}
+			if ast.ChainSeed == nil {
+				t.Fatal("authority v2 state dropped the chain seed")
+			}
+
+			// Empty state round-trips too.
+			empty := NewReplicaWithLayout(a.CA(), a.PublicKey(), kind)
+			est, err := DecodePersistentState(empty.PersistentStateV2())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(est.Encode(), empty.PersistentState().Encode()) {
+				t.Fatal("v2 round trip differs for empty replica")
+			}
+		})
+	}
+}
+
+func TestRecoverReplicaLogMigratesV1(t *testing.T) {
+	now := int64(1_700_000_000)
+	for _, kind := range layoutKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			batches := fixtureBatches(0x91, []int{100, 260, 55, 140})
+			a, full, msgs := mappedFixture(t, kind, batches, now)
+			heap := full.Snapshot()
+
+			part := NewReplicaWithLayout(a.CA(), a.PublicKey(), kind)
+			for _, msg := range msgs[:2] {
+				if err := part.Update(msg); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			backend := storage.NewMemory()
+			lg, err := backend.Open("d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Seed the log the way a pre-v2 store would have: a v1
+			// checkpoint plus WAL records for the remaining updates and an
+			// adopted freshness statement.
+			if err := lg.Checkpoint(part.PersistentState().Encode()); err != nil {
+				t.Fatal(err)
+			}
+			for _, msg := range msgs[2:] {
+				if err := lg.Append((&UpdateRecord{Msg: msg}).Encode()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			later := now + int64(testDelta.Seconds())
+			stmt, err := a.Statement(later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := lg.Append((&FreshnessRecord{Value: stmt.Value}).Encode()); err != nil {
+				t.Fatal(err)
+			}
+
+			r, err := RecoverReplicaLog(lg, a.CA(), a.PublicKey(), kind, later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := r.Snapshot()
+			if snap.Count() != heap.Count() || !snap.RootHash().Equal(heap.RootHash()) {
+				t.Fatal("recovered replica differs from heap reference")
+			}
+			if !snap.Freshness().Equal(stmt.Value) {
+				t.Fatal("recovered replica dropped the WAL freshness record")
+			}
+
+			// The recovery must have rewritten the v1 checkpoint as v2 and
+			// truncated the WAL it covers.
+			ckpt, wal, err := lg.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !IsStateV2(ckpt) {
+				t.Fatal("v1 checkpoint was not rewritten as v2")
+			}
+			if len(wal) != 0 {
+				t.Fatalf("%d WAL records survived the migration checkpoint", len(wal))
+			}
+
+			// A second recovery takes the v2 fast path and lands on the
+			// same state; the checkpoint is not rewritten again.
+			r2, err := RecoverReplicaLog(lg, a.CA(), a.PublicKey(), kind, later)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r2.Snapshot().RootHash().Equal(heap.RootHash()) {
+				t.Fatal("v2 recovery differs from heap reference")
+			}
+			ckpt2, _, err := lg.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ckpt, ckpt2) {
+				t.Fatal("v2 fast-path recovery rewrote the checkpoint")
+			}
+		})
+	}
+}
+
+func TestOpenMappedStateRejectsCorruption(t *testing.T) {
+	now := int64(1_700_000_000)
+	for _, kind := range layoutKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			batches := fixtureBatches(0xDA7A, []int{140, 256, 90})
+			_, r, _ := mappedFixture(t, kind, batches, now)
+			state := r.PersistentStateV2()
+			if _, err := OpenMappedState(state); err != nil {
+				t.Fatal(err)
+			}
+
+			// Walk the section table to locate payload bytes and the last
+			// payload end (the buffer may carry trailing alignment padding,
+			// which is legitimately ignorable).
+			le := binary.LittleEndian
+			n := int(le.Uint32(state[8:]))
+			flips := []int{8, 16, 16 + 4, 16 + 8} // table count + first entry fields
+			lastEnd := 0
+			for i := 0; i < n; i++ {
+				e := state[16+i*24:]
+				off, length := le.Uint64(e[8:]), le.Uint64(e[16:])
+				if length > 0 {
+					flips = append(flips, int(off), int(off+length/2), int(off+length-1))
+				}
+				if end := int(off + length); end > lastEnd {
+					lastEnd = end
+				}
+			}
+
+			// Truncations at every structural boundary, including one byte
+			// into the last section's payload.
+			for _, cut := range []int{0, 4, 8, 15, 16, len(state) / 3, lastEnd - 1} {
+				if _, err := OpenMappedState(state[:cut]); !errors.Is(err, ErrBadCheckpoint) {
+					t.Fatalf("truncated to %d bytes: err = %v, want ErrBadCheckpoint", cut, err)
+				}
+			}
+			for _, pos := range flips {
+				mut := append([]byte(nil), state...)
+				mut[pos] ^= 0xFF
+				if _, err := OpenMappedState(mut); err == nil {
+					t.Fatalf("flip at %d accepted", pos)
+				}
+			}
+
+			// Magic corruption must fail the cheap IsStateV2 probe, so the
+			// v1 decoder never sees the payload.
+			mut := append([]byte(nil), state...)
+			mut[0] ^= 0xFF
+			if IsStateV2(mut) {
+				t.Fatal("IsStateV2 accepted corrupted magic")
+			}
+		})
+	}
+}
+
+// TestOpenMappedStateRejectsSwappedRoot pins the O(1) structural-root
+// check: splicing a correctly-signed root from a different state into an
+// otherwise valid checkpoint is caught without rehashing the interior.
+func TestOpenMappedStateRejectsSwappedRoot(t *testing.T) {
+	now := int64(1_700_000_000)
+	a, r1, _ := mappedFixture(t, LayoutSorted, fixtureBatches(0x01, []int{64, 90}), now)
+	snap := r1.Snapshot()
+	// A validly signed root for a LATER state than the one we will encode.
+	msg, err := a.Insert(serial.NewGenerator(0x02, nil).NextN(30), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode the earlier structure with the newer signed root spliced
+	// in: the signature verifies, but the stored tree root no longer
+	// matches the signed root's hash, so opening must fail.
+	spliced := encodeStateV2(LayoutSorted, snap.view, snap.bounds, msg.Root, snap.freshness, nil)
+	if _, err := OpenMappedState(spliced); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("spliced root: err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+// TestFreshnessAdoptionToleratesLag pins the shared-reader liveness rule:
+// a freshness statement is adopted whenever it is genuinely newer than
+// the one already held, even when it is several periods old by the time
+// it is (re-)verified. A mapped reader and a recovery replay both
+// evaluate the writer's records long after the writer adopted them; the
+// old {p, p−1} window silently dropped every record and froze freshness
+// at the checkpoint's period, so a shared reader went stale as soon as
+// the writer was more than one ∆ ahead of its last revocation.
+func TestFreshnessAdoptionToleratesLag(t *testing.T) {
+	now := int64(1_700_000_000)
+	a, r, _ := mappedFixture(t, LayoutSorted, fixtureBatches(0x1A6, []int{40, 25}), now)
+	period := func(k int) int64 { return now + int64(k)*int64(testDelta.Seconds()) }
+
+	stmt3, err := a.Statement(period(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt7, err := a.Statement(period(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := [][]byte{
+		(&FreshnessRecord{Value: stmt3.Value}).Encode(),
+		(&FreshnessRecord{Value: stmt7.Value}).Encode(),
+	}
+
+	// Mapped at period 9: both records are older than {p, p−1}, and the
+	// newest must win.
+	ms, err := NewMappedSnapshot(a.CA(), a.PublicKey(), LayoutSorted, r.PersistentStateV2(), wal, period(9), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Freshness().Equal(stmt7.Value) || ms.FreshnessPeriod() != 7 {
+		t.Fatalf("mapped freshness (%v, %d), want stmt for period 7", ms.Freshness(), ms.FreshnessPeriod())
+	}
+
+	// Heap path, same lag: ApplyFreshness replayed at period 9.
+	if err := r.ApplyFreshness(&FreshnessStatement{CA: r.CA(), Value: stmt3.Value}, period(9)); err != nil {
+		t.Fatalf("lagged statement rejected: %v", err)
+	}
+	if err := r.ApplyFreshness(&FreshnessStatement{CA: r.CA(), Value: stmt7.Value}, period(9)); err != nil {
+		t.Fatalf("lagged statement rejected: %v", err)
+	}
+	snap := r.Snapshot()
+	if !snap.Freshness().Equal(stmt7.Value) {
+		t.Fatal("heap replica did not adopt the newest lagged statement")
+	}
+	// Monotonicity: replaying the older record again must not regress.
+	if err := r.ApplyFreshness(&FreshnessStatement{CA: r.CA(), Value: stmt3.Value}, period(9)); err == nil {
+		t.Fatal("older statement re-adopted after a newer one")
+	}
+	if !r.Snapshot().Freshness().Equal(stmt7.Value) {
+		t.Fatal("freshness regressed to an older statement")
+	}
+
+	// A value that chains to nothing is still refused.
+	bogus := cryptoutil.HashBytes([]byte("not on the chain"))
+	if err := r.ApplyFreshness(&FreshnessStatement{CA: r.CA(), Value: bogus}, period(9)); err == nil {
+		t.Fatal("off-chain statement accepted")
+	}
+	ms2, err := NewMappedSnapshot(a.CA(), a.PublicKey(), LayoutSorted, r.PersistentStateV2(),
+		[][]byte{(&FreshnessRecord{Value: bogus}).Encode()}, period(9), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms2.Freshness().Equal(bogus) {
+		t.Fatal("mapped reader adopted an off-chain freshness value")
+	}
+}

@@ -246,13 +246,23 @@ type Status struct {
 	Root      *SignedRoot
 	Freshness cryptoutil.Hash // H^{m−p}(v) for the RA's current period
 	Subject   serial.Number   // optional: the certificate this is about
+
+	// rootEnc, when non-nil, is the memoized encoding of Root. Snapshots
+	// populate it (a signed root is immutable for a whole generation, so
+	// one encoding serves every status proved from that snapshot), and
+	// Encode splices it instead of re-encoding the root per status.
+	rootEnc []byte
 }
 
 // Encode serializes the status for piggybacking on TLS traffic.
 func (st *Status) Encode() []byte {
-	e := wire.NewEncoder(512)
+	e := wire.PooledEncoder()
 	st.Proof.encodeTo(e)
-	st.Root.encodeTo(e)
+	if st.rootEnc != nil {
+		e.Raw(st.rootEnc)
+	} else {
+		st.Root.encodeTo(e)
+	}
 	e.Raw(st.Freshness[:])
 	if st.Subject.IsZero() {
 		e.Bool(false)
@@ -260,7 +270,7 @@ func (st *Status) Encode() []byte {
 		e.Bool(true)
 		e.BytesField(st.Subject.Raw())
 	}
-	return e.Bytes()
+	return e.Finish()
 }
 
 // DecodeStatus parses a status encoded by Encode.
@@ -328,6 +338,31 @@ func (st *Status) Check(s serial.Number, pub ed25519.PublicKey, now int64) (Chec
 		return CheckRevoked, nil
 	}
 	return CheckValid, nil
+}
+
+// freshnessGap returns the gap k ∈ [1, limit] such that hashing value k
+// times yields cur — i.e. value is the freshness statement exactly k
+// periods newer than the currently adopted one — or 0 if no such gap
+// exists. Walking the chain toward the adopted statement instead of the
+// anchor both bounds the work by the period gap and accepts any genuinely
+// newer statement, not just the {p, p−1} window a live pull sees:
+// recovery replay and mapped readers re-validate records arbitrarily
+// later than the writer adopted them, and dropping an old-but-genuine
+// value there freezes freshness at the checkpoint's period. Adoption
+// stays monotonic (k ≥ 1 is strictly newer); the 2∆ staleness *policy*
+// is enforced where it belongs, at Status.Check.
+func freshnessGap(value, cur cryptoutil.Hash, limit int) int {
+	if limit <= 0 || value.Equal(cur) {
+		return 0
+	}
+	h := value
+	for k := 1; k <= limit; k++ {
+		h = cryptoutil.HashStep(h)
+		if h.Equal(cur) {
+			return k
+		}
+	}
+	return 0
 }
 
 // checkFreshness enforces §III step 5c / §V "Short Attack Window": the

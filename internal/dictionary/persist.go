@@ -33,7 +33,14 @@ import (
 // surfaces as a loud verification error here, never as an unverifiable
 // root being served.
 
-// persistStateVersion versions the PersistentState encoding.
+// persistStateVersion versions the v1 PersistentState encoding. Two
+// checkpoint formats coexist: this wire-style v1 encoding (log + root;
+// restore replays) and the offset-indexed v2 format (see ckptv2.go;
+// restore materializes, readers may mmap). Writers emit v2; decoders
+// accept both — the v1 leading version byte 0x01 and the v2 magic's 'R'
+// disambiguate on the first byte. A v1 checkpoint is read once and
+// rewritten as v2 by RecoverReplicaLog; decoding is refused only on
+// corruption, never on version.
 const persistStateVersion = 1
 
 // PersistentState is the serializable committed state of one dictionary
@@ -98,8 +105,18 @@ func (st *PersistentState) Encode() []byte {
 	return e.Bytes()
 }
 
-// DecodePersistentState parses a state encoded by Encode.
+// DecodePersistentState parses a checkpoint payload in either format:
+// the v1 encoding produced by Encode, or the offset-indexed v2 format —
+// materialized back into the in-memory PersistentState, so full-replay
+// restore paths (the authority's) are format-agnostic.
 func DecodePersistentState(buf []byte) (*PersistentState, error) {
+	if IsStateV2(buf) {
+		st, err := OpenMappedState(buf)
+		if err != nil {
+			return nil, err
+		}
+		return st.toPersistent()
+	}
 	d := wire.NewDecoder(buf)
 	if v := d.Uint8(); v != persistStateVersion {
 		if d.Err() != nil {
@@ -222,6 +239,45 @@ func DecodeUpdateRecord(buf []byte) (*UpdateRecord, error) {
 	return &r, nil
 }
 
+// freshnessRecordTag is the first byte of a freshness WAL record. An
+// UpdateRecord's first byte is always a wire Bool (0x00 or 0x01) and a
+// v2 checkpoint opens with 'R', so the tag dispatches unambiguously.
+const freshnessRecordTag = 0xF5
+
+// FreshnessRecord is a WAL entry recording a verified freshness-statement
+// value. Replica-side stores append one per adopted statement so that a
+// restart — and, more importantly, a mapped reader overlaying the WAL —
+// serves the statement of the current period instead of regressing to the
+// signed root's anchor until the next refresh. The value re-verifies
+// against the root's chain anchor on replay, so a corrupted record can
+// only be dropped, never served.
+type FreshnessRecord struct {
+	Value cryptoutil.Hash
+}
+
+// Encode serializes the record.
+func (r *FreshnessRecord) Encode() []byte {
+	buf := make([]byte, 1+cryptoutil.HashSize)
+	buf[0] = freshnessRecordTag
+	copy(buf[1:], r.Value[:])
+	return buf
+}
+
+// IsFreshnessRecord reports whether a WAL payload is a freshness record.
+func IsFreshnessRecord(buf []byte) bool {
+	return len(buf) > 0 && buf[0] == freshnessRecordTag
+}
+
+// DecodeFreshnessRecord parses a record encoded by Encode.
+func DecodeFreshnessRecord(buf []byte) (*FreshnessRecord, error) {
+	if len(buf) != 1+cryptoutil.HashSize || buf[0] != freshnessRecordTag {
+		return nil, fmt.Errorf("decode freshness record: %d bytes", len(buf))
+	}
+	var r FreshnessRecord
+	copy(r.Value[:], buf[1:])
+	return &r, nil
+}
+
 // PersistentState exports the replica's current committed state for a
 // checkpoint. It reads one published snapshot, so the log, root, and
 // freshness are mutually consistent even under concurrent updates.
@@ -297,22 +353,43 @@ func ReplayUpdate(r *Replica, msg *IssuanceMessage, bounds []uint64) error {
 	}
 }
 
-// RecoverReplicaLog rebuilds a replica from an opened durable log: the
-// checkpoint (if any) is restored via RestoreReplica — re-verified
-// against the trust anchor pub — and the WAL records after it are
-// replayed via ReplayUpdate. The persisted layout descriptor must equal
-// layout: adopting either silently would change proof shapes (or reject
-// every future update) without the operator noticing, so a mismatch is
-// an error — wipe the store to change layouts. It is the shared recovery
-// protocol of every replica-holding component (the RA's store and the
-// distribution point); the caller owns the log's lifecycle.
+// RecoverReplicaLog rebuilds a replica from an opened durable log. A v2
+// checkpoint takes the map-don't-replay path: the commitment structure is
+// materialized straight off the encoded arrays with zero rehashing, after
+// the signed root's signature and its agreement with the stored structure
+// are verified (see the trust note in ckptv2.go). A v1 checkpoint is
+// restored the original way — full replay through RestoreReplica — and
+// then rewritten in place as v2, so the migration cost is paid exactly
+// once per store; decoding is refused only on corruption, never on
+// version. WAL records after the checkpoint are replayed via ReplayUpdate
+// (update records) or ApplyFreshness (freshness records, best-effort).
+//
+// The persisted layout descriptor must equal layout: adopting either
+// silently would change proof shapes (or reject every future update)
+// without the operator noticing, so a mismatch is an error — wipe the
+// store to change layouts. It is the shared recovery protocol of every
+// replica-holding component (the RA's store and the distribution point);
+// the caller owns the log's lifecycle.
 func RecoverReplicaLog(lg storage.Log, ca CAID, pub ed25519.PublicKey, layout LayoutKind, now int64) (*Replica, error) {
 	ckpt, wal, err := lg.Load()
 	if err != nil {
 		return nil, fmt.Errorf("dictionary: load durable log for %s: %w", ca, err)
 	}
 	replica := NewReplicaWithLayout(ca, pub, layout)
-	if ckpt != nil {
+	migrate := false
+	if IsStateV2(ckpt) {
+		st, err := OpenMappedState(ckpt)
+		if err != nil {
+			return nil, fmt.Errorf("dictionary: decode checkpoint for %s: %w", ca, err)
+		}
+		if st.layout != layout {
+			return nil, fmt.Errorf("dictionary: %s persisted with layout %v, configured for %v (the layout — bucket capacity included — is part of the committed state; wipe the data dir to change it)",
+				ca, st.layout, layout)
+		}
+		if replica, err = restoreReplicaV2(ca, pub, st, now); err != nil {
+			return nil, err
+		}
+	} else if ckpt != nil {
 		st, err := DecodePersistentState(ckpt)
 		if err != nil {
 			return nil, fmt.Errorf("dictionary: decode checkpoint for %s: %w", ca, err)
@@ -324,14 +401,34 @@ func RecoverReplicaLog(lg storage.Log, ca CAID, pub ed25519.PublicKey, layout La
 		if replica, err = RestoreReplica(ca, pub, st, now); err != nil {
 			return nil, err
 		}
+		migrate = true
 	}
 	for i, raw := range wal {
+		if IsFreshnessRecord(raw) {
+			rec, err := DecodeFreshnessRecord(raw)
+			if err != nil {
+				return nil, fmt.Errorf("dictionary: decode WAL record %d for %s: %w", i, ca, err)
+			}
+			// Best-effort like the checkpointed freshness value: the record
+			// re-verifies against the current anchor; a stale one is dropped
+			// and the next pull replaces it.
+			_ = replica.ApplyFreshness(&FreshnessStatement{CA: ca, Value: rec.Value}, now)
+			continue
+		}
 		rec, err := DecodeUpdateRecord(raw)
 		if err != nil {
 			return nil, fmt.Errorf("dictionary: decode WAL record %d for %s: %w", i, ca, err)
 		}
 		if err := ReplayUpdate(replica, rec.Msg, rec.Bounds); err != nil {
 			return nil, fmt.Errorf("dictionary: replay WAL record %d for %s: %w", i, ca, err)
+		}
+	}
+	if migrate {
+		// One-time v1 → v2 rewrite: the replayed state was just verified in
+		// full, so persisting it as v2 loses nothing — and every later
+		// restart (and mapped reader) gets the offset-indexed format.
+		if err := lg.Checkpoint(replica.PersistentStateV2()); err != nil {
+			return nil, fmt.Errorf("dictionary: rewrite v1 checkpoint for %s as v2: %w", ca, err)
 		}
 	}
 	return replica, nil

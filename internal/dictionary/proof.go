@@ -343,9 +343,9 @@ func (p *Proof) Size() int { return len(p.Encode()) }
 
 // Encode serializes the proof.
 func (p *Proof) Encode() []byte {
-	e := wire.NewEncoder(256)
+	e := wire.PooledEncoder()
 	p.encodeTo(e)
-	return e.Bytes()
+	return e.Finish()
 }
 
 func (p *Proof) encodeTo(e *wire.Encoder) {

@@ -74,6 +74,11 @@ func (r *Replica) publish() {
 // of them.
 func (r *Replica) Snapshot() *Snapshot { return r.snap.Load() }
 
+// CurrentGeneration returns the generation of the current snapshot.
+// Generation-validated caches (ra's status cache) use it to test entry
+// staleness without retaining the snapshot itself.
+func (r *Replica) CurrentGeneration() uint64 { return r.snap.Load().Generation() }
+
 // CA returns the CA whose dictionary this replica mirrors.
 func (r *Replica) CA() CAID { return r.ca }
 
@@ -202,10 +207,13 @@ func (r *Replica) insertSubBatches(serials []serial.Number, have uint64, bounds 
 	return r.tree.InsertBatch(serials[start:])
 }
 
-// ApplyFreshness verifies a freshness statement for the current period and,
-// if valid, replaces the stored one (§III "Dissemination"), publishing a
-// new snapshot generation. The statement is accepted for period p or p−1
-// relative to now, mirroring the client's 2∆ tolerance.
+// ApplyFreshness verifies a freshness statement against the chain and,
+// if it is strictly newer than the adopted one (and no newer than the
+// current period), replaces it (§III "Dissemination"), publishing a new
+// snapshot generation. Any genuinely newer statement is adopted — not
+// just the {p, p−1} window a live pull sees — because recovery replay
+// and shared readers re-verify statements long after they were first
+// adopted; the client's 2∆ tolerance is enforced at Status.Check.
 func (r *Replica) ApplyFreshness(st *FreshnessStatement, now int64) error {
 	if st == nil {
 		return fmt.Errorf("dictionary: nil freshness statement")
@@ -222,19 +230,14 @@ func (r *Replica) ApplyFreshness(st *FreshnessStatement, now int64) error {
 	if p > int(r.root.ChainLen) {
 		return fmt.Errorf("%w: signed root expired", ErrStale)
 	}
-	for _, cand := range []int{p, p - 1} {
-		if cand < 0 || cand < r.freshPer {
-			continue
-		}
-		if cryptoutil.VerifyChainValue(r.root.Anchor, st.Value, cand) == nil {
-			if cand == r.freshPer && st.Value.Equal(r.freshness) {
-				return nil // no change; keep the published generation
-			}
-			r.freshness = st.Value
-			r.freshPer = cand
-			r.publish()
-			return nil
-		}
+	if st.Value.Equal(r.freshness) {
+		return nil // no change; keep the published generation
+	}
+	if k := freshnessGap(st.Value, r.freshness, p-r.freshPer); k > 0 {
+		r.freshness = st.Value
+		r.freshPer += k
+		r.publish()
+		return nil
 	}
 	return fmt.Errorf("%w: freshness statement does not verify for period %d", ErrStale, p)
 }

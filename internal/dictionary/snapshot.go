@@ -29,6 +29,7 @@ type Snapshot struct {
 	log       []serial.Number // issuance order, length == Count(); immutable
 	bounds    []uint64        // batch structure of the history; immutable
 	root      *SignedRoot     // nil until the replica's first verified update
+	rootEnc   []byte          // memoized root encoding; spliced into statuses
 	freshness cryptoutil.Hash
 	freshPer  int    // period the freshness value was verified for
 	gen       uint64 // publication counter; strictly increasing per replica
@@ -41,7 +42,7 @@ type Snapshot struct {
 // rollback replaces the whole array), so the first Count() elements this
 // header covers are never written again.
 func newSnapshot(ca CAID, t *Tree, root *SignedRoot, freshness cryptoutil.Hash, freshPer int, gen uint64) *Snapshot {
-	return &Snapshot{
+	s := &Snapshot{
 		ca:        ca,
 		view:      t.view(),
 		log:       t.log,
@@ -51,6 +52,13 @@ func newSnapshot(ca CAID, t *Tree, root *SignedRoot, freshness cryptoutil.Hash, 
 		freshPer:  freshPer,
 		gen:       gen,
 	}
+	if root != nil {
+		// Encode the root once per publication: every status proved from
+		// this snapshot splices these bytes instead of re-encoding the
+		// (immutable) root per call.
+		s.rootEnc = root.Encode()
+	}
+	return s
 }
 
 // CA returns the CA whose dictionary the snapshot belongs to.
@@ -140,5 +148,6 @@ func (s *Snapshot) Prove(sn serial.Number) (*Status, error) {
 		Proof:     s.view.Prove(sn),
 		Root:      s.root,
 		Freshness: s.freshness,
+		rootEnc:   s.rootEnc,
 	}, nil
 }

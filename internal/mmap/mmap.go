@@ -1,0 +1,103 @@
+// Package mmap maps read-only files into memory so that checkpoint bytes
+// can be shared between co-located processes through the page cache
+// instead of being copied onto every heap.
+//
+// On unix platforms Open memory-maps the file (PROT_READ, MAP_SHARED): N
+// processes mapping the same checkpoint file share one physical copy, and
+// pages are faulted in lazily, so a mapped dictionary costs a process
+// O(1) anonymous memory regardless of its size. Elsewhere Open falls back
+// to reading the file onto the heap, which preserves the API (and the
+// correctness of everything above it) at the cost of the sharing.
+//
+// A Mapping stays valid until Close. Because the storage tier installs
+// checkpoints by atomic rename, a mapping of the OLD file keeps reading
+// consistent old bytes after a new checkpoint lands — the inode survives
+// until the last mapping is gone, which is exactly the read-copy-update
+// discipline the dictionary's snapshot machinery relies on.
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// Mapping is a read-only view of a file's contents.
+type Mapping struct {
+	mu     sync.Mutex
+	data   []byte
+	mapped bool // true when data came from the platform mapper, not the heap
+	closed bool
+}
+
+// Data returns the mapped bytes. The slice is valid until Close; callers
+// must not modify it (on mapped platforms writes fault).
+func (m *Mapping) Data() []byte {
+	if m == nil {
+		return nil
+	}
+	return m.data
+}
+
+// Mapped reports whether the bytes are an actual file mapping (as opposed
+// to the portable heap fallback). Benchmarks use it to attribute memory.
+func (m *Mapping) Mapped() bool {
+	if m == nil {
+		return false
+	}
+	return m.mapped
+}
+
+// Close releases the mapping. It is idempotent; the data slice must not be
+// used after. A Mapping that is garbage-collected without Close is
+// released by a finalizer, so a forgotten old-generation mapping cannot
+// leak address space for the life of the process.
+func (m *Mapping) Close() error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	runtime.SetFinalizer(m, nil)
+	data := m.data
+	m.data = nil
+	if !m.mapped || len(data) == 0 {
+		return nil
+	}
+	return unmap(data)
+}
+
+// Open maps the file at path read-only. An empty file yields an empty,
+// valid mapping.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmap: %s: size %d overflows int", path, size)
+	}
+	data, mapped, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %s: %w", path, err)
+	}
+	m := &Mapping{data: data, mapped: mapped}
+	if mapped {
+		runtime.SetFinalizer(m, func(m *Mapping) { m.Close() })
+	}
+	return m, nil
+}

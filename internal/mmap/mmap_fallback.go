@@ -1,0 +1,21 @@
+//go:build !unix
+
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads f onto the heap: the portable fallback for platforms
+// without a usable mmap. Readers still get a correct immutable view; they
+// just do not share physical memory across processes.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func unmap(data []byte) error { return nil }

@@ -1,0 +1,83 @@
+package mmap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := bytes.Repeat([]byte("ritm-mmap"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatalf("mapped %d bytes, mismatch", len(m.Data()))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data after Close is non-nil")
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data()) != 0 {
+		t.Fatalf("empty file mapped %d bytes", len(m.Data()))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); !os.IsNotExist(err) {
+		t.Fatalf("err = %v, want not-exist", err)
+	}
+}
+
+// TestMappingSurvivesRename pins the property the checkpoint installer
+// relies on: renaming a new file over a mapped one leaves the old mapping
+// reading the old bytes.
+func TestMappingSurvivesRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	old := bytes.Repeat([]byte{0xAA}, 4096)
+	if err := os.WriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	next := filepath.Join(dir, "ckpt.tmp")
+	if err := os.WriteFile(next, bytes.Repeat([]byte{0xBB}, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(next, path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), old) {
+		t.Fatal("mapping changed under an atomic rename")
+	}
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. MAP_SHARED (not PRIVATE) so that every process
+// mapping the same checkpoint file shares one page-cache copy.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems that refuse mmap still work through the heap fallback.
+		buf, rerr := os.ReadFile(f.Name())
+		if rerr != nil {
+			return nil, false, err
+		}
+		return buf, false, nil
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

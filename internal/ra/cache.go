@@ -70,15 +70,23 @@ type cacheKey struct {
 	sn string // canonical serial bytes
 }
 
+// cacheSource identifies the dictionary instance a cached status was
+// computed from and exposes its current generation for staleness checks.
+// *dictionary.Replica implements it for owned dictionaries; *sharedDict
+// implements it for read-only mapped ones.
+type cacheSource interface {
+	CurrentGeneration() uint64
+}
+
 // cacheEntry is an immutable memoized status: the Status struct and its
 // encoding are shared across goroutines and must never be mutated. The
-// entry records which replica instance produced it, not just the
+// entry records which dictionary instance produced it, not just the
 // generation: generations restart at zero when a CA is removed and
 // re-added (Remove purges the cache, but an in-flight Status may put an
-// old-replica entry back afterwards), so a generation match alone could
+// old-instance entry back afterwards), so a generation match alone could
 // eventually alias a dead dictionary's status.
 type cacheEntry struct {
-	replica *dictionary.Replica
+	source  cacheSource
 	gen     uint64
 	status  *dictionary.Status
 	encoded []byte
@@ -102,14 +110,14 @@ func (c *statusCache) shardFor(key cacheKey) *cacheShard {
 	return &c.shards[h.Sum64()%cacheShardCount]
 }
 
-// get returns the entry for key if it matches the replica instance and
+// get returns the entry for key if it matches the dictionary instance and
 // generation, counting hit/miss and marking the entry recently used.
-func (c *statusCache) get(key cacheKey, r *dictionary.Replica, gen uint64) (*cacheEntry, bool) {
+func (c *statusCache) get(key cacheKey, src cacheSource, gen uint64) (*cacheEntry, bool) {
 	sh := c.shardFor(key)
 	sh.mu.RLock()
 	e := sh.m[key]
 	sh.mu.RUnlock()
-	if e != nil && e.replica == r && e.gen == gen {
+	if e != nil && e.source == src && e.gen == gen {
 		e.touched.Store(true)
 		sh.hits.Add(1)
 		return e, true
@@ -132,7 +140,7 @@ func (c *statusCache) put(key cacheKey, e *cacheEntry) {
 }
 
 // evictOneLocked removes one entry, preferring stale or cold ones: a stale
-// entry (its replica already published a newer generation) goes first; an
+// entry (its source already published a newer generation) goes first; an
 // entry whose access bit is clear goes next; a scan full of hot entries
 // clears their bits (second chance) and falls back to the last sampled.
 // Caller holds the write lock.
@@ -141,7 +149,7 @@ func (sh *cacheShard) evictOneLocked() {
 	scanned := 0
 	for k, e := range sh.m {
 		scanned++
-		if e.gen != e.replica.Snapshot().Generation() {
+		if e.gen != e.source.CurrentGeneration() {
 			delete(sh.m, k) // stale: unservable, keep nothing of it
 			sh.evictions.Add(1)
 			return

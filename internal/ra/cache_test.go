@@ -27,7 +27,7 @@ func testReplica(t *testing.T) *dictionary.Replica {
 }
 
 func entryFor(r *dictionary.Replica, gen uint64) *cacheEntry {
-	return &cacheEntry{replica: r, gen: gen, encoded: []byte{1}}
+	return &cacheEntry{source: r, gen: gen, encoded: []byte{1}}
 }
 
 func keyOf(i int) cacheKey {

@@ -46,6 +46,16 @@ type Config struct {
 	// bound recovery replay tighter; larger values amortize the
 	// O(dictionary) checkpoint write over more syncs.
 	CheckpointEvery int
+	// SharedData runs the RA as a read-only co-located reader: instead of
+	// pulling from an origin and owning replicas, it maps the checkpoints
+	// a writer RA (same Storage directory, normal configuration) installs
+	// and serves statuses from the mapping — one writer process pays the
+	// heap and the sync traffic, every additional RA on the machine costs
+	// only shared page-cache residency. Requires Storage (implementing
+	// storage.Mapper); Origin becomes optional and is ignored. The sync
+	// loop (SyncOnce / the fetcher) polls the writer's stamp instead of
+	// pulling.
+	SharedData bool
 	// Now is the clock (nil = time.Now); experiments inject virtual time.
 	Now func() time.Time
 }
@@ -76,7 +86,7 @@ type connIdentity struct {
 
 // New creates a Revocation Agent.
 func New(cfg Config) (*RA, error) {
-	if cfg.Origin == nil {
+	if cfg.Origin == nil && !cfg.SharedData {
 		return nil, fmt.Errorf("ra: config missing dissemination origin")
 	}
 	if cfg.Delta == 0 {
@@ -92,6 +102,7 @@ func New(cfg Config) (*RA, error) {
 		Layout:          cfg.Layout,
 		Storage:         cfg.Storage,
 		CheckpointEvery: cfg.CheckpointEvery,
+		SharedData:      cfg.SharedData,
 		Now:             cfg.Now,
 	}, cfg.Roots...)
 	if err != nil {
@@ -133,6 +144,11 @@ func (ra *RA) SyncOnce() error {
 }
 
 func (ra *RA) syncCA(ca dictionary.CAID) error {
+	// Shared-mode dictionaries sync against the writer's durable state,
+	// not the network: one stamp poll, a re-map when the writer moved.
+	if d, ok := ra.store.sharedFor(ca); ok {
+		return d.refresh()
+	}
 	replica, err := ra.store.Replica(ca)
 	if err != nil {
 		return err
@@ -153,7 +169,9 @@ func (ra *RA) syncCA(ca dictionary.CAID) error {
 		}
 	}
 	if resp.Freshness != nil {
-		if err := replica.ApplyFreshness(resp.Freshness, ra.now().Unix()); err != nil &&
+		// applyFreshness WAL-appends the adopted statement so co-located
+		// shared-data readers stay fresh between checkpoints.
+		if err := ra.store.applyFreshness(ca, replica, resp.Freshness, ra.now().Unix()); err != nil &&
 			!errors.Is(err, dictionary.ErrStale) {
 			return fmt.Errorf("ra: freshness %s: %w", ca, err)
 		}

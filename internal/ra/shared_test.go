@@ -1,0 +1,346 @@
+package ra
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ritm/internal/cert"
+	"ritm/internal/dictionary"
+	"ritm/internal/serial"
+	"ritm/internal/storage"
+)
+
+// Shared replica store scenario tests: one writer RA owns the durable
+// logs; reader RAs (Config.SharedData) serve the same statuses off a
+// read-only mapping of the writer's checkpoints, refreshing when the
+// writer's stamp moves.
+
+// newSharedPair builds a writer RA (pulling from env.dp, checkpointing
+// every batch so readers see v2 state immediately) and a reader RA
+// mapping the same backend.
+func newSharedPair(t *testing.T, env *persistEnv, layout dictionary.LayoutKind, backend storage.Backend) (writer, reader *RA) {
+	t.Helper()
+	writer, err := New(Config{
+		Roots:           []*cert.Certificate{env.ca.RootCertificate()},
+		Origin:          env.dp,
+		Delta:           10 * time.Second,
+		Layout:          layout,
+		Storage:         backend,
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	reader, err = New(Config{
+		Roots:      []*cert.Certificate{env.ca.RootCertificate()},
+		Delta:      10 * time.Second,
+		Layout:     layout,
+		Storage:    backend,
+		SharedData: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		reader.Store().Close()
+		writer.Store().Close()
+	})
+	return writer, reader
+}
+
+// TestSharedReaderServesWriterState: a reader RA pointed at the writer's
+// data directory serves byte-identical statuses for revoked and absent
+// serials, off a real file mapping, without any origin access.
+func TestSharedReaderServesWriterState(t *testing.T) {
+	for _, layout := range []dictionary.LayoutKind{dictionary.LayoutSorted, dictionary.LayoutForest} {
+		t.Run(layout.String(), func(t *testing.T) {
+			env := newPersistEnv(t, layout, nil, 12, 25)
+			backend := storage.NewFileBackend(t.TempDir(), false)
+			writer, reader := newSharedPair(t, env, layout, backend)
+
+			probes := append(serial.NewGenerator(0xD15C, nil).NextN(300), // revoked prefix
+				serial.NewGenerator(0xAB5E, nil).NextN(20)...) // absent
+			for _, sn := range probes {
+				ws, err := writer.Status("CA1", sn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rs, err := reader.Status("CA1", sn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ws.Encode(), rs.Encode()) {
+					t.Fatalf("writer and reader statuses differ for %v", sn)
+				}
+				if _, err := rs.Check(sn, env.ca.PublicKey(), time.Now().Unix()); err != nil {
+					t.Fatalf("reader status does not verify: %v", err)
+				}
+			}
+
+			// The reader serves off an actual checkpoint mapping, and its
+			// dictionaries are not exposed as mutable replicas.
+			if got := reader.Store().MappedBytes(); got == 0 {
+				t.Error("reader reports no mapped bytes; expected a live checkpoint mapping")
+			}
+			if _, err := reader.Store().Replica("CA1"); err == nil ||
+				!strings.Contains(err.Error(), "shared mapping") {
+				t.Errorf("Replica on a shared CA = %v, want shared-mapping error", err)
+			}
+
+			// Cache interplay: a repeated lookup is a hit keyed on the
+			// shared dictionary's generation.
+			before := reader.Store().CacheStats()
+			if _, err := reader.Status("CA1", probes[0]); err != nil {
+				t.Fatal(err)
+			}
+			if after := reader.Store().CacheStats(); after.Hits <= before.Hits {
+				t.Error("repeated shared-path Status did not hit the cache")
+			}
+		})
+	}
+}
+
+// TestSharedReaderTracksWriter: the reader picks up both kinds of writer
+// progress — new revocations (checkpoint install, stamp moves) and a
+// freshness refresh (WAL-appended FreshnessRecord, no checkpoint) — on
+// its next sync, bumping its generation so cached statuses invalidate.
+func TestSharedReaderTracksWriter(t *testing.T) {
+	env := newPersistEnv(t, dictionary.LayoutForest, nil, 8, 25)
+	backend := storage.NewFileBackend(t.TempDir(), false)
+	writer, reader := newSharedPair(t, env, dictionary.LayoutForest, backend)
+
+	d, ok := reader.Store().sharedFor("CA1")
+	if !ok {
+		t.Fatal("reader has no shared dictionary for CA1")
+	}
+	gen0 := d.CurrentGeneration()
+	if count := d.load().snap.Count(); count != 200 {
+		t.Fatalf("initial shared count = %d, want 200", count)
+	}
+
+	// Writer absorbs new revocations and checkpoints them.
+	env.revoke(t, 2, 25)
+	if err := writer.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if count := d.load().snap.Count(); count != 250 {
+		t.Fatalf("shared count after writer advance = %d, want 250", count)
+	}
+	gen1 := d.CurrentGeneration()
+	if gen1 <= gen0 {
+		t.Fatalf("generation did not advance on remap: %d → %d", gen0, gen1)
+	}
+
+	// A freshness-only refresh reaches the reader through the WAL record
+	// the writer appends (no new checkpoint involved).
+	if err := env.ca.PublishRefresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := writer.Store().Replica("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wr.Snapshot().Freshness()
+	if err := reader.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := reader.Status("CA1", serial.NewGenerator(0x90AD, nil).Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Freshness.Equal(want) {
+		t.Error("reader did not adopt the writer's refreshed freshness value")
+	}
+
+	// An unchanged stamp must be a no-op refresh: same generation.
+	genBefore := d.CurrentGeneration()
+	if err := reader.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.CurrentGeneration(); got != genBefore {
+		t.Errorf("refresh with unchanged stamp bumped generation %d → %d", genBefore, got)
+	}
+}
+
+// TestSharedReaderHeapFallbackFromV1: a writer that last checkpointed in
+// the v1 format (pre-upgrade binary) is still readable — the reader
+// rebuilds on the heap from a private copy instead of mapping — and the
+// reader upgrades to zero-copy serving as soon as the writer installs a
+// v2 checkpoint.
+func TestSharedReaderHeapFallbackFromV1(t *testing.T) {
+	env := newPersistEnv(t, dictionary.LayoutSorted, nil, 6, 20)
+	backend := storage.NewFileBackend(t.TempDir(), false)
+
+	// Seed the directory the way an old writer would have: a v1
+	// checkpoint, no WAL suffix.
+	replica := dictionary.NewReplica("CA1", env.ca.PublicKey())
+	resp, err := env.dp.Pull("CA1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.UpdateWithBounds(resp.Issuance, resp.Bounds); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := backend.Open("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Checkpoint(replica.PersistentState().Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := New(Config{
+		Roots:      []*cert.Certificate{env.ca.RootCertificate()},
+		Delta:      10 * time.Second,
+		Layout:     dictionary.LayoutSorted,
+		Storage:    backend,
+		SharedData: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Store().Close()
+
+	sn := serial.NewGenerator(0xD15C, nil).Next()
+	st, err := reader.Status("CA1", sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := st.Check(sn, env.ca.PublicKey(), time.Now().Unix()); err != nil || res != dictionary.CheckRevoked {
+		t.Fatalf("v1-fallback status: res=%v err=%v, want revoked", res, err)
+	}
+	if got := reader.Store().MappedBytes(); got != 0 {
+		t.Errorf("v1 fallback reports %d mapped bytes, want 0 (heap rebuild)", got)
+	}
+
+	// A (new-binary) writer opens the same directory — recovery rewrites
+	// the checkpoint as v2 — and the reader flips to mapped serving.
+	writer, err := New(Config{
+		Roots:           []*cert.Certificate{env.ca.RootCertificate()},
+		Origin:          env.dp,
+		Delta:           10 * time.Second,
+		Layout:          dictionary.LayoutSorted,
+		Storage:         backend,
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Store().Close()
+	env.revoke(t, 1, 20)
+	if err := writer.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reader.Store().MappedBytes(); got == 0 {
+		t.Error("reader did not upgrade to mapped serving after the writer's v2 checkpoint")
+	}
+	ws, err := writer.Status("CA1", sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := reader.Status("CA1", sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ws.Encode(), rs.Encode()) {
+		t.Error("post-upgrade statuses diverge between writer and reader")
+	}
+}
+
+// TestSharedConcurrentRemap is the -race half of the remap-window
+// coverage: reader goroutines hammer Status (mapped proofs alias the
+// checkpoint bytes) while the writer keeps absorbing revocations and
+// installing checkpoints and another goroutine refreshes the reader.
+// Every status served at any point during the churn must verify.
+func TestSharedConcurrentRemap(t *testing.T) {
+	env := newPersistEnv(t, dictionary.LayoutForest, nil, 8, 25)
+	backend := storage.NewFileBackend(t.TempDir(), false)
+	writer, reader := newSharedPair(t, env, dictionary.LayoutForest, backend)
+
+	revoked := serial.NewGenerator(0xD15C, nil).NextN(200)
+	absent := serial.NewGenerator(0xFA11, nil).NextN(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer churn: revoke, pull, checkpoint — each cycle installs a new
+	// checkpoint (CheckpointEvery=1) under the reader's feet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			env.revoke(t, 1, 10)
+			if err := writer.SyncOnce(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+
+	// Reader refresh loop: remap as fast as stamps move.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := reader.SyncOnce(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Serving loops: proofs must stay valid across every remap.
+	pub := env.ca.PublicKey()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn := revoked[(i*7+g)%len(revoked)]
+				if i%3 == 0 {
+					sn = absent[(i+g)%len(absent)]
+				}
+				i++
+				st, err := reader.Status("CA1", sn)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if _, err := st.Check(sn, pub, time.Now().Unix()); err != nil {
+					t.Errorf("goroutine %d: served status does not verify: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -56,6 +56,12 @@ type Store struct {
 	cache  *statusCache
 	layout dictionary.LayoutKind // commitment layout for every replica
 
+	// sharedMode marks a read-only store: dictionaries are served from
+	// another process's durable logs via storage.Mapper (see shared.go)
+	// instead of owned replicas. mapper is non-nil iff sharedMode.
+	sharedMode bool
+	mapper     storage.Mapper
+
 	// Durable state tier (nil backend = purely in-memory, the default).
 	// Verified updates are WAL-appended per CA; every ckptEvery records
 	// the replica's state is checkpointed and the WAL reset, bounding both
@@ -97,6 +103,14 @@ type StoreOptions struct {
 	// CheckpointEvery is the number of WAL records between checkpoints
 	// (0 = DefaultCheckpointEvery).
 	CheckpointEvery int
+	// SharedData turns the store into a read-only co-located reader:
+	// instead of owning replicas and writing to Storage, it maps the
+	// checkpoints another process's store writes there (one writer, N
+	// readers against one data directory) and serves statuses from the
+	// mapping. Requires Storage to implement storage.Mapper (both
+	// built-in backends do). Refresh — normally driven by the RA's sync
+	// loop — picks up the writer's installs.
+	SharedData bool
 	// Now is the clock used when re-validating persisted freshness on
 	// warm start (nil = time.Now).
 	Now func() time.Time
@@ -104,9 +118,11 @@ type StoreOptions struct {
 
 // storeView is one immutable configuration of the store. All fields —
 // including the pool — are replaced wholesale, never mutated, once the
-// view is published.
+// view is published. Exactly one of replicas/shared is populated per CA:
+// owned dictionaries live in replicas, shared-mode readers in shared.
 type storeView struct {
 	replicas map[dictionary.CAID]*dictionary.Replica
+	shared   map[dictionary.CAID]*sharedDict
 	cas      []dictionary.CAID // sorted
 	pool     *cert.Pool
 }
@@ -146,8 +162,18 @@ func NewStoreWithOptions(opts StoreOptions, roots ...*cert.Certificate) (*Store,
 		now:       opts.Now,
 		logs:      make(map[dictionary.CAID]*caLog),
 	}
+	if opts.SharedData {
+		mapper, ok := opts.Storage.(storage.Mapper)
+		if !ok {
+			return nil, fmt.Errorf("ra: SharedData requires a storage backend implementing storage.Mapper (got %T)", opts.Storage)
+		}
+		s.sharedMode = true
+		s.mapper = mapper
+		s.backend = nil // readers never open the logs for writing
+	}
 	s.view.Store(&storeView{
 		replicas: map[dictionary.CAID]*dictionary.Replica{},
+		shared:   map[dictionary.CAID]*sharedDict{},
 		pool:     pool,
 	})
 	for _, r := range roots {
@@ -164,18 +190,25 @@ func NewStoreWithOptions(opts StoreOptions, roots ...*cert.Certificate) (*Store,
 func (v *storeView) clone() *storeView {
 	next := &storeView{
 		replicas: make(map[dictionary.CAID]*dictionary.Replica, len(v.replicas)+1),
+		shared:   make(map[dictionary.CAID]*sharedDict, len(v.shared)+1),
 		pool:     v.pool.Clone(),
 	}
 	for ca, r := range v.replicas {
 		next.replicas[ca] = r
+	}
+	for ca, d := range v.shared {
+		next.shared[ca] = d
 	}
 	return next
 }
 
 // rebuildCAs recomputes the sorted CA list; caller publishes next.
 func (v *storeView) rebuildCAs() {
-	v.cas = make([]dictionary.CAID, 0, len(v.replicas))
+	v.cas = make([]dictionary.CAID, 0, len(v.replicas)+len(v.shared))
 	for ca := range v.replicas {
+		v.cas = append(v.cas, ca)
+	}
+	for ca := range v.shared {
 		v.cas = append(v.cas, ca)
 	}
 	sort.Slice(v.cas, func(i, j int) bool { return v.cas[i] < v.cas[j] })
@@ -191,12 +224,29 @@ func (s *Store) AddCA(root *cert.Certificate) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	cur := s.view.Load()
-	if _, dup := cur.replicas[root.Issuer]; dup {
-		// Same trust anchor, replica already live: only the pool changes.
+	_, dupR := cur.replicas[root.Issuer]
+	_, dupS := cur.shared[root.Issuer]
+	if dupR || dupS {
+		// Same trust anchor, dictionary already live: only the pool changes.
 		next := cur.clone()
 		if err := next.pool.AddRoot(root); err != nil {
 			return fmt.Errorf("ra: add CA: %w", err)
 		}
+		next.rebuildCAs()
+		s.view.Store(next)
+		return nil
+	}
+	if s.sharedMode {
+		d, err := newSharedDict(root.Issuer, root.PublicKey, s.layout, s.mapper, s.now)
+		if err != nil {
+			return err
+		}
+		next := cur.clone()
+		if err := next.pool.AddRoot(root); err != nil {
+			d.close()
+			return fmt.Errorf("ra: add CA: %w", err)
+		}
+		next.shared[root.Issuer] = d
 		next.rebuildCAs()
 		s.view.Store(next)
 		return nil
@@ -284,29 +334,84 @@ func (s *Store) applyUpdate(ca dictionary.CAID, replica *dictionary.Replica, msg
 	return s.checkpointLocked(ca, cl)
 }
 
-// checkpointLocked snapshots the CA's replica into its log. Caller holds
-// cl.mu.
+// checkpointLocked snapshots the CA's replica into its log, in the
+// offset-indexed v2 format: the next warm start maps it instead of
+// replaying it, and co-located shared-data readers serve straight from
+// the mapping. Caller holds cl.mu.
 func (s *Store) checkpointLocked(ca dictionary.CAID, cl *caLog) error {
 	r, ok := s.view.Load().replicas[ca]
 	if !ok {
 		return nil
 	}
-	if err := cl.log.Checkpoint(r.PersistentState().Encode()); err != nil {
+	if err := cl.log.Checkpoint(r.PersistentStateV2()); err != nil {
 		return fmt.Errorf("ra: checkpoint %s: %w", ca, err)
 	}
 	cl.appended = 0
 	return nil
 }
 
-// Close releases the store's durable logs (if any). The store must not be
-// mutated afterwards; reads keep working from memory.
+// applyFreshness applies a verified freshness statement to the CA's
+// replica and, when it advanced the replica's state and a backend is
+// configured, WAL-appends a freshness record. The record is what keeps
+// co-located shared-data readers fresh between checkpoints: without it a
+// reader mapping (checkpoint + WAL) would regress to the signed root's
+// anchor until the writer's next update batch.
+func (s *Store) applyFreshness(ca dictionary.CAID, replica *dictionary.Replica, stmt *dictionary.FreshnessStatement, now int64) error {
+	var cl *caLog
+	if s.backend != nil {
+		s.pmu.Lock()
+		cl = s.logs[ca]
+		s.pmu.Unlock()
+	}
+	if cl != nil {
+		cl.mu.Lock()
+		defer cl.mu.Unlock()
+	}
+	gen := replica.Snapshot().Generation()
+	if err := replica.ApplyFreshness(stmt, now); err != nil {
+		return err
+	}
+	if cl == nil || replica.Snapshot().Generation() == gen {
+		return nil
+	}
+	rec := dictionary.FreshnessRecord{Value: stmt.Value}
+	if err := cl.log.Append(rec.Encode()); err != nil {
+		return fmt.Errorf("ra: persist freshness for %s: %w", ca, err)
+	}
+	// Freshness records do not advance the checkpoint cadence counter:
+	// they are tiny, idempotent on replay, and a checkpoint triggered by
+	// them alone would rewrite O(dictionary) state once per period even
+	// with no revocation traffic.
+	return nil
+}
+
+// Close releases the store's durable state: each CA whose log absorbed
+// WAL records since its last checkpoint is checkpointed one final time —
+// a clean shutdown leaves a map-ready v2 snapshot, so the next start (and
+// every co-located reader) maps instead of replaying — then the logs are
+// closed. In shared mode the retained mappings are released instead. The
+// store must not be mutated afterwards; reads keep working from memory.
 func (s *Store) Close() error {
+	var firstErr error
+	if s.sharedMode {
+		for _, d := range s.view.Load().shared {
+			if err := d.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
-	var firstErr error
 	for ca, cl := range s.logs {
 		cl.mu.Lock() // wait out any in-flight persisted update
-		err := cl.log.Close()
+		var err error
+		if cl.appended > 0 {
+			err = s.checkpointLocked(ca, cl)
+		}
+		if cerr := cl.log.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		cl.mu.Unlock()
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -325,6 +430,15 @@ func (s *Store) Remove(ca dictionary.CAID) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	cur := s.view.Load()
+	if d, ok := cur.shared[ca]; ok {
+		next := cur.clone()
+		delete(next.shared, ca)
+		next.rebuildCAs()
+		s.view.Store(next)
+		s.cache.purgeCA(ca)
+		d.close() //nolint:errcheck // release the mappings; the files belong to the writer
+		return
+	}
 	if _, ok := cur.replicas[ca]; !ok {
 		return
 	}
@@ -417,13 +531,39 @@ func (s *Store) ReplaceReplica(ca dictionary.CAID, r *dictionary.Replica) error 
 // Layout returns the commitment layout the store's replicas use.
 func (s *Store) Layout() dictionary.LayoutKind { return s.layout }
 
-// Replica returns the replica for ca.
+// Replica returns the replica for ca. Shared-mode dictionaries have no
+// replica — they are read-only views of another process's state — so
+// requesting one is an error distinct from an unknown CA.
 func (s *Store) Replica(ca dictionary.CAID) (*dictionary.Replica, error) {
-	r, ok := s.view.Load().replicas[ca]
+	v := s.view.Load()
+	r, ok := v.replicas[ca]
 	if !ok {
+		if _, shared := v.shared[ca]; shared {
+			return nil, fmt.Errorf("ra: %s is served from a shared mapping (read-only)", ca)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrNoDictionary, ca)
 	}
 	return r, nil
+}
+
+// sharedFor returns the shared-mode reader for ca, if any.
+func (s *Store) sharedFor(ca dictionary.CAID) (*sharedDict, bool) {
+	d, ok := s.view.Load().shared[ca]
+	return d, ok
+}
+
+// Refresh polls every shared dictionary's stamp and re-maps the ones
+// whose writer installed new state, publishing fresh snapshot
+// generations. A no-op (and nil) outside shared mode. The RA's sync loop
+// calls it on the same cadence it would have pulled from an origin.
+func (s *Store) Refresh() error {
+	var firstErr error
+	for _, d := range s.view.Load().shared {
+		if err := d.refresh(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // CAs lists the replicated CAs, sorted. The returned slice is shared and
@@ -446,6 +586,17 @@ func (s *Store) CAKey(ca dictionary.CAID) (ed25519.PublicKey, bool) {
 // (Fig 2, prove; Fig 3 step 4), bypassing the status cache — each call
 // constructs a fresh proof. The data path uses Status instead.
 func (s *Store) Prove(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, error) {
+	if d, ok := s.sharedFor(ca); ok {
+		ss := d.load()
+		if ss == nil {
+			return nil, fmt.Errorf("ra: shared dictionary %s has no state yet", ca)
+		}
+		st, err := ss.snap.Prove(sn)
+		if err != nil {
+			return nil, fmt.Errorf("ra: prove %v against %s: %w", sn, ca, err)
+		}
+		return st, nil
+	}
 	r, err := s.Replica(ca)
 	if err != nil {
 		return nil, err
@@ -464,29 +615,53 @@ func (s *Store) Prove(ca dictionary.CAID, sn serial.Number) (*dictionary.Status,
 // map read. The returned Status has Subject set to sn and is shared —
 // callers must treat it, and the encoded bytes, as immutable.
 func (s *Store) Status(ca dictionary.CAID, sn serial.Number) (*dictionary.Status, []byte, error) {
-	r, err := s.Replica(ca)
-	if err != nil {
-		return nil, nil, err
+	v := s.view.Load()
+	var (
+		source cacheSource
+		gen    uint64
+		prove  func(serial.Number) (*dictionary.Status, error)
+	)
+	if d, ok := v.shared[ca]; ok {
+		ss := d.load()
+		if ss == nil {
+			return nil, nil, fmt.Errorf("ra: shared dictionary %s has no state yet", ca)
+		}
+		// gen and snapshot are published together, so the cached entry's
+		// generation always labels the snapshot it was computed from.
+		source, gen, prove = d, ss.gen, ss.snap.Prove
+	} else if r, ok := v.replicas[ca]; ok {
+		snap := r.Snapshot()
+		source, gen, prove = r, snap.Generation(), snap.Prove
+	} else {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoDictionary, ca)
 	}
-	snap := r.Snapshot()
 	key := cacheKeyFor(ca, sn)
-	if e, ok := s.cache.get(key, r, snap.Generation()); ok {
+	if e, ok := s.cache.get(key, source, gen); ok {
 		return e.status, e.encoded, nil
 	}
-	st, err := snap.Prove(sn)
+	st, err := prove(sn)
 	if err != nil {
 		return nil, nil, fmt.Errorf("ra: prove %v against %s: %w", sn, ca, err)
 	}
 	st.Subject = sn
-	e := &cacheEntry{replica: r, gen: snap.Generation(), status: st, encoded: st.Encode()}
+	e := &cacheEntry{source: source, gen: gen, status: st, encoded: st.Encode()}
 	s.cache.put(key, e)
 	// A concurrent Remove may have purged this CA between our view load
 	// and the put, in which case the entry just stored aliases a removed
-	// replica: unservable (the replica check in get fails) but pinning the
-	// dead dictionary's arrays until it is evicted. Re-check the current
-	// view and purge again if we raced; one of the two purges necessarily
-	// observes the entry.
-	if cur, ok := s.view.Load().replicas[ca]; !ok || cur != r {
+	// dictionary: unservable (the source check in get fails) but pinning
+	// the dead dictionary's arrays until it is evicted. Re-check the
+	// current view and purge again if we raced; one of the two purges
+	// necessarily observes the entry.
+	cur := s.view.Load()
+	if curR, ok := cur.replicas[ca]; ok {
+		if cacheSource(curR) != source {
+			s.cache.purgeCA(ca)
+		}
+	} else if curD, ok := cur.shared[ca]; ok {
+		if cacheSource(curD) != source {
+			s.cache.purgeCA(ca)
+		}
+	} else {
 		s.cache.purgeCA(ca)
 	}
 	return e.status, e.encoded, nil
@@ -506,6 +681,9 @@ func (s *Store) SnapshotSwaps() uint64 {
 	for _, r := range v.replicas {
 		total += r.Snapshot().Generation()
 	}
+	for _, d := range v.shared {
+		total += d.CurrentGeneration()
+	}
 	return total
 }
 
@@ -513,6 +691,12 @@ func (s *Store) SnapshotSwaps() uint64 {
 // the monitor package's RootSource, letting RAs participate in consistency
 // checking (§III "Consistency Checking").
 func (s *Store) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	if d, ok := s.sharedFor(ca); ok {
+		if ss := d.load(); ss != nil && ss.snap.Root() != nil {
+			return ss.snap.Root(), nil
+		}
+		return nil, fmt.Errorf("ra: shared dictionary %s has no signed root yet", ca)
+	}
 	r, err := s.Replica(ca)
 	if err != nil {
 		return nil, err
@@ -522,6 +706,17 @@ func (s *Store) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
 		return nil, fmt.Errorf("ra: replica of %s has no signed root yet", ca)
 	}
 	return root, nil
+}
+
+// MappedBytes sums the sizes of the currently mapped shared checkpoints:
+// bytes served via the page cache — shared across co-located readers —
+// rather than process-private heap. Zero outside shared mode.
+func (s *Store) MappedBytes() int {
+	total := 0
+	for _, d := range s.view.Load().shared {
+		total += d.mappedBytes()
+	}
+	return total
 }
 
 // SerializedSize sums the canonical serialized sizes of all replicas

@@ -218,6 +218,194 @@ func TestAppendsAfterFallbackRecoverySurvive(t *testing.T) {
 	}
 }
 
+// TestMapAcrossCrashMidInstall walks a read-only Map through every
+// intermediate file state the checkpoint-install sequence (write tmp →
+// rename cur→prev → rename tmp→cur → truncate WAL) can be crashed in,
+// plus arbitrary truncations of the in-flight tmp file and corruption of
+// the freshly installed cur. The property: Map always serves a consistent
+// view — the OLD checkpoint with the full WAL suffix, or the NEW one with
+// the covered records filtered — never an error, never a torn mix; and it
+// never repairs, so the on-disk bytes are identical after the Map. The
+// served view must also agree with what writer-side recovery would
+// anchor on, so readers and a restarted writer can never disagree about
+// the current history.
+func TestMapAcrossCrashMidInstall(t *testing.T) {
+	// Build the reference artifacts: gen1 checkpoint, three appends on
+	// top of it, then the gen2 checkpoint that covers them.
+	refDir := t.TempDir()
+	be := NewFileBackend(refDir, true)
+	lg, err := be.Open("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Checkpoint([]byte("gen1-state")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := lg.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen1Ckpt, err := os.ReadFile(filepath.Join(refDir, "CA1", ckptName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walBuf, err := os.ReadFile(filepath.Join(refDir, "CA1", walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Checkpoint([]byte("gen2-state")); err != nil {
+		t.Fatal(err)
+	}
+	gen2Ckpt, err := os.ReadFile(filepath.Join(refDir, "CA1", ckptName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+
+	// assemble materializes one crashed file state and returns its backend.
+	assemble := func(t *testing.T, files map[string][]byte) (*FileBackend, string) {
+		t.Helper()
+		dir := t.TempDir()
+		sub := filepath.Join(dir, "CA1")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, buf := range files {
+			if err := os.WriteFile(filepath.Join(sub, name), buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return NewFileBackend(dir, true), sub
+	}
+
+	// checkMap asserts the mapped view, that mapping left every byte in
+	// place, and that writer recovery over the same files anchors on the
+	// same checkpoint with the same record suffix.
+	checkMap := func(t *testing.T, b *FileBackend, sub, wantState string, wantRecords int) {
+		t.Helper()
+		before := map[string][]byte{}
+		entries, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			buf, err := os.ReadFile(filepath.Join(sub, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			before[e.Name()] = buf
+		}
+		mc, err := b.Map("CA1")
+		if err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+		if string(mc.State) != wantState {
+			t.Fatalf("mapped state = %q, want %q", mc.State, wantState)
+		}
+		if len(mc.WAL) != wantRecords {
+			t.Fatalf("mapped WAL = %d records, want %d", len(mc.WAL), wantRecords)
+		}
+		for i, r := range mc.WAL {
+			if !bytes.Equal(r, rec(i)) {
+				t.Fatalf("mapped WAL[%d] = %q, want %q", i, r, rec(i))
+			}
+		}
+		mc.Close()
+		for name, buf := range before {
+			after, err := os.ReadFile(filepath.Join(sub, name))
+			if err != nil {
+				t.Fatalf("%s vanished after Map: %v", name, err)
+			}
+			if !bytes.Equal(buf, after) {
+				t.Fatalf("Map modified %s", name)
+			}
+		}
+		// Writer recovery must anchor identically.
+		lg, err := b.Open("CA1")
+		if err != nil {
+			t.Fatalf("writer recovery: %v", err)
+		}
+		defer lg.Close()
+		ckpt, wal, err := lg.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ckpt) != wantState || len(wal) != wantRecords {
+			t.Fatalf("writer recovery = (%q, %d records), reader mapped (%q, %d)",
+				ckpt, len(wal), wantState, wantRecords)
+		}
+	}
+
+	t.Run("tmp-written", func(t *testing.T) {
+		// Crash after the tmp write, before any rename — including every
+		// torn prefix of the tmp file. The reader must ignore tmp entirely.
+		for cut := 0; cut <= len(gen2Ckpt); cut += 9 {
+			b, sub := assemble(t, map[string][]byte{
+				ckptName:    gen1Ckpt,
+				walName:     walBuf,
+				ckptTmpName: gen2Ckpt[:cut],
+			})
+			checkMap(t, b, sub, "gen1-state", 3)
+		}
+	})
+	t.Run("cur-renamed-away", func(t *testing.T) {
+		// Crash between the two renames: no cur, only prev + tmp.
+		b, sub := assemble(t, map[string][]byte{
+			ckptPrevName: gen1Ckpt,
+			ckptTmpName:  gen2Ckpt,
+			walName:      walBuf,
+		})
+		checkMap(t, b, sub, "gen1-state", 3)
+	})
+	t.Run("new-installed-wal-untruncated", func(t *testing.T) {
+		// Crash after the tmp→cur rename, before the WAL truncation: the
+		// new checkpoint covers every WAL record, so the suffix is empty.
+		b, sub := assemble(t, map[string][]byte{
+			ckptName:     gen2Ckpt,
+			ckptPrevName: gen1Ckpt,
+			walName:      walBuf,
+		})
+		checkMap(t, b, sub, "gen2-state", 0)
+	})
+	t.Run("install-complete", func(t *testing.T) {
+		b, sub := assemble(t, map[string][]byte{
+			ckptName:     gen2Ckpt,
+			ckptPrevName: gen1Ckpt,
+			walName:      nil,
+		})
+		checkMap(t, b, sub, "gen2-state", 0)
+	})
+	t.Run("new-checkpoint-corrupt", func(t *testing.T) {
+		// Single-bit corruption anywhere in the installed cur must bounce
+		// the reader to the prev fallback (CRC32 catches every 1-bit flip),
+		// with the full WAL suffix still served.
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 32; trial++ {
+			bad := append([]byte(nil), gen2Ckpt...)
+			bad[rng.Intn(len(bad))] ^= byte(1) << rng.Intn(8)
+			b, sub := assemble(t, map[string][]byte{
+				ckptName:     bad,
+				ckptPrevName: gen1Ckpt,
+				walName:      walBuf,
+			})
+			checkMap(t, b, sub, "gen1-state", 3)
+		}
+	})
+	t.Run("new-checkpoint-torn", func(t *testing.T) {
+		// A torn cur (truncated mid-write by the filesystem) likewise
+		// falls back; a zero-length cur included.
+		for cut := 0; cut < len(gen2Ckpt); cut += 11 {
+			b, sub := assemble(t, map[string][]byte{
+				ckptName:     gen2Ckpt[:cut],
+				ckptPrevName: gen1Ckpt,
+				walName:      walBuf,
+			})
+			checkMap(t, b, sub, "gen1-state", 3)
+		}
+	})
+}
+
 func TestCheckpointBitFlipFallsBackOrFails(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 32; trial++ {

@@ -93,6 +93,9 @@ type memoryState struct {
 	mu         sync.Mutex
 	checkpoint []byte
 	wal        [][]byte
+	// version counts mutations; it backs the Memory backend's MapStamp
+	// the way file size/mtime back the file backend's.
+	version uint64
 }
 
 // Open implements Backend.
@@ -132,6 +135,7 @@ func (l *memoryLog) Append(record []byte) error {
 		return fmt.Errorf("storage: append to closed log %q", l.name)
 	}
 	l.state.wal = append(l.state.wal, append([]byte(nil), record...))
+	l.state.version++
 	return nil
 }
 
@@ -143,6 +147,7 @@ func (l *memoryLog) Checkpoint(state []byte) error {
 	}
 	l.state.checkpoint = append([]byte(nil), state...)
 	l.state.wal = nil
+	l.state.version++
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Sticky decoding errors. They are compared with errors.Is by callers that
@@ -65,6 +66,32 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset truncates the encoder so the buffer can be reused.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// encoderPool recycles encoder buffers across hot-path encodings (statuses
+// are encoded once per cache miss, proofs once per Size call): the buffer
+// grows to the working set's message size once and is then reused, so a
+// steady state encodes with a single right-sized output allocation instead
+// of one buffer allocation plus O(log size) growth reallocations per call.
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 1024)} },
+}
+
+// PooledEncoder returns an empty encoder drawn from a package-level pool.
+// The caller must finish with exactly one Finish call and must not retain
+// the encoder (or any Bytes alias) afterwards.
+func PooledEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// Finish returns a right-sized copy of the encoded message and recycles the
+// encoder into the pool. The encoder must not be used after Finish.
+func (e *Encoder) Finish() []byte {
+	out := append(make([]byte, 0, len(e.buf)), e.buf...)
+	encoderPool.Put(e)
+	return out
+}
 
 // Uvarint appends v as an unsigned LEB128 varint.
 func (e *Encoder) Uvarint(v uint64) {

@@ -1,0 +1,185 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable BENCH_<issue>.json trajectory file, and compares a
+// fresh run against a committed baseline. No external tooling
+// (benchstat) is required; the comparison is report-only and never fails
+// the build — perf numbers from shared CI runners are signals, not
+// gates.
+//
+// Emit:    go test -bench ... | go run ./tools/benchjson -out BENCH_6.json
+// Compare: go test -bench ... | go run ./tools/benchjson -baseline BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the on-disk shape of BENCH_<issue>.json.
+type File struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed benchmarks as JSON to this file")
+	baseline := flag.String("baseline", "", "compare parsed benchmarks against this committed JSON baseline (report-only)")
+	flag.Parse()
+	if (*out == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -baseline is required")
+		os.Exit(2)
+	}
+
+	parsed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(parsed.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(parsed, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), *out)
+		return
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		// Report-only: a missing or unreadable baseline is a note, not a
+		// failure (first run on a new branch, for example).
+		fmt.Printf("benchjson: no usable baseline (%v); nothing to compare\n", err)
+		return
+	}
+	compare(base, parsed)
+}
+
+// parse extracts benchmark result lines. The format is the fixed shape
+// the testing package prints: name, iteration count, then value/unit
+// pairs ("123.4 ns/op", "55 B/op", "7 custom-metric").
+func parse(f *os.File) (*File, error) {
+	out := &File{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			// Strip the -<GOMAXPROCS> suffix so runs from differently
+			// sized machines compare by benchmark identity.
+			Name:       trimProcs(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	return out, sc.Err()
+}
+
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func load(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// compare prints an old/new/delta table for every metric present in both
+// runs. It never exits non-zero: CI runner variance makes perf numbers a
+// trend to read, not an assertion to fail on.
+func compare(base, cur *File) {
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	fmt.Printf("%-72s %-12s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "delta")
+	matched := 0
+	for _, b := range cur.Benchmarks {
+		old, ok := baseBy[b.Name]
+		if !ok {
+			fmt.Printf("%-72s (new benchmark, no baseline)\n", b.Name)
+			continue
+		}
+		matched++
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			if _, ok := old.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			ov, nv := old.Metrics[u], b.Metrics[u]
+			delta := "n/a"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Printf("%-72s %-12s %14.1f %14.1f %8s\n", b.Name, u, ov, nv, delta)
+		}
+	}
+	fmt.Printf("benchjson: compared %d/%d benchmarks against baseline (report only)\n", matched, len(cur.Benchmarks))
+}
