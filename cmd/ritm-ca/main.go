@@ -17,9 +17,20 @@
 // same ETag, so edge caches revalidate with 304s and RAs just pull the
 // suffix they missed.
 //
-// Example:
+// With -follow the process runs as a follower origin instead of a CA: it
+// tails the leader's replication stream (GET /v1/replicate), applies every
+// shipped WAL record after verifying it against the leader CA's signed
+// root, and serves the same dissemination API — including /v1/replicate
+// for chained followers. A promoted follower answers with byte-identical
+// signed roots and ETags, so edges and RAs fail over to it without
+// re-downloading state they already verified. The leader's root
+// certificate is fetched once at startup and served on /admin/root, so
+// RAs can bootstrap trust from a follower exactly as from the leader.
+//
+// Examples:
 //
 //	ritm-ca -id DemoCA -delta 10s -listen 127.0.0.1:8440 -data-dir /var/lib/ritm-ca
+//	ritm-ca -follow http://127.0.0.1:8440 -listen 127.0.0.1:8441
 package main
 
 import (
@@ -27,6 +38,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -38,6 +50,7 @@ import (
 
 	"ritm"
 	"ritm/internal/cdn"
+	"ritm/internal/cert"
 	"ritm/internal/cryptoutil"
 	"ritm/internal/dictionary"
 	"ritm/internal/serial"
@@ -54,6 +67,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 64, "WAL records between checkpoint snapshots")
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every committed update batch (off trades crash-durability of the newest batches for latency)")
 		gzipOn    = flag.Bool("gzip", false, "compress large /v1/pull bodies for gzip-accepting clients (Vary-safe, per-encoding ETags)")
+		follow    = flag.String("follow", "", "run as a follower origin replicating from this leader URL instead of as a CA; -layout must match the leader's")
 	)
 	flag.Parse()
 	kind, err := ritm.ParseLayout(*layout)
@@ -67,6 +81,13 @@ func main() {
 			os.Exit(2)
 		}
 		kind = ritm.LayoutForestWithCap(*forestCap)
+	}
+	if *follow != "" {
+		if err := runFollower(*follow, *delta, *listen, kind, *dataDir, *ckptEvery, *fsync, *gzipOn); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*id, *delta, *listen, kind, *dataDir, *ckptEvery, *fsync, *gzipOn); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -147,6 +168,10 @@ func run(id string, delta time.Duration, listen string, layout ritm.LayoutKind, 
 		// persist a log named after the CA id.
 		caBackend = ritm.NewFileBackend(filepath.Join(dataDir, "authority"), fsync)
 		dpBackend = ritm.NewFileBackend(filepath.Join(dataDir, "origin"), fsync)
+	} else {
+		// Even an in-memory origin keeps a WAL: /v1/replicate ships it to
+		// follower origins, so replication works without -data-dir.
+		dpBackend = ritm.NewMemoryBackend()
 	}
 	dp := ritm.NewDistributionPointWithStorage(nil, dpBackend, ckptEvery)
 	defer dp.Close()
@@ -232,6 +257,111 @@ func run(id string, delta time.Duration, listen string, layout ritm.LayoutKind, 
 	}
 	log.Printf("ritm-ca %s: ∆=%v, layout=%s, n=%d, %s, serving dissemination + admin on %s",
 		id, delta, layout, authority.Authority().Count(), durable, listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+		log.Print("shutting down")
+		return srv.Close()
+	}
+}
+
+// fetchLeaderRoot downloads the leader CA's root certificate, retrying
+// briefly so a follower started alongside its leader does not lose the
+// race to the leader's listener.
+func fetchLeaderRoot(leaderURL string) (*ritm.Certificate, error) {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		if attempt > 0 {
+			time.Sleep(500 * time.Millisecond)
+		}
+		resp, err := http.Get(leaderURL + "/admin/root")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+			continue
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return cert.Decode(body)
+	}
+	return nil, fmt.Errorf("fetch leader root from %s: %w", leaderURL, lastErr)
+}
+
+// runFollower runs the process as a replicating follower origin: no
+// authority, no admin issue/revoke — just a distribution point kept in
+// sync by tailing the leader's per-CA WAL and verifying every applied
+// suffix against the leader CA's signed root.
+func runFollower(leaderURL string, delta time.Duration, listen string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync, gzipOn bool) error {
+	leaderURL = strings.TrimRight(leaderURL, "/")
+	rootCert, err := fetchLeaderRoot(leaderURL)
+	if err != nil {
+		return fmt.Errorf("ritm-ca: %w", err)
+	}
+	if !rootCert.IsCA {
+		return fmt.Errorf("ritm-ca: leader root %s is not a CA certificate", rootCert.Subject)
+	}
+	if err := rootCert.CheckSignature(rootCert.PublicKey); err != nil {
+		return fmt.Errorf("ritm-ca: leader root is not self-signed: %w", err)
+	}
+	var dpBackend ritm.StorageBackend
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
+		dpBackend = ritm.NewFileBackend(filepath.Join(dataDir, "origin"), fsync)
+	} else {
+		dpBackend = ritm.NewMemoryBackend()
+	}
+	dp := ritm.NewDistributionPointWithStorage(nil, dpBackend, ckptEvery)
+	defer dp.Close()
+	// The trust anchor comes from the leader's root certificate, not from
+	// the leader's goodwill: every replicated record is verified against
+	// this key before it is served, so a compromised or split-brain leader
+	// feeds us nothing.
+	if err := dp.RegisterCAWithLayout(rootCert.Issuer, rootCert.PublicKey, layout); err != nil {
+		return err
+	}
+	leader := &cdn.HTTPClient{BaseURL: leaderURL}
+	follower := cdn.NewFollower(dp, leader)
+	interval := delta / 4
+	if interval <= 0 {
+		interval = time.Second
+	}
+	loop := follower.Start(interval, func(err error) {
+		log.Printf("replicate: %v", err)
+	})
+	defer loop.Shutdown()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", cdn.NewHandler(dp, cdn.HandlerOptions{Gzip: gzipOn}))
+	// Serve the leader's root certificate so RAs bootstrap trust from a
+	// promoted follower exactly as they would from the leader.
+	rootBytes := rootCert.Encode()
+	mux.HandleFunc("GET /admin/root", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(rootBytes)
+	})
+
+	srv := &http.Server{Addr: listen, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	durable := "in-memory"
+	if dataDir != "" {
+		durable = fmt.Sprintf("durable at %s (fsync=%v, checkpoint-every=%d)", dataDir, fsync, ckptEvery)
+	}
+	log.Printf("ritm-ca follower of %s: ca=%s, sync every %v, layout=%s, %s, serving dissemination on %s",
+		leaderURL, rootCert.Issuer, interval, layout, durable, listen)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,11 +1,22 @@
 // Command ritm-ra runs a Revocation Agent: it replicates the dictionaries
-// of a CA from a dissemination endpoint (pulling every ∆) and proxies TCP
-// traffic between clients and one upstream, injecting revocation statuses
-// into RITM-supported TLS connections.
+// of one or more CAs from a dissemination endpoint (pulling every ∆) and
+// proxies TCP traffic between clients and one upstream, injecting
+// revocation statuses into RITM-supported TLS connections.
 //
 // Example (after starting ritm-ca and ritm-server):
 //
 //	ritm-ra -ca http://127.0.0.1:8440 -listen 127.0.0.1:8443 -target 127.0.0.1:9443
+//
+// Multi-origin deployments hand the RA the whole dissemination fleet via
+// -origins: ';' separates origin shards (CA ids map onto shards by the
+// deployment-wide consistent-hash ring, so the list's shard order must
+// match the fleet's), ',' separates failover candidates within a shard,
+// preferred first — typically "leader,follower". -ca then takes a
+// comma-separated list of admin URLs to fetch every trusted root from:
+//
+//	ritm-ra -ca http://ca0:8440,http://ca1:8450 \
+//	        -origins "http://ca0:8440,http://f0:8441;http://ca1:8450,http://f1:8451" \
+//	        -shards 2 -listen 127.0.0.1:8443 -target 127.0.0.1:9443
 package main
 
 import (
@@ -26,7 +37,10 @@ import (
 
 func main() {
 	var (
-		caURL     = flag.String("ca", "http://127.0.0.1:8440", "CA base URL (dissemination + admin API)")
+		caURL     = flag.String("ca", "http://127.0.0.1:8440", "CA base URL(s), comma-separated (dissemination + admin API); every listed CA's root is trusted")
+		origins   = flag.String("origins", "", "sharded origin fleet: ';' separates shards (ring order), ',' separates failover candidates within a shard, preferred first. Empty = pull from -ca directly")
+		shardsN   = flag.Int("shards", 0, "expected shard count for -origins; >0 makes a mismatched fleet list a startup error instead of silently wrong routing")
+		cooldown  = flag.Duration("failover-cooldown", 0, "how long a demoted origin candidate stays skipped before being probed again (0 = library default)")
 		listen    = flag.String("listen", "127.0.0.1:8443", "address clients connect to")
 		target    = flag.String("target", "127.0.0.1:9443", "upstream server address")
 		delta     = flag.Duration("delta", 10*time.Second, "pull interval ∆")
@@ -57,10 +71,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ritm-ra: -shared-data requires -data-dir (the writer RA's directory)")
 		os.Exit(2)
 	}
-	if err := run(*caURL, *listen, *target, *delta, *jitter, *expire, *chain, kind, *dataDir, *ckptEvery, *fsync, *shared); err != nil {
+	if *shared && *origins != "" {
+		fmt.Fprintln(os.Stderr, "ritm-ra: -shared-data and -origins are mutually exclusive (a shared reader never pulls)")
+		os.Exit(2)
+	}
+	if *shardsN > 0 {
+		if got := len(splitShards(*origins)); got != *shardsN {
+			fmt.Fprintf(os.Stderr, "ritm-ra: -shards %d but -origins lists %d shard group(s); CA→shard routing would disagree with the fleet\n", *shardsN, got)
+			os.Exit(2)
+		}
+	}
+	if err := run(*caURL, *origins, *listen, *target, *delta, *jitter, *expire, *cooldown, *chain, kind, *dataDir, *ckptEvery, *fsync, *shared); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// splitShards splits an -origins value into its per-shard candidate
+// groups (empty input = no groups).
+func splitShards(origins string) []string {
+	if strings.TrimSpace(origins) == "" {
+		return nil
+	}
+	return strings.Split(origins, ";")
+}
+
+// buildShardedOrigin parses -origins into a CA-sharded failover origin,
+// layering the -edge-chain caches over every candidate (each candidate is
+// an independent upstream; caching in front of the failover wrapper would
+// blur which candidate answered and defeat per-candidate demotion).
+func buildShardedOrigin(origins, chain string, cooldown time.Duration) (ritm.Origin, error) {
+	groups := splitShards(origins)
+	shards := make([][]ritm.Origin, len(groups))
+	for i, group := range groups {
+		for j, raw := range strings.Split(group, ",") {
+			u := strings.TrimSpace(raw)
+			if u == "" {
+				return nil, fmt.Errorf("origins shard %d candidate %d: empty URL", i, j)
+			}
+			candidate, err := buildEdgeChain(&ritm.HTTPClient{BaseURL: strings.TrimRight(u, "/")}, chain)
+			if err != nil {
+				return nil, err
+			}
+			shards[i] = append(shards[i], candidate)
+		}
+	}
+	sharded, err := ritm.NewShardedOrigin(shards, ritm.ShardedOriginOptions{Cooldown: cooldown})
+	if err != nil {
+		return nil, err
+	}
+	return sharded, nil
 }
 
 // buildEdgeChain layers in-process caching edges over base, mirroring the
@@ -89,19 +149,39 @@ func buildEdgeChain(base ritm.Origin, ttls string) (ritm.Origin, error) {
 	return origin, nil
 }
 
-func run(caURL, listen, target string, delta, jitter, expire time.Duration, chain string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync bool, shared bool) error {
-	// The trust anchor always comes from the CA, even for shared readers:
+func run(caURL, origins, listen, target string, delta, jitter, expire, cooldown time.Duration, chain string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync bool, shared bool) error {
+	// The trust anchors always come from the CAs, even for shared readers:
 	// a reader trusts nothing in the mapped directory beyond what the
-	// anchor's key verifies.
-	root, err := fetchRoot(caURL)
-	if err != nil {
-		return err
+	// anchors' keys verify.
+	var roots []*ritm.Certificate
+	for _, u := range strings.Split(caURL, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		root, err := fetchRoot(strings.TrimRight(u, "/"))
+		if err != nil {
+			return err
+		}
+		roots = append(roots, root)
 	}
-	var origin ritm.Origin
-	if !shared {
+	if len(roots) == 0 {
+		return fmt.Errorf("ritm-ra: -ca lists no CA URLs")
+	}
+	var (
+		origin ritm.Origin
+		err    error
+	)
+	switch {
+	case shared:
 		// Shared readers never pull from the dissemination network; their
 		// sync cycle polls the writer's stamp instead.
-		if origin, err = buildEdgeChain(&ritm.HTTPClient{BaseURL: caURL}, chain); err != nil {
+	case origins != "":
+		if origin, err = buildShardedOrigin(origins, chain, cooldown); err != nil {
+			return err
+		}
+	default:
+		if origin, err = buildEdgeChain(&ritm.HTTPClient{BaseURL: strings.TrimRight(strings.TrimSpace(strings.Split(caURL, ",")[0]), "/")}, chain); err != nil {
 			return err
 		}
 	}
@@ -110,7 +190,7 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 		backend = ritm.NewFileBackend(dataDir, fsync)
 	}
 	agent, err := ritm.NewRA(ritm.RAConfig{
-		Roots:           []*ritm.Certificate{root},
+		Roots:           roots,
 		Origin:          origin,
 		Delta:           delta,
 		Layout:          layout,
@@ -157,8 +237,15 @@ func run(caURL, listen, target string, delta, jitter, expire time.Duration, chai
 	if shared {
 		mode = "sharing (read-only map of " + dataDir + ")"
 	}
+	var caIDs []string
+	for _, root := range roots {
+		caIDs = append(caIDs, string(root.Issuer))
+	}
+	if origins != "" {
+		mode += fmt.Sprintf(" across %d origin shard(s)", len(splitShards(origins)))
+	}
 	log.Printf("ritm-ra: %s %s (∆=%v, layout=%s), proxying %s → %s",
-		mode, root.Issuer, delta, layout, proxy.Addr(), target)
+		mode, strings.Join(caIDs, "+"), delta, layout, proxy.Addr(), target)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

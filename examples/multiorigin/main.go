@@ -1,0 +1,250 @@
+// Multi-origin HA: a CA-sharded origin fleet with WAL-shipping followers
+// and RA failover — the deployment where the distribution point is no
+// longer one box.
+//
+// Two origin shards, each a leader + a follower replicating the leader's
+// per-CA WAL. Eight CAs hash onto the shards via the consistent ring; a
+// single RA replicates all four through a sharded origin whose per-shard
+// candidate list is [leader, follower]. Then the drill: shard 0's leader
+// crashes with one batch not yet shipped to its follower. The RA demotes
+// the corpse, fails over, resyncs onto the follower's shorter signed
+// history — every replicated ("acknowledged") revocation stays provable —
+// and when the CA replays the missed batch to the promoted follower, the
+// RA converges back to the full history. No operator action, no trust in
+// the dissemination tier: every applied suffix is verified against the
+// CA-signed root.
+//
+//	go run ./examples/multiorigin
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"ritm"
+	"ritm/internal/serial"
+)
+
+const (
+	shardCount = 2
+	caCount    = 8
+	delta      = 1 * time.Second
+)
+
+// killable lets the drill "crash" an in-process leader.
+type killable struct {
+	inner ritm.Origin
+	dead  atomic.Bool
+}
+
+func (k *killable) Pull(ca ritm.CAID, from uint64) (*ritm.PullResponse, error) {
+	if k.dead.Load() {
+		return nil, errors.New("connection refused")
+	}
+	return k.inner.Pull(ca, from)
+}
+func (k *killable) LatestRoot(ca ritm.CAID) (*ritm.SignedRoot, error) {
+	if k.dead.Load() {
+		return nil, errors.New("connection refused")
+	}
+	return k.inner.LatestRoot(ca)
+}
+func (k *killable) CAs() ([]ritm.CAID, error) {
+	if k.dead.Load() {
+		return nil, errors.New("connection refused")
+	}
+	return k.inner.CAs()
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Two shards, each leader + WAL-shipping follower. Leaders need a
+	//    storage backend: the replication stream is the WAL itself.
+	leaders := make([]*ritm.DistributionPoint, shardCount)
+	followDPs := make([]*ritm.DistributionPoint, shardCount)
+	followers := make([]*ritm.Follower, shardCount)
+	taps := make([]*killable, shardCount)
+	for s := range leaders {
+		leaders[s] = ritm.NewDistributionPointWithStorage(nil, ritm.NewMemoryBackend(), 0)
+		defer leaders[s].Close()
+		followDPs[s] = ritm.NewDistributionPointWithStorage(nil, ritm.NewMemoryBackend(), 0)
+		defer followDPs[s].Close()
+		followers[s] = ritm.NewFollower(followDPs[s], leaders[s])
+		taps[s] = &killable{inner: leaders[s]}
+	}
+	fmt.Printf("① %d shards online: leader + follower each\n", shardCount)
+
+	// 2. Four CAs, ring-sharded. Every process computes the same CA→shard
+	//    map from the shard count alone.
+	ring, err := ritm.NewRing(shardCount)
+	if err != nil {
+		return err
+	}
+	cas := make([]ritm.CAID, caCount)
+	auths := make([]*ritm.CA, caCount)
+	roots := make([]*ritm.Certificate, caCount)
+	gens := make([]*serial.Generator, caCount)
+	for i := range cas {
+		cas[i] = ritm.CAID(fmt.Sprintf("CA-%02d", i))
+		shard := ring.ShardFor(cas[i])
+		authority, err := ritm.NewCA(ritm.CAConfig{ID: cas[i], Delta: delta, Publisher: leaders[shard]})
+		if err != nil {
+			return err
+		}
+		for _, dp := range []*ritm.DistributionPoint{leaders[shard], followDPs[shard]} {
+			if err := dp.RegisterCA(cas[i], authority.PublicKey()); err != nil {
+				return err
+			}
+		}
+		if err := authority.PublishRoot(); err != nil {
+			return err
+		}
+		if err := authority.PublishRefresh(); err != nil {
+			return err
+		}
+		auths[i], roots[i] = authority, authority.RootCertificate()
+		gens[i] = serial.NewGenerator(uint64(100+i), nil)
+		fmt.Printf("   %s → shard %d\n", cas[i], shard)
+	}
+
+	// 3. One RA over the sharded origin: per-shard candidates
+	//    [leader, follower], preferred first.
+	lists := make([][]ritm.Origin, shardCount)
+	for s := range lists {
+		lists[s] = []ritm.Origin{taps[s], followDPs[s]}
+	}
+	so, err := ritm.NewShardedOrigin(lists, ritm.ShardedOriginOptions{Cooldown: 200 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	agent, err := ritm.NewRA(ritm.RAConfig{Roots: roots, Origin: so, Delta: delta})
+	if err != nil {
+		return err
+	}
+
+	// 4. Normal operation: every CA revokes a batch, followers ship the
+	//    WAL, the RA pulls each suffix from its CA's shard leader.
+	acked := make([][]serial.Number, caCount)
+	for i, authority := range auths {
+		acked[i] = gens[i].NextN(5)
+		if _, err := authority.Revoke(acked[i]...); err != nil {
+			return err
+		}
+		if err := authority.PublishRefresh(); err != nil {
+			return err
+		}
+	}
+	for s, f := range followers {
+		if err := f.SyncOnce(); err != nil {
+			return err
+		}
+		fmt.Printf("② shard %d follower replicated, lag now 0 (stats: %+v)\n", s, f.Stats())
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return err
+	}
+	fmt.Println("③ RA synced all CAs through the ring; per-shard origin pulls:")
+	for s, st := range so.Stats().PerShard {
+		fmt.Printf("   shard %d: pulls=%d failovers=%d preferred=candidate %d\n",
+			s, st.Pulls, st.Failovers, st.Preferred)
+	}
+
+	// 5. The crash drill. One shard-0 CA revokes a batch; the leader
+	//    accepts it and the RA sees it — but the leader dies before the
+	//    follower's next replication tick.
+	var victim int
+	for i := range cas {
+		if ring.ShardFor(cas[i]) == 0 {
+			victim = i
+			break
+		}
+	}
+	lateMsg, err := auths[victim].Revoke(gens[victim].NextN(3)...)
+	if err != nil {
+		return err
+	}
+	if err := auths[victim].PublishRefresh(); err != nil {
+		return err
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return err
+	}
+	preCrash, err := leaders[0].LatestRoot(cas[victim])
+	if err != nil {
+		return err
+	}
+	taps[0].dead.Store(true)
+	fmt.Printf("④ shard 0 leader crashed with %d revocations of %s not yet shipped\n",
+		len(lateMsg.Serials), cas[victim])
+
+	// 6. Failover: the next sync demotes the corpse and reaches the
+	//    follower, which answers ErrAhead (the RA's history is longer).
+	//    Resync adopts the follower's shorter signed history — exactly the
+	//    acknowledged prefix.
+	if err := agent.SyncOnce(); err != nil {
+		if !errors.Is(err, ritm.ErrAhead) {
+			return err
+		}
+		if err := agent.Resync(cas[victim]); err != nil {
+			return err
+		}
+	}
+	for _, sn := range acked[victim] {
+		st, err := agent.Status(cas[victim], sn)
+		if err != nil {
+			return err
+		}
+		if ok, err := st.Proof.Verify(sn, st.Root.Root, st.Root.N); err != nil || !ok {
+			return fmt.Errorf("acknowledged revocation lost in failover: %v", err)
+		}
+	}
+	fmt.Printf("⑤ RA failed over to shard 0 follower; all %d acknowledged revocations still provable\n",
+		len(acked[victim]))
+
+	// 7. Promotion: the follower serves the same signed roots it
+	//    replicated — byte-identical, so edge caches keep answering 304 —
+	//    and the CA replays the signed batch the dead leader never
+	//    shipped. An ordinary publish: the follower verifies it against
+	//    the same trust anchor.
+	fRoot, err := followDPs[0].LatestRoot(cas[victim])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("⑥ follower root covers n=%d (leader died at n=%d): ETag contract intact for the replicated prefix\n",
+		fRoot.N, preCrash.N)
+	auths[victim].SetPublisher(followDPs[0])
+	if err := followDPs[0].PublishIssuance(lateMsg); err != nil {
+		return err
+	}
+	if err := auths[victim].PublishRefresh(); err != nil {
+		return err
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return err
+	}
+	sn := lateMsg.Serials[0]
+	st, err := agent.Status(cas[victim], sn)
+	if err != nil {
+		return err
+	}
+	if ok, err := st.Proof.Verify(sn, st.Root.Root, st.Root.N); err != nil || !ok {
+		return fmt.Errorf("replayed revocation not provable: %v", err)
+	}
+	fmt.Printf("⑦ CA replayed the missed batch to the promoted follower; RA back at n=%d — nothing lost\n",
+		st.Root.N)
+
+	// 8. The untouched shard never noticed.
+	for s, st := range so.Stats().PerShard {
+		fmt.Printf("   shard %d final: pulls=%d failovers=%d preferred=candidate %d\n",
+			s, st.Pulls, st.Failovers, st.Preferred)
+	}
+	return nil
+}

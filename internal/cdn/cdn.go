@@ -394,22 +394,37 @@ func (dp *DistributionPoint) PublishIssuanceBounded(msg *dictionary.IssuanceMess
 }
 
 // PublishFreshness ingests a per-∆ freshness statement. Implements
-// ca.Publisher.
+// ca.Publisher. On a storage-backed origin a state-advancing statement is
+// WAL-appended as a freshness record: the WAL doubles as the replication
+// log, and without the record a follower origin (or a restarted leader)
+// would regress to the signed root's anchor until the next statement.
+// Freshness records do not advance the checkpoint cadence — they are
+// tiny, idempotent on replay, and checkpointing O(dictionary) state once
+// per period with no revocation traffic would be pure churn.
 func (dp *DistributionPoint) PublishFreshness(st *dictionary.FreshnessStatement) error {
 	if st == nil {
 		return fmt.Errorf("cdn: nil freshness statement")
 	}
-	// Read lock only: the replica serializes its own mutations, and
-	// freshness is never WAL'd (it is re-derived or re-pulled after a
-	// restart).
 	dp.mu.RLock()
 	r, ok := dp.dicts[st.CA]
+	dl := dp.logs[st.CA]
 	dp.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownCA, st.CA)
 	}
+	if dl != nil {
+		dl.mu.Lock()
+		defer dl.mu.Unlock()
+	}
+	gen := r.Snapshot().Generation()
 	if err := r.ApplyFreshness(st, dp.now().Unix()); err != nil {
 		return fmt.Errorf("cdn: ingest freshness for %s: %w", st.CA, err)
+	}
+	if dl != nil && r.Snapshot().Generation() != gen {
+		rec := dictionary.FreshnessRecord{Value: st.Value}
+		if err := dl.log.Append(rec.Encode()); err != nil {
+			return fmt.Errorf("cdn: persist freshness for %s: %w", st.CA, err)
+		}
 	}
 	dp.stats.freshnessIngested.Add(1)
 	return nil

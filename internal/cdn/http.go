@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -52,8 +53,9 @@ var bodyLimit = maxBody
 
 // Error-code header values; the wire form of the typed sentinels.
 const (
-	errCodeUnknownCA = "unknown-ca"
-	errCodeAhead     = "ahead"
+	errCodeUnknownCA     = "unknown-ca"
+	errCodeAhead         = "ahead"
+	errCodeNoReplication = "no-replication"
 )
 
 // errorHeader is the out-of-band error channel: HTTP status codes are too
@@ -72,6 +74,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrAhead):
 		return http.StatusConflict
+	case errors.Is(err, ErrNoReplication):
+		return http.StatusNotImplemented
 	default:
 		return http.StatusInternalServerError
 	}
@@ -84,6 +88,8 @@ func errCode(err error) string {
 		return errCodeUnknownCA
 	case errors.Is(err, ErrAhead):
 		return errCodeAhead
+	case errors.Is(err, ErrNoReplication):
+		return errCodeNoReplication
 	default:
 		return ""
 	}
@@ -97,6 +103,8 @@ func sentinelFor(code string) error {
 		return ErrUnknownCA
 	case errCodeAhead:
 		return ErrAhead
+	case errCodeNoReplication:
+		return ErrNoReplication
 	default:
 		return nil
 	}
@@ -297,6 +305,29 @@ func NewHandler(origin Origin, opts HandlerOptions) http.Handler {
 			w.Write(encoded)
 		}
 	})
+	replicator, _ := origin.(Replicator)
+	mux.HandleFunc("GET /v1/replicate", func(w http.ResponseWriter, r *http.Request) {
+		ca := dictionary.CAID(r.URL.Query().Get("ca"))
+		fromLSN, err := strconv.ParseUint(r.URL.Query().Get("from_lsn"), 10, 64)
+		if ca == "" || err != nil {
+			http.Error(w, "cdn: replicate requires ca and numeric from_lsn", http.StatusBadRequest)
+			return
+		}
+		if replicator == nil {
+			writeError(w, fmt.Errorf("%w (origin %T)", ErrNoReplication, origin))
+			return
+		}
+		resp, err := replicator.Replicate(ca, fromLSN)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		// Replication is point-to-point leader→follower state transfer; a
+		// cached response would hand a follower yesterday's log position.
+		w.Header().Set("Cache-Control", "no-store")
+		w.Header().Set("Content-Type", "application/octet-stream")
+		gz.write(w, r, resp.Encode())
+	})
 	return mux
 }
 
@@ -403,10 +434,29 @@ type HTTPClient struct {
 	BaseURL string
 	// Client is the HTTP client to use (nil = http.DefaultClient).
 	Client *http.Client
+	// MaxAttempts bounds the total tries per request when the failure is
+	// transient — a transport-level error (connection reset, refused) or a
+	// gateway-class 5xx without a typed error header. 0 means
+	// DefaultMaxAttempts; 1 disables retrying. Typed protocol answers
+	// (unknown CA, ahead, no replication) and client-side caps (body
+	// overflow) are authoritative and never retried.
+	MaxAttempts int
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// attempts (0 = DefaultRetryBackoff): attempt k sleeps base·2ᵏ scaled
+	// by a random factor in [0.5, 1.5), so a fleet of RAs whose shared
+	// edge hiccups does not re-stampede it in lockstep.
+	RetryBackoff time.Duration
 
 	mu    sync.Mutex
 	roots map[dictionary.CAID]*cachedRoot
 }
+
+// DefaultMaxAttempts is the default total tries per request (one initial
+// attempt plus two retries).
+const DefaultMaxAttempts = 3
+
+// DefaultRetryBackoff is the default backoff base between attempts.
+const DefaultRetryBackoff = 50 * time.Millisecond
 
 // cachedRoot is the client's validator cache for one CA: the last root
 // body the server sent and the validators it sent it under (either may be
@@ -434,13 +484,42 @@ type httpResult struct {
 	body         []byte
 }
 
-// get performs one GET. ifNoneMatch / ifModifiedSince, when non-empty, are
-// sent as the corresponding conditional headers. Bodies larger than maxBody
-// are an explicit error.
+// get performs one GET with bounded retry on transient failures.
+// ifNoneMatch / ifModifiedSince, when non-empty, are sent as the
+// corresponding conditional headers. Bodies larger than maxBody are an
+// explicit error. Only failures that a retry can plausibly fix — the
+// transport erroring before a response, a read cut mid-body, a
+// gateway-class 5xx carrying no typed error header — are retried; every
+// typed protocol answer passes through untouched on the first attempt.
 func (h *HTTPClient) get(path, ifNoneMatch, ifModifiedSince string) (*httpResult, error) {
+	attempts := h.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	backoff := h.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	var res *httpResult
+	var retryable bool
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, retryable, err = h.getOnce(path, ifNoneMatch, ifModifiedSince)
+		if err == nil || !retryable || attempt+1 >= attempts {
+			return res, err
+		}
+		// Jittered exponential backoff: base·2ᵏ scaled into [0.5, 1.5).
+		d := backoff << attempt
+		time.Sleep(d/2 + time.Duration(rand.Int64N(int64(d))))
+	}
+}
+
+// getOnce performs one attempt; retryable reports whether the failure is
+// transient (worth another attempt) rather than authoritative.
+func (h *HTTPClient) getOnce(path, ifNoneMatch, ifModifiedSince string) (*httpResult, bool, error) {
 	req, err := http.NewRequest(http.MethodGet, h.BaseURL+path, nil)
 	if err != nil {
-		return nil, fmt.Errorf("cdn http: %w", err)
+		return nil, false, fmt.Errorf("cdn http: %w", err)
 	}
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
@@ -450,7 +529,7 @@ func (h *HTTPClient) get(path, ifNoneMatch, ifModifiedSince string) (*httpResult
 	}
 	resp, err := h.client().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("cdn http: %w", err)
+		return nil, true, fmt.Errorf("cdn http: %w", err)
 	}
 	defer resp.Body.Close()
 	// Read one byte past the cap: len(body) > bodyLimit distinguishes
@@ -458,10 +537,14 @@ func (h *HTTPClient) get(path, ifNoneMatch, ifModifiedSince string) (*httpResult
 	// here and handed DecodePullResponse a cut-off buffer.
 	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(bodyLimit)+1))
 	if err != nil {
-		return nil, fmt.Errorf("cdn http: read body: %w", err)
+		// A connection cut mid-body is as transient as one cut before the
+		// response; the next attempt re-requests the whole body.
+		return nil, true, fmt.Errorf("cdn http: read body: %w", err)
 	}
 	if len(body) > bodyLimit {
-		return nil, fmt.Errorf("cdn http: response body exceeds %d bytes", bodyLimit)
+		// Client-side cap: deterministic, retrying would re-download the
+		// same oversized body.
+		return nil, false, fmt.Errorf("cdn http: response body exceeds %d bytes", bodyLimit)
 	}
 	res := &httpResult{
 		status:       resp.StatusCode,
@@ -471,21 +554,25 @@ func (h *HTTPClient) get(path, ifNoneMatch, ifModifiedSince string) (*httpResult
 	}
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusNotModified:
-		return res, nil
+		return res, false, nil
 	default:
 		// Typed sentinel by name first (transport-proof), status-code
 		// fallback for servers predating the header.
 		detail := strings.TrimSpace(string(body))
 		if sentinel := sentinelFor(resp.Header.Get(errorHeader)); sentinel != nil {
-			return nil, fmt.Errorf("%w: %s", sentinel, detail)
+			return nil, false, fmt.Errorf("%w: %s", sentinel, detail)
 		}
 		switch resp.StatusCode {
 		case http.StatusNotFound:
-			return nil, fmt.Errorf("%w: %s", ErrUnknownCA, detail)
+			return nil, false, fmt.Errorf("%w: %s", ErrUnknownCA, detail)
 		case http.StatusConflict:
-			return nil, fmt.Errorf("%w: %s", ErrAhead, detail)
+			return nil, false, fmt.Errorf("%w: %s", ErrAhead, detail)
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			// Gateway-class failures with no typed header are the LB/proxy
+			// between us and the origin hiccuping, not an answer.
+			return nil, true, fmt.Errorf("cdn http: status %d: %s", resp.StatusCode, detail)
 		default:
-			return nil, fmt.Errorf("cdn http: status %d: %s", resp.StatusCode, detail)
+			return nil, false, fmt.Errorf("cdn http: status %d: %s", resp.StatusCode, detail)
 		}
 	}
 }
@@ -547,6 +634,23 @@ func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, err
 	}
 	return dictionary.DecodeSignedRoot(body)
 }
+
+// Replicate implements Replicator over the HTTP transport: a follower
+// origin points it at the leader's base URL and tails the per-CA WAL
+// through `/v1/replicate?ca=...&from_lsn=...`.
+func (h *HTTPClient) Replicate(ca dictionary.CAID, fromLSN uint64) (*ReplicationResponse, error) {
+	q := url.Values{
+		"ca":       {string(ca)},
+		"from_lsn": {strconv.FormatUint(fromLSN, 10)},
+	}
+	res, err := h.get("/v1/replicate?"+q.Encode(), "", "")
+	if err != nil {
+		return nil, err
+	}
+	return DecodeReplicationResponse(res.body)
+}
+
+var _ Replicator = (*HTTPClient)(nil)
 
 // CAs implements Origin.
 func (h *HTTPClient) CAs() ([]dictionary.CAID, error) {

@@ -353,6 +353,36 @@ func ReplayUpdate(r *Replica, msg *IssuanceMessage, bounds []uint64) error {
 	}
 }
 
+// ApplyLogRecord applies one raw WAL payload — an update record or a
+// freshness record — to a replica, with exactly the recovery loop's
+// semantics: update records go through the overlap-tolerant ReplayUpdate
+// (signature verified, rebuilt root must match the signed root), and
+// freshness records re-verify against the chain anchor best-effort (a
+// stale statement is dropped silently, never an error). It is the shared
+// apply entry point of WAL replay and of replication: a follower origin
+// feeds the leader's shipped frames through here, so a frame a recovery
+// would reject — a forged root, a divergent history — is rejected on the
+// wire too, not mirrored. now is the Unix time used for freshness
+// evaluation.
+func ApplyLogRecord(r *Replica, raw []byte, now int64) error {
+	if IsFreshnessRecord(raw) {
+		rec, err := DecodeFreshnessRecord(raw)
+		if err != nil {
+			return fmt.Errorf("dictionary: decode WAL record for %s: %w", r.CA(), err)
+		}
+		_ = r.ApplyFreshness(&FreshnessStatement{CA: r.CA(), Value: rec.Value}, now)
+		return nil
+	}
+	rec, err := DecodeUpdateRecord(raw)
+	if err != nil {
+		return fmt.Errorf("dictionary: decode WAL record for %s: %w", r.CA(), err)
+	}
+	if err := ReplayUpdate(r, rec.Msg, rec.Bounds); err != nil {
+		return fmt.Errorf("dictionary: replay WAL record for %s: %w", r.CA(), err)
+	}
+	return nil
+}
+
 // RecoverReplicaLog rebuilds a replica from an opened durable log. A v2
 // checkpoint takes the map-don't-replay path: the commitment structure is
 // materialized straight off the encoded arrays with zero rehashing, after
@@ -404,23 +434,8 @@ func RecoverReplicaLog(lg storage.Log, ca CAID, pub ed25519.PublicKey, layout La
 		migrate = true
 	}
 	for i, raw := range wal {
-		if IsFreshnessRecord(raw) {
-			rec, err := DecodeFreshnessRecord(raw)
-			if err != nil {
-				return nil, fmt.Errorf("dictionary: decode WAL record %d for %s: %w", i, ca, err)
-			}
-			// Best-effort like the checkpointed freshness value: the record
-			// re-verifies against the current anchor; a stale one is dropped
-			// and the next pull replaces it.
-			_ = replica.ApplyFreshness(&FreshnessStatement{CA: ca, Value: rec.Value}, now)
-			continue
-		}
-		rec, err := DecodeUpdateRecord(raw)
-		if err != nil {
-			return nil, fmt.Errorf("dictionary: decode WAL record %d for %s: %w", i, ca, err)
-		}
-		if err := ReplayUpdate(replica, rec.Msg, rec.Bounds); err != nil {
-			return nil, fmt.Errorf("dictionary: replay WAL record %d for %s: %w", i, ca, err)
+		if err := ApplyLogRecord(replica, raw, now); err != nil {
+			return nil, fmt.Errorf("WAL record %d: %w", i, err)
 		}
 	}
 	if migrate {

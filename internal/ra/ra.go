@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	mrand "math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +23,18 @@ type Config struct {
 	// Origin is the dissemination endpoint the RA pulls from (normally an
 	// edge server; cdn.HTTPClient for a remote one).
 	Origin cdn.Origin
+	// Origins, when non-empty, is the RA's multi-origin source list: an
+	// ordered set of failover candidates (preferred first — e.g. the
+	// nearest edge, then a follower origin, then a remote region). The RA
+	// wraps them in a cdn failover origin that demotes dead or behind
+	// candidates and converges on whichever one answers; combined with
+	// the ErrAhead→Resync machinery this is what survives a leader crash
+	// plus follower promotion without operator action. When Origin is
+	// also set it becomes the first candidate.
+	Origins []cdn.Origin
+	// FailoverCooldown is how long a demoted candidate from Origins stays
+	// skipped before being probed again (0 = cdn.DefaultFailoverCooldown).
+	FailoverCooldown time.Duration
 	// Delta is the pull interval ∆. Zero selects 10 seconds, the smallest
 	// value the paper analyzes.
 	Delta time.Duration
@@ -86,6 +99,20 @@ type connIdentity struct {
 
 // New creates a Revocation Agent.
 func New(cfg Config) (*RA, error) {
+	if len(cfg.Origins) > 0 {
+		candidates := cfg.Origins
+		if cfg.Origin != nil {
+			candidates = append([]cdn.Origin{cfg.Origin}, candidates...)
+		}
+		failover, err := cdn.NewFailoverOrigin(candidates, cdn.ShardedOriginOptions{
+			Cooldown: cfg.FailoverCooldown,
+			Now:      cfg.Now,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ra: %w", err)
+		}
+		cfg.Origin = failover
+	}
 	if cfg.Origin == nil && !cfg.SharedData {
 		return nil, fmt.Errorf("ra: config missing dissemination origin")
 	}
@@ -292,16 +319,17 @@ type FetcherOptions struct {
 	// uniformly random duration in [0, Jitter). A fleet of RAs started
 	// together otherwise pulls every dictionary at the same instants,
 	// turning every ∆ boundary into a synchronized stampede; jitter smears
-	// the load across the interval. The per-CA draw is clamped to
-	// Interval/len(CAs), so a cycle's accumulated jitter never exceeds the
-	// interval — the "at least every ∆" contract (§III) degrades to at
-	// most one skipped tick, never unbounded drift, no matter how many
-	// shard dictionaries the RA replicates. Pair jitter with
-	// Interval ≤ ∆/2 for strict compliance.
+	// the load across the interval. CAs sync concurrently within a cycle,
+	// so the per-CA draw is clamped to Interval (not Interval/n): the
+	// cycle's worst-case length is one interval — the "at least every ∆"
+	// contract (§III) degrades to at most one skipped tick, never
+	// unbounded drift, no matter how many shard dictionaries the RA
+	// replicates. Pair jitter with Interval ≤ ∆/2 for strict compliance.
 	Jitter time.Duration
 	// OnError receives sync errors (nil = dropped). Recovery from
 	// cdn.ErrAhead happens before OnError is consulted; only errors that
-	// survive recovery are reported.
+	// survive recovery are reported. CAs sync concurrently, so OnError
+	// must be safe for concurrent use.
 	OnError func(error)
 	// ShardExpiry, when positive, runs Store.RemoveExpired with this
 	// bucket width after every sync cycle, dropping expiry shards whose
@@ -327,12 +355,36 @@ type Fetcher struct {
 	stats fetcherCounters
 }
 
-// fetcherCounters is the lock-free backing store for FetcherStats.
+// fetcherCounters is the backing store for FetcherStats: lock-free
+// totals plus a small mutex-guarded map for the per-CA consecutive
+// failure streaks (touched once per CA per cycle, so the lock is cold).
 type fetcherCounters struct {
 	syncs         atomic.Int64
 	errors        atomic.Int64
 	recoveries    atomic.Int64
 	shardsExpired atomic.Int64
+
+	mu          sync.Mutex
+	consecutive map[dictionary.CAID]int64
+}
+
+// caFailed records a failed sync for ca, returning the streak length.
+func (c *fetcherCounters) caFailed(ca dictionary.CAID) int64 {
+	c.errors.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.consecutive == nil {
+		c.consecutive = make(map[dictionary.CAID]int64)
+	}
+	c.consecutive[ca]++
+	return c.consecutive[ca]
+}
+
+// caSynced resets ca's failure streak after a successful sync.
+func (c *fetcherCounters) caSynced(ca dictionary.CAID) {
+	c.mu.Lock()
+	delete(c.consecutive, ca)
+	c.mu.Unlock()
 }
 
 // FetcherStats counts fetcher-lifecycle activity.
@@ -346,16 +398,31 @@ type FetcherStats struct {
 	Recoveries int64
 	// ShardsExpired counts expiry shards dropped by the ShardExpiry sweep.
 	ShardsExpired int64
+	// ConsecutiveFailures maps each currently-failing CA to its streak of
+	// consecutive failed syncs. A CA that syncs successfully is removed,
+	// so the map holds only CAs that are behind right now — the signal an
+	// operator alerts on (one unhealthy origin shard must not hide behind
+	// the healthy ones in an aggregate counter).
+	ConsecutiveFailures map[dictionary.CAID]int64
 }
 
 // Stats returns a copy of the fetcher's counters.
 func (f *Fetcher) Stats() FetcherStats {
-	return FetcherStats{
+	st := FetcherStats{
 		Syncs:         f.stats.syncs.Load(),
 		Errors:        f.stats.errors.Load(),
 		Recoveries:    f.stats.recoveries.Load(),
 		ShardsExpired: f.stats.shardsExpired.Load(),
 	}
+	f.stats.mu.Lock()
+	if len(f.stats.consecutive) > 0 {
+		st.ConsecutiveFailures = make(map[dictionary.CAID]int64, len(f.stats.consecutive))
+		for ca, n := range f.stats.consecutive {
+			st.ConsecutiveFailures[ca] = n
+		}
+	}
+	f.stats.mu.Unlock()
+	return st
 }
 
 // StartFetcher launches the pull loop, contacting the origin every ∆.
@@ -399,38 +466,57 @@ func (ra *RA) StartFetcherWith(opts FetcherOptions) *Fetcher {
 	return f
 }
 
-// syncCycle runs one fetcher cycle: every CA pulled (with optional per-CA
-// jitter), ErrAhead recovery, then the shard-expiry sweep.
+// syncCycle runs one fetcher cycle: every CA pulled concurrently (with
+// optional per-CA jitter), ErrAhead recovery, then the shard-expiry
+// sweep. CAs sync in independent goroutines so one CA's slow or failed
+// pull — a hung origin shard, a long Resync — cannot delay the other
+// CAs' freshness within the same tick; the errors of each are isolated
+// and counted per CA (see FetcherStats.ConsecutiveFailures).
 func (ra *RA) syncCycle(f *Fetcher, opts FetcherOptions, interval time.Duration, rng *mrand.Rand) {
 	cas := ra.store.CAs()
 	jitter := opts.Jitter
-	if n := len(cas); n > 0 && jitter > interval/time.Duration(n) {
-		// Clamp so the cycle's worst-case accumulated jitter stays within
-		// one interval (see FetcherOptions.Jitter).
-		jitter = interval / time.Duration(n)
+	if jitter > interval {
+		// Clamp so the cycle's worst-case length stays within one interval
+		// (see FetcherOptions.Jitter).
+		jitter = interval
 	}
+	var wg sync.WaitGroup
 	for _, ca := range cas {
+		// Draw the jitter here: rng is not goroutine-safe, and the draws
+		// must stay on the loop goroutine anyway for determinism of the
+		// seed sequence.
+		var delay time.Duration
 		if jitter > 0 {
-			timer := time.NewTimer(time.Duration(rng.Int63n(int64(jitter))))
-			select {
-			case <-timer.C:
-			case <-f.stop:
-				timer.Stop()
+			delay = time.Duration(rng.Int63n(int64(jitter)))
+		}
+		wg.Add(1)
+		go func(ca dictionary.CAID, delay time.Duration) {
+			defer wg.Done()
+			if delay > 0 {
+				timer := time.NewTimer(delay)
+				select {
+				case <-timer.C:
+				case <-f.stop:
+					timer.Stop()
+					return
+				}
+			}
+			err := ra.syncCA(ca)
+			if err != nil && errors.Is(err, cdn.ErrAhead) && !opts.DisableRecovery {
+				f.stats.recoveries.Add(1)
+				err = ra.Resync(ca)
+			}
+			if err != nil {
+				f.stats.caFailed(ca)
+				if opts.OnError != nil {
+					opts.OnError(err)
+				}
 				return
 			}
-		}
-		err := ra.syncCA(ca)
-		if err != nil && errors.Is(err, cdn.ErrAhead) && !opts.DisableRecovery {
-			f.stats.recoveries.Add(1)
-			err = ra.Resync(ca)
-		}
-		if err != nil {
-			f.stats.errors.Add(1)
-			if opts.OnError != nil {
-				opts.OnError(err)
-			}
-		}
+			f.stats.caSynced(ca)
+		}(ca, delay)
 	}
+	wg.Wait()
 	f.stats.syncs.Add(1)
 	if opts.ShardExpiry > 0 {
 		removed := ra.store.RemoveExpired(ra.now().Unix(), opts.ShardExpiry)

@@ -198,7 +198,7 @@ func (m *Memory) Map(name string) (*MappedCheckpoint, error) {
 		mc.State = append([]byte(nil), st.checkpoint...)
 	}
 	for _, rec := range st.wal {
-		mc.WAL = append(mc.WAL, append([]byte(nil), rec...))
+		mc.WAL = append(mc.WAL, append([]byte(nil), rec.Payload...))
 	}
 	return mc, nil
 }

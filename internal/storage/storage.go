@@ -88,11 +88,15 @@ func NewMemory() *Memory {
 	return &Memory{logs: make(map[string]*memoryState)}
 }
 
-// memoryState is the retained state of one named log.
+// memoryState is the retained state of one named log. Records carry the
+// same per-log monotone LSNs as the file backend so the Memory backend
+// can serve replication tails with identical semantics.
 type memoryState struct {
 	mu         sync.Mutex
 	checkpoint []byte
-	wal        [][]byte
+	wal        []Frame
+	nextLSN    uint64
+	ckptLSN    uint64
 	// version counts mutations; it backs the Memory backend's MapStamp
 	// the way file size/mtime back the file backend's.
 	version uint64
@@ -104,7 +108,7 @@ func (m *Memory) Open(name string) (Log, error) {
 	defer m.mu.Unlock()
 	st, ok := m.logs[name]
 	if !ok {
-		st = &memoryState{}
+		st = &memoryState{nextLSN: 1}
 		m.logs[name] = st
 	}
 	return &memoryLog{backend: m, name: name, state: st}, nil
@@ -124,7 +128,9 @@ func (l *memoryLog) Load() ([]byte, [][]byte, error) {
 		return nil, nil, fmt.Errorf("storage: log %q is closed", l.name)
 	}
 	wal := make([][]byte, len(l.state.wal))
-	copy(wal, l.state.wal)
+	for i, f := range l.state.wal {
+		wal[i] = f.Payload
+	}
 	return l.state.checkpoint, wal, nil
 }
 
@@ -134,7 +140,8 @@ func (l *memoryLog) Append(record []byte) error {
 	if l.closed {
 		return fmt.Errorf("storage: append to closed log %q", l.name)
 	}
-	l.state.wal = append(l.state.wal, append([]byte(nil), record...))
+	l.state.wal = append(l.state.wal, Frame{LSN: l.state.nextLSN, Payload: append([]byte(nil), record...)})
+	l.state.nextLSN++
 	l.state.version++
 	return nil
 }
@@ -147,6 +154,7 @@ func (l *memoryLog) Checkpoint(state []byte) error {
 	}
 	l.state.checkpoint = append([]byte(nil), state...)
 	l.state.wal = nil
+	l.state.ckptLSN = l.state.nextLSN - 1
 	l.state.version++
 	return nil
 }

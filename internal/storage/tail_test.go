@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Tail is the replication source: these tests pin its contract — exact
+// LSN filtering, checkpoint-only-when-needed, and the strict wire codec —
+// for both backends, since a follower replicating a file-backed leader
+// must see the same history a memory-backed test double serves.
+
+func backendsUnderTest(t *testing.T) map[string]Backend {
+	t.Helper()
+	return map[string]Backend{
+		"memory": NewMemory(),
+		"file":   NewFileBackend(t.TempDir(), true),
+	}
+}
+
+func TestTailSuffixContract(t *testing.T) {
+	for name, backend := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			log, err := backend.Open("ca1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer log.Close()
+			tailer, ok := log.(Tailer)
+			if !ok {
+				t.Fatalf("%T does not implement Tailer", log)
+			}
+
+			// Empty log: nothing to ship.
+			res, err := tailer.Tail(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LastLSN != 0 || res.Checkpoint != nil || len(res.Frames) != 0 {
+				t.Fatalf("empty-log tail = %+v", res)
+			}
+
+			for i := 1; i <= 5; i++ {
+				if err := log.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Tail(0) ships everything with contiguous LSNs from 1.
+			res, err = tailer.Tail(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.LastLSN != 5 || len(res.Frames) != 5 {
+				t.Fatalf("tail(0): last=%d frames=%d, want 5/5", res.LastLSN, len(res.Frames))
+			}
+			for i, f := range res.Frames {
+				if f.LSN != uint64(i+1) || string(f.Payload) != fmt.Sprintf("rec-%d", i+1) {
+					t.Fatalf("frame %d = {%d %q}", i, f.LSN, f.Payload)
+				}
+			}
+
+			// Tail(3) ships only the suffix.
+			res, err = tailer.Tail(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Frames) != 2 || res.Frames[0].LSN != 4 {
+				t.Fatalf("tail(3) frames = %+v", res.Frames)
+			}
+
+			// A caught-up caller gets an empty, snapshot-free answer.
+			res, err = tailer.Tail(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Frames) != 0 || res.Checkpoint != nil {
+				t.Fatalf("caught-up tail = %+v", res)
+			}
+		})
+	}
+}
+
+func TestTailCheckpointBridging(t *testing.T) {
+	for name, backend := range backendsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			log, err := backend.Open("ca1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer log.Close()
+			tailer := log.(Tailer)
+			for i := 1; i <= 3; i++ {
+				if err := log.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := log.Checkpoint([]byte("snapshot@3")); err != nil {
+				t.Fatal(err)
+			}
+			if err := log.Append([]byte("new-4")); err != nil {
+				t.Fatal(err)
+			}
+
+			// A caller behind the checkpoint needs the snapshot: the WAL
+			// records it covered are gone.
+			res, err := tailer.Tail(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CheckpointLSN != 3 || string(res.Checkpoint) != "snapshot@3" {
+				t.Fatalf("tail(1) checkpoint = %d %q", res.CheckpointLSN, res.Checkpoint)
+			}
+			if len(res.Frames) != 1 || res.Frames[0].LSN != 4 {
+				t.Fatalf("tail(1) frames = %+v", res.Frames)
+			}
+			if res.LastLSN != 4 {
+				t.Fatalf("tail(1) last = %d, want 4", res.LastLSN)
+			}
+
+			// A caller at (or past) the checkpoint gets frames only — no
+			// redundant snapshot download.
+			res, err = tailer.Tail(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Checkpoint != nil || len(res.Frames) != 1 {
+				t.Fatalf("tail(3) = %+v", res)
+			}
+		})
+	}
+}
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{LSN: 1, Payload: []byte("alpha")},
+		{LSN: 2, Payload: nil},
+		{LSN: 9, Payload: make([]byte, 1024)},
+	}
+	buf := EncodeFrames(nil, frames)
+	got, err := DecodeFrames(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if got[i].LSN != frames[i].LSN || len(got[i].Payload) != len(frames[i].Payload) {
+			t.Fatalf("frame %d round-tripped to {%d %d bytes}", i, got[i].LSN, len(got[i].Payload))
+		}
+	}
+}
+
+func TestFrameCodecStrict(t *testing.T) {
+	buf := EncodeFrame(nil, 7, []byte("payload"))
+
+	// Truncation: replication responses are delivered intact or rejected.
+	for _, cut := range []int{1, 4, len(buf) - 1} {
+		if _, err := DecodeFrames(buf[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+	// Bit flip in the payload: CRC must catch it.
+	flipped := append([]byte(nil), buf...)
+	flipped[13] ^= 0x01
+	if _, err := DecodeFrames(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+	// Oversized declared length.
+	huge := append([]byte(nil), buf...)
+	huge[0], huge[1] = 0xff, 0xff
+	if _, err := DecodeFrames(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTailMatchesRecovery pins the property replication rests on: the
+// frames Tail ships after a crash-with-leftover-WAL are exactly the
+// records recovery would replay (covered frames filtered, torn tails
+// absent — the read happens under the log lock at a frame boundary).
+func TestTailMatchesRecovery(t *testing.T) {
+	backend := NewFileBackend(t.TempDir(), true)
+	log, err := backend.Open("ca1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := log.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Checkpoint([]byte("ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i <= 6; i++ {
+		if err := log.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := backend.Open("ca1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	_, wal, err := reopened.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reopened.(Tailer).Tail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != len(wal) {
+		t.Fatalf("tail ships %d frames, recovery replays %d", len(res.Frames), len(wal))
+	}
+	for i := range wal {
+		if string(res.Frames[i].Payload) != string(wal[i]) {
+			t.Fatalf("record %d: tail %q vs recovery %q", i, res.Frames[i].Payload, wal[i])
+		}
+	}
+}

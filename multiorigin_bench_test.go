@@ -1,0 +1,212 @@
+// Multi-origin HA benchmarks: what the CA-sharded, WAL-shipping origin
+// fleet costs. Three numbers matter for the deployment story: how far a
+// follower trails the leader (replication lag per ∆ batch), how long a
+// crashed leader leaves RAs without statuses (failover to first Status),
+// and whether sharding actually divides origin load (pulls per shard).
+package ritm_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ritm"
+	"ritm/internal/serial"
+)
+
+// flakyOrigin delegates to inner until killed.
+type flakyOrigin struct {
+	inner ritm.Origin
+	dead  atomic.Bool
+}
+
+func (o *flakyOrigin) Pull(ca ritm.CAID, from uint64) (*ritm.PullResponse, error) {
+	if o.dead.Load() {
+		return nil, fmt.Errorf("connection refused")
+	}
+	return o.inner.Pull(ca, from)
+}
+func (o *flakyOrigin) LatestRoot(ca ritm.CAID) (*ritm.SignedRoot, error) {
+	if o.dead.Load() {
+		return nil, fmt.Errorf("connection refused")
+	}
+	return o.inner.LatestRoot(ca)
+}
+func (o *flakyOrigin) CAs() ([]ritm.CAID, error) {
+	if o.dead.Load() {
+		return nil, fmt.Errorf("connection refused")
+	}
+	return o.inner.CAs()
+}
+
+// shardProbe counts the pulls one shard's origin serves.
+type shardProbe struct {
+	ritm.Origin
+	pulls atomic.Int64
+}
+
+func (p *shardProbe) Pull(ca ritm.CAID, from uint64) (*ritm.PullResponse, error) {
+	p.pulls.Add(1)
+	return p.Origin.Pull(ca, from)
+}
+
+// BenchmarkReplicationLag measures the leader→follower shipping cost of
+// one ∆'s revocation batch: frame tail, signature + root verification,
+// and replica apply. This is the window during which a leader crash loses
+// unreplicated records, so it is the HA design's freshness bound.
+func BenchmarkReplicationLag(b *testing.B) {
+	const batch = 32
+	leader := ritm.NewDistributionPointWithStorage(nil, ritm.NewMemoryBackend(), 0)
+	defer leader.Close()
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: "BenchCA", Delta: 10 * time.Second, Publisher: leader})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := leader.RegisterCA("BenchCA", authority.PublicKey()); err != nil {
+		b.Fatal(err)
+	}
+	if err := authority.PublishRoot(); err != nil {
+		b.Fatal(err)
+	}
+	if err := authority.PublishRefresh(); err != nil {
+		b.Fatal(err)
+	}
+	followerDP := ritm.NewDistributionPointWithStorage(nil, ritm.NewMemoryBackend(), 0)
+	defer followerDP.Close()
+	if err := followerDP.RegisterCA("BenchCA", authority.PublicKey()); err != nil {
+		b.Fatal(err)
+	}
+	follower := ritm.NewFollower(followerDP, leader)
+	if err := follower.SyncOnce(); err != nil {
+		b.Fatal(err)
+	}
+
+	gen := serial.NewGenerator(71, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := authority.Revoke(gen.NextN(batch)...); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := follower.SyncOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if lag := follower.Lag("BenchCA"); lag != 0 {
+		b.Fatalf("follower still lags %d frames", lag)
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "replication-lag-ms")
+	b.ReportMetric(batch, "revocations/batch")
+}
+
+// BenchmarkFailoverFirstStatus measures the RA-visible outage of a leader
+// crash: the caught-up RA's next sync probes the corpse, demotes it,
+// pulls the (empty) suffix from the surviving candidate, and serves a
+// Status — the paper's availability story in one number.
+func BenchmarkFailoverFirstStatus(b *testing.B) {
+	const history = 1000
+	dp := ritm.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: "BenchCA", Delta: 10 * time.Second, Publisher: dp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dp.RegisterCA("BenchCA", authority.PublicKey()); err != nil {
+		b.Fatal(err)
+	}
+	if err := authority.PublishRoot(); err != nil {
+		b.Fatal(err)
+	}
+	sns := serial.NewGenerator(72, nil).NextN(history)
+	if _, err := authority.Revoke(sns...); err != nil {
+		b.Fatal(err)
+	}
+	if err := authority.PublishRefresh(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		leader := &flakyOrigin{inner: dp}
+		agent, err := ritm.NewRA(ritm.RAConfig{
+			Roots:            []*ritm.Certificate{authority.RootCertificate()},
+			Origins:          []ritm.Origin{leader, dp},
+			FailoverCooldown: time.Minute,
+			Delta:            10 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := agent.SyncOnce(); err != nil {
+			b.Fatal(err)
+		}
+		leader.dead.Store(true) // crash between ∆s
+		b.StartTimer()
+		if err := agent.SyncOnce(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agent.Status("BenchCA", sns[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "failover-to-first-status-ms")
+}
+
+// BenchmarkShardedOriginPulls drives one full pull cycle (every CA once)
+// through a CA-sharded origin fleet and reports the per-shard origin
+// load: with S shards each origin should see ~CAs/S pulls per cycle, not
+// the fleet total.
+func BenchmarkShardedOriginPulls(b *testing.B) {
+	const (
+		shardCount = 4
+		caCount    = 32
+	)
+	dp := ritm.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: "CA-000", Delta: 10 * time.Second, Publisher: dp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cas := make([]ritm.CAID, caCount)
+	for i := range cas {
+		cas[i] = ritm.CAID(fmt.Sprintf("CA-%03d", i))
+		if err := dp.RegisterCA(cas[i], authority.PublicKey()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probes := make([]*shardProbe, shardCount)
+	lists := make([][]ritm.Origin, shardCount)
+	for s := range lists {
+		probes[s] = &shardProbe{Origin: dp}
+		lists[s] = []ritm.Origin{probes[s]}
+	}
+	so, err := ritm.NewShardedOrigin(lists, ritm.ShardedOriginOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ca := range cas {
+			if _, err := so.Pull(ca, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	total, maxShard := int64(0), int64(0)
+	for _, p := range probes {
+		n := p.pulls.Load()
+		total += n
+		if n > maxShard {
+			maxShard = n
+		}
+	}
+	if total != int64(b.N)*caCount {
+		b.Fatalf("origin pulls = %d, want %d", total, int64(b.N)*caCount)
+	}
+	b.ReportMetric(float64(total)/float64(shardCount)/float64(b.N), "origin-pulls/shard-cycle")
+	b.ReportMetric(float64(maxShard)/(float64(total)/float64(shardCount)), "shard-load-max/mean")
+}

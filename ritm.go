@@ -194,6 +194,63 @@ func NewTopology(origin Origin, cfg TopologyConfig) (*Topology, error) {
 	return cdn.NewTopology(origin, cfg)
 }
 
+// Multi-origin HA: CA-sharded origins, WAL-shipping replication, and
+// failover.
+type (
+	// Ring is the consistent-hash ring mapping CA ids to origin shards;
+	// deterministic across processes, so every edge and RA computes the
+	// same placement from the shard count alone.
+	Ring = cdn.Ring
+	// ShardedOrigin routes pulls across origin shards by CA id, each
+	// shard an ordered failover-candidate list with cooldown demotion.
+	ShardedOrigin = cdn.ShardedOrigin
+	// ShardedOriginOptions tunes failover (cooldown, clock).
+	ShardedOriginOptions = cdn.ShardedOriginOptions
+	// ShardedOriginStats is the per-shard pulls/failovers roll-up.
+	ShardedOriginStats = cdn.ShardedOriginStats
+	// Replicator is the replication-stream API: Tail a CA's WAL from an
+	// LSN. DistributionPoint and HTTPClient implement it.
+	Replicator = cdn.Replicator
+	// ReplicationResponse is one replication pull: an optional checkpoint
+	// snapshot plus the WAL frames after it.
+	ReplicationResponse = cdn.ReplicationResponse
+	// Follower tails a leader origin's per-CA WAL and applies it to a
+	// local DistributionPoint, verifying every suffix against the CA's
+	// signed root before serving it.
+	Follower = cdn.Follower
+	// FollowerStats counts replication activity (frames applied,
+	// snapshots adopted, rejected records, position resets).
+	FollowerStats = cdn.FollowerStats
+	// FollowerLoop is a running background replication loop.
+	FollowerLoop = cdn.FollowerLoop
+)
+
+// NewRing returns the consistent-hash ring over n shards.
+func NewRing(n int) (*Ring, error) { return cdn.NewRing(n) }
+
+// NewShardedOrigin builds a CA-sharded origin: shards[i] is shard i's
+// ordered failover-candidate list (preferred first).
+func NewShardedOrigin(shards [][]Origin, opts ShardedOriginOptions) (*ShardedOrigin, error) {
+	return cdn.NewShardedOrigin(shards, opts)
+}
+
+// NewFailoverOrigin builds a single-shard ShardedOrigin: plain failover
+// across candidates without CA-based routing.
+func NewFailoverOrigin(candidates []Origin, opts ShardedOriginOptions) (*ShardedOrigin, error) {
+	return cdn.NewFailoverOrigin(candidates, opts)
+}
+
+// NewShardedTopology wires an edge hierarchy over a sharded origin.
+func NewShardedTopology(shards [][]Origin, opts ShardedOriginOptions, cfg TopologyConfig) (*Topology, *ShardedOrigin, error) {
+	return cdn.NewShardedTopology(shards, opts, cfg)
+}
+
+// NewFollower creates a follower replicating source's WAL streams into dp
+// for every CA registered on dp.
+func NewFollower(dp *DistributionPoint, source Replicator) *Follower {
+	return cdn.NewFollower(dp, source)
+}
+
 // Dissemination sentinels (match with errors.Is).
 var (
 	// ErrUnknownCA reports a pull for a dictionary the origin does not
@@ -202,6 +259,15 @@ var (
 	// ErrAhead reports a pull whose from-count exceeds the origin's —
 	// the origin-regression signal the fetcher's Resync recovery handles.
 	ErrAhead = cdn.ErrAhead
+	// ErrNoOrigin reports a sharded pull whose shard has no live
+	// candidate left.
+	ErrNoOrigin = cdn.ErrNoOrigin
+	// ErrNoReplication reports a replication pull against an origin with
+	// no WAL to ship (no storage backend).
+	ErrNoReplication = cdn.ErrNoReplication
+	// ErrReplicationDiverged reports a replicated record the local signed
+	// root verification rejected — a compromised or split-brain leader.
+	ErrReplicationDiverged = cdn.ErrReplicationDiverged
 )
 
 // EdgeHitRate reduces edge stats to the served-without-upstream fraction.
