@@ -53,6 +53,9 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 64, "persisted update batches between checkpoint snapshots")
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every persisted update batch")
 		shared    = flag.Bool("shared-data", false, "serve read-only from another ritm-ra's -data-dir instead of pulling: the checkpoint is mmap'd (physical pages shared across co-located RAs) and the writer's stamp is polled at ∆/8. Exactly one process writes a data dir; any number may read it")
+		intercept = flag.Bool("intercept", false, "terminate real TLS on -listen instead of the tlssim DPI proxy: bumped handshakes drive the dictionary status check (upstream leaf mapped by issuer CN + serial), revoked upstreams are refused with a certificate_revoked alert, and clients see leaves minted under -bump-root")
+		bumpRoot  = flag.String("bump-root", "", "PEM file holding the interception root certificate + private key; created (ECDSA P-256, 10y) if missing. Required with -intercept; clients must install the certificate")
+		bypass    = flag.String("bypass-file", "", "file listing hosts never bumped (one per line, '#' comments; 'example.com' exact, '.example.com' includes subdomains); matching connections are spliced verbatim")
 	)
 	flag.Parse()
 	kind, err := ritm.ParseLayout(*layout)
@@ -81,7 +84,15 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := run(*caURL, *origins, *listen, *target, *delta, *jitter, *expire, *cooldown, *chain, kind, *dataDir, *ckptEvery, *fsync, *shared); err != nil {
+	if *intercept && *bumpRoot == "" {
+		fmt.Fprintln(os.Stderr, "ritm-ra: -intercept requires -bump-root (the minting root's PEM file)")
+		os.Exit(2)
+	}
+	if !*intercept && (*bumpRoot != "" || *bypass != "") {
+		fmt.Fprintln(os.Stderr, "ritm-ra: -bump-root/-bypass-file only apply with -intercept")
+		os.Exit(2)
+	}
+	if err := run(*caURL, *origins, *listen, *target, *delta, *jitter, *expire, *cooldown, *chain, kind, *dataDir, *ckptEvery, *fsync, *shared, *intercept, *bumpRoot, *bypass); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -149,7 +160,7 @@ func buildEdgeChain(base ritm.Origin, ttls string) (ritm.Origin, error) {
 	return origin, nil
 }
 
-func run(caURL, origins, listen, target string, delta, jitter, expire, cooldown time.Duration, chain string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync bool, shared bool) error {
+func run(caURL, origins, listen, target string, delta, jitter, expire, cooldown time.Duration, chain string, layout ritm.LayoutKind, dataDir string, ckptEvery int, fsync bool, shared bool, intercept bool, bumpRoot, bypassFile string) error {
 	// The trust anchors always come from the CAs, even for shared readers:
 	// a reader trusts nothing in the mapped directory beyond what the
 	// anchors' keys verify.
@@ -227,12 +238,6 @@ func run(caURL, origins, listen, target string, delta, jitter, expire, cooldown 
 	})
 	defer fetcher.Shutdown()
 
-	proxy, err := agent.NewProxy(listen, target)
-	if err != nil {
-		return err
-	}
-	defer proxy.Close()
-	proxy.SetOnError(func(err error) { log.Printf("proxy: %v", err) })
 	mode := "replicating"
 	if shared {
 		mode = "sharing (read-only map of " + dataDir + ")"
@@ -244,13 +249,52 @@ func run(caURL, origins, listen, target string, delta, jitter, expire, cooldown 
 	if origins != "" {
 		mode += fmt.Sprintf(" across %d origin shard(s)", len(splitShards(origins)))
 	}
-	log.Printf("ritm-ra: %s %s (∆=%v, layout=%s), proxying %s → %s",
-		mode, strings.Join(caIDs, "+"), delta, layout, proxy.Addr(), target)
+
+	var interceptor *ritm.Interceptor
+	if intercept {
+		mintRoot, err := ritm.LoadOrCreateMintingRoot(bumpRoot, "RITM Interception Root", ritm.KeyECDSA)
+		if err != nil {
+			return err
+		}
+		cfg := ritm.InterceptConfig{
+			Minter:  ritm.NewMinter(mintRoot, 0),
+			Target:  target,
+			OnError: func(err error) { log.Printf("intercept: %v", err) },
+		}
+		if bypassFile != "" {
+			if cfg.Bypass, err = ritm.LoadBypassFile(bypassFile); err != nil {
+				return err
+			}
+		}
+		if interceptor, err = agent.NewInterceptor(listen, cfg); err != nil {
+			return err
+		}
+		defer interceptor.Close()
+		log.Printf("ritm-ra: %s %s (∆=%v, layout=%s), intercepting TLS %s → %s (bump root %s)",
+			mode, strings.Join(caIDs, "+"), delta, layout, interceptor.Addr(), target, bumpRoot)
+	} else {
+		proxy, err := agent.NewProxy(listen, target)
+		if err != nil {
+			return err
+		}
+		defer proxy.Close()
+		proxy.SetOnError(func(err error) { log.Printf("proxy: %v", err) })
+		log.Printf("ritm-ra: %s %s (∆=%v, layout=%s), proxying %s → %s",
+			mode, strings.Join(caIDs, "+"), delta, layout, proxy.Addr(), target)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := agent.Stats()
+	if intercept {
+		ist := interceptor.Stats()
+		hits, misses := ist.MintCacheHits, ist.MintCacheMisses
+		log.Printf("shutting down: %d connections (%d bumped, %d refused, %d bypassed, %d non-TLS), %d statuses checked, mint cache %d/%d hits",
+			st.ConnectionsTotal, st.ConnectionsBumped, st.ConnectionsRefused,
+			ist.Bypassed, ist.NonTLS, st.StatusesInjected, hits, hits+misses)
+		return nil
+	}
 	log.Printf("shutting down: %d connections (%d supported), %d statuses injected",
 		st.ConnectionsTotal, st.ConnectionsSupported, st.StatusesInjected)
 	return nil

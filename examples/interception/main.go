@@ -1,0 +1,216 @@
+// Real-TLS interception: the RITM data plane against genuine crypto/tls.
+//
+// It wires the usual control plane (CA → distribution point → RA), stands
+// up a real TLS server whose x509 leaf maps onto the RITM dictionary
+// (issuer CN = RITM CA ID, serial = dictionary serial), and puts the RA's
+// intercepting middlebox on the path: handshakes are bumped with leaves
+// minted under a local root, every bump checks the upstream leaf's
+// revocation status against the live dictionary, and a revocation flips
+// the next handshake to a certificate_revoked refusal. A bypassed host is
+// spliced verbatim — the client sees the genuine upstream certificate.
+//
+//	go run ./examples/interception
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"log"
+	"math/big"
+	"net"
+	"time"
+
+	"ritm"
+	"ritm/internal/interception"
+	"ritm/internal/serial"
+)
+
+const (
+	caID = "InterceptCA"
+	host = "site.example"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const delta = 10 * time.Second
+
+	// 1. The RITM control plane: CA → distribution point → RA replica.
+	dp := ritm.NewDistributionPoint(nil)
+	authority, err := ritm.NewCA(ritm.CAConfig{ID: caID, Delta: delta, Publisher: dp})
+	if err != nil {
+		return err
+	}
+	if err := dp.RegisterCA(caID, authority.PublicKey()); err != nil {
+		return err
+	}
+	if err := authority.PublishRoot(); err != nil {
+		return err
+	}
+	agent, err := ritm.NewRA(ritm.RAConfig{
+		Roots:  []*ritm.Certificate{authority.RootCertificate()},
+		Origin: ritm.NewEdgeServer(dp, 0, nil),
+		Delta:  delta,
+	})
+	if err != nil {
+		return err
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return err
+	}
+	fmt.Println("① control plane up: CA dictionary replicated on the RA")
+
+	// 2. A genuine crypto/tls upstream whose x509 leaf maps onto the
+	//    dictionary: issuer CN is the RITM CA ID, the serial is revocable.
+	leafCert, leafSN, err := issueUpstream()
+	if err != nil {
+		return err
+	}
+	upstreamAddr, err := startTLSEcho(leafCert)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("② real TLS upstream %s serving leaf (CA %s, serial %v)\n", upstreamAddr, caID, leafSN)
+
+	// 3. The intercepting middlebox: leaves are minted under a local root
+	//    that clients must install; site.pinned is never bumped.
+	mintRoot, err := ritm.NewMintingRoot("RITM Example Bump Root", ritm.KeyECDSA)
+	if err != nil {
+		return err
+	}
+	mintPool := x509.NewCertPool()
+	mintPool.AddCert(mintRoot.Certificate())
+	it, err := agent.NewInterceptor("127.0.0.1:0", interception.Config{
+		Minter: ritm.NewMinter(mintRoot, 0),
+		Bypass: ritm.NewBypassList("site.pinned"),
+		Target: upstreamAddr,
+	})
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	fmt.Printf("③ interceptor on %v (bump root %q)\n", it.Addr(), "RITM Example Bump Root")
+
+	// 4. A client trusting the bump root handshakes through the
+	//    interceptor: the bump succeeds and carries a fresh status check.
+	conn, err := tls.Dial("tcp", it.Addr().String(), &tls.Config{ServerName: host, RootCAs: mintPool})
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return err
+	}
+	issuer := conn.ConnectionState().PeerCertificates[0].Issuer.CommonName
+	fmt.Printf("④ bumped handshake OK (leaf minted by %q); echo: %q\n", issuer, buf[:n])
+	conn.Close()
+
+	// 5. Revoke the upstream leaf and disseminate: the very next handshake
+	//    is refused with a certificate_revoked alert.
+	if _, err := authority.Revoke(leafSN); err != nil {
+		return err
+	}
+	if err := authority.PublishRefresh(); err != nil {
+		return err
+	}
+	if err := agent.SyncOnce(); err != nil {
+		return err
+	}
+	fmt.Printf("⑤ serial %v revoked and disseminated\n", leafSN)
+	if _, err := tls.Dial("tcp", it.Addr().String(), &tls.Config{ServerName: host, RootCAs: mintPool}); err == nil {
+		return fmt.Errorf("revoked upstream was bumped")
+	} else {
+		fmt.Printf("⑥ new handshake correctly refused: %v\n", err)
+	}
+
+	st := it.Stats()
+	fmt.Printf("⑦ interceptor stats: %d connections, %d bumped, %d refused\n",
+		st.Connections, st.Bumped, st.Refused)
+	return nil
+}
+
+// issueUpstream builds the upstream's x509 side: an issuing CA whose CN is
+// the RITM CA ID, and a server leaf with a dictionary-mappable serial.
+func issueUpstream() (tls.Certificate, ritm.SerialNumber, error) {
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, ritm.SerialNumber{}, err
+	}
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: caID},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return tls.Certificate{}, ritm.SerialNumber{}, err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return tls.Certificate{}, ritm.SerialNumber{}, err
+	}
+	leafKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, ritm.SerialNumber{}, err
+	}
+	const rawSN = 0x4242
+	leafTmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(rawSN),
+		Subject:      pkix.Name{CommonName: host},
+		DNSNames:     []string{host},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(12 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	leafDER, err := x509.CreateCertificate(rand.Reader, leafTmpl, caCert, &leafKey.PublicKey, caKey)
+	if err != nil {
+		return tls.Certificate{}, ritm.SerialNumber{}, err
+	}
+	sn, err := serial.New(big.NewInt(rawSN).Bytes())
+	if err != nil {
+		return tls.Certificate{}, ritm.SerialNumber{}, err
+	}
+	return tls.Certificate{Certificate: [][]byte{leafDER}, PrivateKey: leafKey}, sn, nil
+}
+
+// startTLSEcho runs a real crypto/tls echo server.
+func startTLSEcho(leaf tls.Certificate) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{leaf}}
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn := tls.Server(raw, cfg)
+				defer conn.Close()
+				io.Copy(conn, conn) //nolint:errcheck // echo until either side closes
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}

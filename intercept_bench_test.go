@@ -1,0 +1,214 @@
+// Real-TLS interception benchmarks: what does the bump cost, and what
+// does the RITM status check add on top of it? Three rungs:
+//
+//	direct       client → upstream, no middlebox (the floor)
+//	bump         client → interceptor → upstream, no-op status source
+//	bump+status  client → interceptor → upstream, live RA dictionary store
+//
+// bump+status − bump is the revocation check's data-plane overhead; CI
+// emits the results to BENCH_8.ci.json and compares report-only against
+// the committed BENCH_8.json.
+package ritm_test
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"io"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"ritm"
+	"ritm/internal/dictionary"
+	"ritm/internal/interception"
+	"ritm/internal/serial"
+)
+
+// nullStatusSource satisfies the status check without consulting any
+// dictionary: the plain-bump baseline.
+type nullStatusSource struct{}
+
+func (nullStatusSource) Status(dictionary.CAID, serial.Number) (*dictionary.Status, []byte, error) {
+	return &dictionary.Status{}, nil, nil
+}
+
+// benchPKI is a minimal real-x509 issuing CA whose CN doubles as the RITM
+// CA identifier.
+func benchPKI(b *testing.B, caID, host string, rawSN int64) (leaf tls.Certificate, pool *x509.CertPool, sn serial.Number) {
+	b.Helper()
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: caID},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		b.Fatal(err)
+	}
+	leafKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	leafTmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(rawSN),
+		Subject:      pkix.Name{CommonName: host},
+		DNSNames:     []string{host},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(12 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	leafDER, err := x509.CreateCertificate(rand.Reader, leafTmpl, caCert, &leafKey.PublicKey, caKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parsed, err := x509.ParseCertificate(leafDER)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool = x509.NewCertPool()
+	pool.AddCert(caCert)
+	sn, err = serial.New(big.NewInt(rawSN).Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tls.Certificate{Certificate: [][]byte{leafDER}, PrivateKey: leafKey, Leaf: parsed}, pool, sn
+}
+
+func benchTLSEcho(b *testing.B, leaf tls.Certificate) string {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ln.Close() })
+	cfg := &tls.Config{Certificates: []tls.Certificate{leaf}}
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn := tls.Server(raw, cfg)
+				defer conn.Close()
+				io.Copy(conn, conn) //nolint:errcheck // echo until either side closes
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// handshakeLoop measures full TCP connect + TLS handshake + close against
+// addr, trusting pool for serverName.
+func handshakeLoop(b *testing.B, addr, serverName string, pool *x509.CertPool) {
+	b.Helper()
+	cfg := &tls.Config{ServerName: serverName, RootCAs: pool}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := tls.Dial("tcp", addr, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+func BenchmarkInterceptHandshake(b *testing.B) {
+	const host = "bench.example.com"
+	leaf, upstreamPool, sn := benchPKI(b, "CA1", host, 0x5151)
+	upstreamAddr := benchTLSEcho(b, leaf)
+
+	mintRoot, err := interception.NewMintingRoot("Bench Bump Root", interception.KeyECDSA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mintPool := x509.NewCertPool()
+	mintPool.AddCert(mintRoot.Certificate())
+
+	b.Run("direct", func(b *testing.B) {
+		handshakeLoop(b, upstreamAddr, host, upstreamPool)
+	})
+
+	b.Run("bump", func(b *testing.B) {
+		it, err := interception.Listen("127.0.0.1:0", interception.Config{
+			Status: nullStatusSource{},
+			Minter: interception.NewMinter(mintRoot, 0),
+			Target: upstreamAddr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer it.Close()
+		handshakeLoop(b, it.Addr().String(), host, mintPool)
+	})
+
+	b.Run("bump+status", func(b *testing.B) {
+		// A live control plane: CA → distribution point → edge → RA, with
+		// the upstream leaf's (CA, serial) resolvable in the dictionary.
+		dp := ritm.NewDistributionPoint(nil)
+		authority, err := ritm.NewCA(ritm.CAConfig{ID: "CA1", Delta: time.Hour, Publisher: dp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dp.RegisterCA("CA1", authority.PublicKey()); err != nil {
+			b.Fatal(err)
+		}
+		agent, err := ritm.NewRA(ritm.RAConfig{
+			Roots:  []*ritm.Certificate{authority.RootCertificate()},
+			Origin: ritm.NewEdgeServer(dp, 0, nil),
+			Delta:  time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := authority.PublishRoot(); err != nil {
+			b.Fatal(err)
+		}
+		// Churn the dictionary so the status check proves against a
+		// non-trivial tree, then sync the replica.
+		var victims []ritm.SerialNumber
+		for i := int64(1); i <= 512; i++ {
+			victims = append(victims, serial.FromUint64(uint64(0x10000+i)))
+		}
+		if _, err := authority.Revoke(victims...); err != nil {
+			b.Fatal(err)
+		}
+		if err := authority.PublishRefresh(); err != nil {
+			b.Fatal(err)
+		}
+		if err := agent.SyncOnce(); err != nil {
+			b.Fatal(err)
+		}
+		if authority.IsRevoked(sn) {
+			b.Fatal("benchmark leaf must not be revoked")
+		}
+
+		it, err := agent.NewInterceptor("127.0.0.1:0", interception.Config{
+			Minter: interception.NewMinter(mintRoot, 0),
+			Target: upstreamAddr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer it.Close()
+		handshakeLoop(b, it.Addr().String(), host, mintPool)
+	})
+}

@@ -1,0 +1,317 @@
+package interception
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Zero-allocation TLS record and ClientHello parsing. This is the per-first-
+// packet check every accepted connection pays, TLS or not, so it never
+// allocates: every returned slice aliases the input buffer, and every read
+// goes through a bounds-checked cursor that can neither panic nor over-read
+// (FuzzClientHelloSNI / FuzzRecordHeader pin both properties).
+
+// Wire constants (RFC 8446 §5.1, §4.1.2).
+const (
+	// RecordHeaderLen is the TLS record header size.
+	RecordHeaderLen = 5
+	// MaxRecordPayload is the largest plaintext record payload (2^14).
+	MaxRecordPayload = 1 << 14
+	// MaxClientHelloLen bounds the assembled ClientHello handshake message
+	// (which may span records — post-quantum key shares already do). The
+	// handshake length field is 24-bit; anything above this bound is
+	// hostile or broken, and the parser refuses to buffer it.
+	MaxClientHelloLen = 1 << 16
+
+	recordTypeAlert      = 21
+	recordTypeHandshake  = 22
+	handshakeClientHello = 1
+
+	extensionServerName = 0
+	sniTypeHostName     = 0
+)
+
+// Parse errors. All are wrapped with context; match with errors.Is.
+var (
+	// ErrNotClientHello reports a handshake message of a different type.
+	ErrNotClientHello = errors.New("interception: not a ClientHello")
+	// ErrTruncated reports input ending inside a length-prefixed field.
+	ErrTruncated = errors.New("interception: truncated ClientHello")
+)
+
+// ParseRecordHeader classifies 5 bytes as a TLS handshake record header,
+// returning the protocol version and payload length. Only handshake records
+// with a plausible version and a non-empty, in-bounds payload pass: this is
+// the TLS-vs-not decision, so anything else (HTTP, SSH, garbage) fails and
+// is spliced verbatim.
+func ParseRecordHeader(hdr []byte) (version uint16, length int, ok bool) {
+	if len(hdr) < RecordHeaderLen {
+		return 0, 0, false
+	}
+	if hdr[0] != recordTypeHandshake {
+		return 0, 0, false
+	}
+	// Major version 3, minor 0–4: SSL 3.0 through the TLS 1.3 legacy
+	// record version. Real ClientHellos use 0x0301 or 0x0303.
+	if hdr[1] != 0x03 || hdr[2] > 0x04 {
+		return 0, 0, false
+	}
+	length = int(hdr[3])<<8 | int(hdr[4])
+	if length == 0 || length > MaxRecordPayload {
+		return 0, 0, false
+	}
+	return uint16(hdr[1])<<8 | uint16(hdr[2]), length, true
+}
+
+// cursor is a bounds-checked reader over a byte slice. A read past the end
+// sets fail and yields zero values; it never panics and never reads outside
+// b. Sub-cursors (vector fields) are bounded by their declared length.
+type cursor struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) u8() uint8 {
+	if c.fail || c.remaining() < 1 {
+		c.fail = true
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if c.fail || c.remaining() < 2 {
+		c.fail = true
+		return 0
+	}
+	v := uint16(c.b[c.off])<<8 | uint16(c.b[c.off+1])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u24() int {
+	if c.fail || c.remaining() < 3 {
+		c.fail = true
+		return 0
+	}
+	v := int(c.b[c.off])<<16 | int(c.b[c.off+1])<<8 | int(c.b[c.off+2])
+	c.off += 3
+	return v
+}
+
+// take returns the next n bytes as a sub-slice of the input (no copy).
+func (c *cursor) take(n int) []byte {
+	if c.fail || n < 0 || c.remaining() < n {
+		c.fail = true
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+func (c *cursor) skip(n int) { c.take(n) }
+
+// sub returns a cursor over the next n bytes.
+func (c *cursor) sub(n int) cursor {
+	return cursor{b: c.take(n)}
+}
+
+// ClientHello is the subset of a parsed ClientHello the interceptor acts
+// on. All slice fields alias the parsed buffer: callers must copy anything
+// they keep past the buffer's lifetime.
+type ClientHello struct {
+	// Version is the legacy_version field.
+	Version uint16
+	// SessionID is the legacy session ID (empty for most TLS 1.3 hellos).
+	SessionID []byte
+	// ServerName is the first host_name entry of the server_name
+	// extension; nil when the extension is absent, empty when present but
+	// empty (hostile input the bump path treats as no-SNI).
+	ServerName []byte
+}
+
+// ParseClientHello parses a complete ClientHello handshake message
+// (starting at the handshake type byte). GREASE values in cipher suites and
+// extensions are skipped like any other unknown value (RFC 8701: they MUST
+// be ignored). Trailing bytes after the declared handshake length are
+// rejected — on a live connection they would belong to the next message,
+// and this parser is handed exactly one message.
+func ParseClientHello(msg []byte) (ClientHello, error) {
+	var ch ClientHello
+	c := cursor{b: msg}
+	if t := c.u8(); c.fail || t != handshakeClientHello {
+		return ch, ErrNotClientHello
+	}
+	bodyLen := c.u24()
+	if c.fail || bodyLen != c.remaining() {
+		return ch, fmt.Errorf("%w: body length %d, have %d", ErrTruncated, bodyLen, c.remaining())
+	}
+	body := c.sub(bodyLen)
+
+	ch.Version = body.u16()
+	body.skip(32) // random
+	ch.SessionID = body.take(int(body.u8()))
+	body.skip(int(body.u16())) // cipher suites (GREASE values skipped with the rest)
+	body.skip(int(body.u8()))  // compression methods
+	if body.fail {
+		return ch, fmt.Errorf("%w: fixed fields", ErrTruncated)
+	}
+	if body.remaining() == 0 {
+		return ch, nil // no extensions: legal (ancient) ClientHello
+	}
+	exts := body.sub(int(body.u16()))
+	if body.fail {
+		return ch, fmt.Errorf("%w: extensions block", ErrTruncated)
+	}
+	for exts.remaining() > 0 {
+		extType := exts.u16()
+		ext := exts.sub(int(exts.u16()))
+		if exts.fail {
+			return ch, fmt.Errorf("%w: extension header", ErrTruncated)
+		}
+		if extType != extensionServerName || ch.ServerName != nil {
+			continue // unknown/GREASE extensions skipped; first SNI wins
+		}
+		names := ext.sub(int(ext.u16()))
+		for names.remaining() > 0 {
+			nameType := names.u8()
+			name := names.take(int(names.u16()))
+			if names.fail {
+				return ch, fmt.Errorf("%w: server_name entry", ErrTruncated)
+			}
+			if nameType == sniTypeHostName {
+				if name == nil {
+					name = []byte{}
+				}
+				ch.ServerName = name
+				break
+			}
+		}
+		if ext.fail {
+			return ch, fmt.Errorf("%w: server_name extension", ErrTruncated)
+		}
+	}
+	return ch, nil
+}
+
+// peeker buffers everything it reads from a conn so the bytes can be
+// replayed — to the upstream on a splice, or to crypto/tls on a bump. It is
+// the "buffered first packet" of the redwood design: nothing is consumed
+// destructively before the bump decision.
+type peeker struct {
+	conn net.Conn
+	buf  []byte
+}
+
+func newPeeker(c net.Conn) *peeker { return &peeker{conn: c} }
+
+// peek ensures at least n bytes are buffered and returns the first n.
+// On error it returns whatever was buffered (possibly short) and the error.
+func (p *peeker) peek(n int) ([]byte, error) {
+	for len(p.buf) < n {
+		chunk := make([]byte, 4096)
+		m, err := p.conn.Read(chunk)
+		p.buf = append(p.buf, chunk[:m]...)
+		if err != nil {
+			return p.buf, err
+		}
+	}
+	return p.buf[:n], nil
+}
+
+// buffered returns everything read so far.
+func (p *peeker) buffered() []byte { return p.buf }
+
+// discard drops the first n buffered bytes (after a consumed preamble, e.g.
+// the CONNECT request, the remainder belongs to the tunnel).
+func (p *peeker) discard(n int) {
+	if n >= len(p.buf) {
+		p.buf = nil
+		return
+	}
+	p.buf = p.buf[n:]
+}
+
+// readClientHelloMessage assembles the full ClientHello handshake message
+// from one or more handshake records. It returns the raw wire bytes
+// consumed (for replay) and the assembled message. The assembly allocates
+// (one buffer for the message); the parsing above does not.
+func readClientHelloMessage(p *peeker) (raw, msg []byte, err error) {
+	off := 0
+	var assembled []byte
+	need := -1 // unknown until the first record yields the handshake header
+	for {
+		hdr, err := p.peek(off + RecordHeaderLen)
+		if err != nil {
+			return p.buffered(), nil, fmt.Errorf("%w: record header: %v", ErrTruncated, err)
+		}
+		_, recLen, ok := ParseRecordHeader(hdr[off:])
+		if !ok {
+			return p.buffered(), nil, fmt.Errorf("%w: interleaved non-handshake record", ErrNotClientHello)
+		}
+		full, err := p.peek(off + RecordHeaderLen + recLen)
+		if err != nil {
+			return p.buffered(), nil, fmt.Errorf("%w: record body: %v", ErrTruncated, err)
+		}
+		assembled = append(assembled, full[off+RecordHeaderLen:off+RecordHeaderLen+recLen]...)
+		off += RecordHeaderLen + recLen
+		if need < 0 {
+			if len(assembled) < 4 {
+				continue // pathological 1–3 byte first record; keep reading
+			}
+			if assembled[0] != handshakeClientHello {
+				return p.buffered(), nil, ErrNotClientHello
+			}
+			bodyLen := int(assembled[1])<<16 | int(assembled[2])<<8 | int(assembled[3])
+			need = 4 + bodyLen
+			if need > MaxClientHelloLen {
+				return p.buffered(), nil, fmt.Errorf("%w: declared length %d", ErrNotClientHello, bodyLen)
+			}
+		}
+		if len(assembled) >= need {
+			return p.buf[:off], assembled[:need], nil
+		}
+	}
+}
+
+// replayConn replays buffered bytes before delegating to the wrapped conn:
+// crypto/tls reads the exact ClientHello the peeker consumed, then the live
+// stream.
+type replayConn struct {
+	net.Conn
+	pending []byte
+}
+
+func newReplayConn(c net.Conn, pending []byte) net.Conn {
+	return &replayConn{Conn: c, pending: pending}
+}
+
+func (r *replayConn) Read(p []byte) (int, error) {
+	if len(r.pending) > 0 {
+		n := copy(p, r.pending)
+		r.pending = r.pending[n:]
+		return n, nil
+	}
+	return r.Conn.Read(p)
+}
+
+// alertCertificateRevoked is the TLS alert the interceptor refuses revoked
+// upstreams with (RFC 8446 §6.2: certificate_revoked(44)). Sent in
+// plaintext before any server handshake byte, which is legal at that point
+// in the exchange; Go clients surface it as "remote error: tls: revoked
+// certificate".
+const alertCertificateRevoked = 44
+
+// writeAlert writes a fatal TLS alert record.
+func writeAlert(w io.Writer, desc byte) error {
+	_, err := w.Write([]byte{recordTypeAlert, 0x03, 0x03, 0x00, 0x02, 2 /* fatal */, desc})
+	return err
+}

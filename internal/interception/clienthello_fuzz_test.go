@@ -1,0 +1,87 @@
+package interception
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordHeader: the TLS-vs-not classifier must never panic, and an
+// accepted header must be a handshake record with an in-bounds payload.
+func FuzzRecordHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{22})
+	f.Add([]byte{22, 3, 1, 0, 5})
+	f.Add([]byte{22, 3, 3, 0x40, 0x00})
+	f.Add([]byte{22, 3, 4, 0xff, 0xff})
+	f.Add([]byte{21, 3, 3, 0, 2})
+	f.Add([]byte("GET / HTTP/1.1\r\n"))
+	f.Add([]byte{0x80, 0x2e, 0x01}) // SSLv2-style hello
+	f.Fuzz(func(t *testing.T, data []byte) {
+		version, length, ok := ParseRecordHeader(data)
+		if !ok {
+			if version != 0 || length != 0 {
+				t.Fatalf("rejected header leaked values (%#x, %d)", version, length)
+			}
+			return
+		}
+		if len(data) < RecordHeaderLen {
+			t.Fatal("accepted a short header")
+		}
+		if data[0] != recordTypeHandshake {
+			t.Fatalf("accepted record type %d", data[0])
+		}
+		if length <= 0 || length > MaxRecordPayload {
+			t.Fatalf("accepted out-of-bounds payload length %d", length)
+		}
+	})
+}
+
+// FuzzClientHelloSNI: the zero-alloc parser must never panic and never
+// over-read — every slice it returns is bounded by (and aliases) the
+// input.
+func FuzzClientHelloSNI(f *testing.F) {
+	valid := buildHelloMsg([]byte{1, 2, 3},
+		rawExt(0x0a0a, []byte{0, 1, 0x0a, 0x0a}), // GREASE
+		sniExt(sniEntry(sniTypeHostName, []byte("fuzz.example.com"))),
+	)
+	f.Add(valid)
+	f.Add(buildHelloMsg(nil))                                                  // no extensions
+	f.Add(buildHelloMsg(nil, sniExt(sniEntry(sniTypeHostName, nil))))          // empty SNI
+	f.Add(buildHelloMsg(nil, sniExt()))                                        // empty name list
+	f.Add(buildHelloMsg(nil, rawExt(extensionServerName, []byte{0xff, 0xff}))) // lying list length
+	f.Add(valid[:len(valid)/2])                                                // truncated mid-message
+	f.Add(valid[:5])                                                           // truncated in fixed fields
+	oversized := bytes.Clone(valid)
+	oversized[len(oversized)-20] = 0xff // corrupt an interior length field
+	f.Add(oversized)
+	f.Add([]byte{handshakeClientHello, 0xff, 0xff, 0xff}) // 16MB declared body
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := ParseClientHello(data)
+		if err != nil {
+			return
+		}
+		if len(ch.ServerName) > len(data) || len(ch.SessionID) > len(data) {
+			t.Fatal("returned slice longer than the input")
+		}
+		if len(ch.ServerName) > 0 && !aliases(data, ch.ServerName) {
+			t.Fatal("ServerName does not alias the input")
+		}
+		if len(ch.SessionID) > 0 && !aliases(data, ch.SessionID) {
+			t.Fatal("SessionID does not alias the input")
+		}
+	})
+}
+
+// aliases reports whether sub's backing array lies inside buf.
+func aliases(buf, sub []byte) bool {
+	if len(buf) == 0 || len(sub) == 0 {
+		return false
+	}
+	for i := 0; i+len(sub) <= len(buf); i++ {
+		if &buf[i] == &sub[0] {
+			return true
+		}
+	}
+	return false
+}

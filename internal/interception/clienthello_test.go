@@ -1,0 +1,212 @@
+package interception
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// --- ClientHello wire builders (tests + fuzz seed corpus) ---
+
+// sniEntry encodes one server_name list entry.
+func sniEntry(nameType byte, name []byte) []byte {
+	out := []byte{nameType, byte(len(name) >> 8), byte(len(name))}
+	return append(out, name...)
+}
+
+// sniExt encodes a server_name extension from pre-encoded list entries.
+func sniExt(entries ...[]byte) []byte {
+	var list []byte
+	for _, e := range entries {
+		list = append(list, e...)
+	}
+	body := []byte{byte(len(list) >> 8), byte(len(list))}
+	body = append(body, list...)
+	return rawExt(extensionServerName, body)
+}
+
+// rawExt encodes one extension: type, length, body.
+func rawExt(typ uint16, body []byte) []byte {
+	out := []byte{byte(typ >> 8), byte(typ), byte(len(body) >> 8), byte(len(body))}
+	return append(out, body...)
+}
+
+// buildHelloMsg assembles a ClientHello handshake message (type byte + u24
+// length + body) with the given session ID and pre-encoded extensions.
+func buildHelloMsg(sessionID []byte, exts ...[]byte) []byte {
+	body := []byte{0x03, 0x03}                // legacy_version TLS 1.2
+	body = append(body, make([]byte, 32)...)  // random
+	body = append(body, byte(len(sessionID))) // session_id
+	body = append(body, sessionID...)
+	body = append(body, 0x00, 0x04, 0x13, 0x01, 0x0a, 0x0a) // ciphers: TLS_AES_128_GCM + GREASE
+	body = append(body, 0x01, 0x00)                         // compression: null
+	var extBlock []byte
+	for _, e := range exts {
+		extBlock = append(extBlock, e...)
+	}
+	body = append(body, byte(len(extBlock)>>8), byte(len(extBlock)))
+	body = append(body, extBlock...)
+	msg := []byte{handshakeClientHello, byte(len(body) >> 16), byte(len(body) >> 8), byte(len(body))}
+	return append(msg, body...)
+}
+
+// wrapRecords fragments msg into handshake records of at most frag payload
+// bytes each, producing the wire form readClientHelloMessage consumes.
+func wrapRecords(msg []byte, frag int) []byte {
+	var out []byte
+	for len(msg) > 0 {
+		n := frag
+		if n > len(msg) {
+			n = len(msg)
+		}
+		out = append(out, recordTypeHandshake, 0x03, 0x01, byte(n>>8), byte(n))
+		out = append(out, msg[:n]...)
+		msg = msg[n:]
+	}
+	return out
+}
+
+func TestParseRecordHeader(t *testing.T) {
+	cases := []struct {
+		name string
+		hdr  []byte
+		ok   bool
+		len  int
+	}{
+		{"handshake tls1.0", []byte{22, 3, 1, 0, 5}, true, 5},
+		{"handshake tls1.2", []byte{22, 3, 3, 1, 0}, true, 256},
+		{"max payload", []byte{22, 3, 3, 0x40, 0x00}, true, MaxRecordPayload},
+		{"alert record", []byte{21, 3, 3, 0, 2}, false, 0},
+		{"http", []byte("GET /"), false, 0},
+		{"bad major version", []byte{22, 4, 0, 0, 5}, false, 0},
+		{"bad minor version", []byte{22, 3, 5, 0, 5}, false, 0},
+		{"zero length", []byte{22, 3, 3, 0, 0}, false, 0},
+		{"oversized payload", []byte{22, 3, 3, 0x40, 0x01}, false, 0},
+		{"short input", []byte{22, 3, 3, 0}, false, 0},
+		{"empty", nil, false, 0},
+	}
+	for _, tc := range cases {
+		_, length, ok := ParseRecordHeader(tc.hdr)
+		if ok != tc.ok || length != tc.len {
+			t.Errorf("%s: ParseRecordHeader = (len %d, ok %v), want (len %d, ok %v)",
+				tc.name, length, ok, tc.len, tc.ok)
+		}
+	}
+}
+
+func TestParseClientHelloSNI(t *testing.T) {
+	host := []byte("www.Example.COM")
+	msg := buildHelloMsg([]byte{1, 2, 3},
+		rawExt(0x0a0a, []byte{0, 1, 0x0a, 0x0a}), // GREASE extension first
+		sniExt(sniEntry(sniTypeHostName, host)),
+	)
+	ch, err := ParseClientHello(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ch.ServerName, host) {
+		t.Fatalf("ServerName = %q, want %q", ch.ServerName, host)
+	}
+	if !bytes.Equal(ch.SessionID, []byte{1, 2, 3}) {
+		t.Fatalf("SessionID = %v", ch.SessionID)
+	}
+	if ch.Version != 0x0303 {
+		t.Fatalf("Version = %#x", ch.Version)
+	}
+	// The returned name aliases the input: zero-copy is part of the
+	// contract.
+	idx := bytes.Index(msg, host)
+	if &ch.ServerName[0] != &msg[idx] {
+		t.Fatal("ServerName does not alias the input buffer")
+	}
+}
+
+func TestParseClientHelloEdgeCases(t *testing.T) {
+	if _, err := ParseClientHello(buildHelloMsg(nil)); err != nil {
+		t.Fatalf("no extensions: %v", err)
+	}
+	ch, err := ParseClientHello(buildHelloMsg(nil, sniExt(sniEntry(sniTypeHostName, nil))))
+	if err != nil {
+		t.Fatalf("empty SNI: %v", err)
+	}
+	if ch.ServerName == nil || len(ch.ServerName) != 0 {
+		t.Fatalf("empty SNI: ServerName = %v, want present-but-empty", ch.ServerName)
+	}
+	// A non-hostname entry before the hostname is skipped.
+	ch, err = ParseClientHello(buildHelloMsg(nil, sniExt(
+		sniEntry(7, []byte("ignored")), sniEntry(sniTypeHostName, []byte("real.test")))))
+	if err != nil || string(ch.ServerName) != "real.test" {
+		t.Fatalf("mixed entries: ServerName = %q, err = %v", ch.ServerName, err)
+	}
+
+	if _, err := ParseClientHello([]byte{2, 0, 0, 0}); !errors.Is(err, ErrNotClientHello) {
+		t.Fatalf("ServerHello type: err = %v", err)
+	}
+	msg := buildHelloMsg(nil, sniExt(sniEntry(sniTypeHostName, []byte("x.test"))))
+	if _, err := ParseClientHello(msg[:len(msg)-3]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: err = %v", err)
+	}
+	if _, err := ParseClientHello(append(msg, 0xff)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("trailing byte: err = %v", err)
+	}
+	// Extension declaring more bytes than exist.
+	bad := buildHelloMsg(nil, rawExt(extensionServerName, nil))
+	bad[len(bad)-1] = 0xff // extension length now overruns the message
+	bad[len(bad)-2] = 0xff
+	if _, err := ParseClientHello(bad); err == nil {
+		t.Fatal("oversized extension length accepted")
+	}
+}
+
+// byteConn replays a fixed byte stream as a net.Conn.
+type byteConn struct {
+	net.Conn // panics on use of anything not overridden
+	r        *bytes.Reader
+}
+
+func (c *byteConn) Read(p []byte) (int, error)      { return c.r.Read(p) }
+func (c *byteConn) SetReadDeadline(time.Time) error { return nil }
+
+func TestReadClientHelloMessageFragmented(t *testing.T) {
+	msg := buildHelloMsg(nil, sniExt(sniEntry(sniTypeHostName, []byte("frag.test"))))
+	for _, frag := range []int{1, 7, 64, len(msg)} {
+		wire := wrapRecords(msg, frag)
+		pk := newPeeker(&byteConn{r: bytes.NewReader(wire)})
+		raw, got, err := readClientHelloMessage(pk)
+		if err != nil {
+			t.Fatalf("frag %d: %v", frag, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("frag %d: assembled message differs", frag)
+		}
+		if !bytes.Equal(raw, wire) {
+			t.Fatalf("frag %d: raw bytes differ from the wire form", frag)
+		}
+	}
+}
+
+// TestZeroAllocFastPath pins the zero-allocation property of the
+// per-connection sniff: header classification, ClientHello parsing, and
+// bypass matching allocate nothing.
+func TestZeroAllocFastPath(t *testing.T) {
+	msg := buildHelloMsg([]byte{9, 9}, sniExt(sniEntry(sniTypeHostName, []byte("alloc.example.com"))))
+	hdr := []byte{22, 3, 3, 0, 100}
+	bl := NewBypassList("alloc.example.com", ".cdn.example.net")
+	sni := []byte("alloc.example.com")
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, ok := ParseRecordHeader(hdr); !ok {
+			t.Fatal("header rejected")
+		}
+		if _, err := ParseClientHello(msg); err != nil {
+			t.Fatal(err)
+		}
+		if !bl.MatchBytes(sni) {
+			t.Fatal("bypass miss")
+		}
+	}); n != 0 {
+		t.Fatalf("fast path allocates %.1f times per run, want 0", n)
+	}
+}

@@ -1,0 +1,71 @@
+package interception
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// HTTP CONNECT entry (§IV's explicit-proxy deployment): browsers configured
+// with the RA as their HTTPS proxy open the connection with
+//
+//	CONNECT host:port HTTP/1.1
+//
+// followed by headers and a blank line; the TLS exchange runs inside the
+// established tunnel. The interceptor answers 200 and re-runs the bump
+// decision on the tunnel bytes, so CONNECT and transparent traffic get the
+// identical treatment past the preamble.
+
+// maxConnectPreamble bounds the CONNECT request line + headers.
+const maxConnectPreamble = 8 << 10
+
+// looksLikeConnect reports whether the first bytes could start an HTTP
+// CONNECT request. Only CONNECT is recognized: plain HTTP through the
+// interceptor is just non-TLS traffic and splices verbatim.
+func looksLikeConnect(prefix []byte) bool {
+	return len(prefix) >= 5 && bytes.Equal(prefix[:5], []byte("CONNE"))
+}
+
+// readConnect consumes the CONNECT preamble from the peeker, answers 200,
+// and returns the requested host and host:port. The peeker's buffer is
+// advanced past the preamble; tunnel bytes stay buffered.
+func readConnect(p *peeker, client net.Conn) (host, hostport string, err error) {
+	var end int
+	for {
+		buf := p.buffered()
+		if i := bytes.Index(buf, []byte("\r\n\r\n")); i >= 0 {
+			end = i + 4
+			break
+		}
+		if len(buf) > maxConnectPreamble {
+			return "", "", errors.New("request preamble exceeds 8 KiB")
+		}
+		if _, err := p.peek(len(buf) + 1); err != nil {
+			return "", "", fmt.Errorf("reading request: %w", err)
+		}
+	}
+	preamble := string(p.buffered()[:end])
+	p.discard(end)
+
+	line, _, _ := strings.Cut(preamble, "\r\n")
+	parts := strings.Fields(line)
+	if len(parts) < 3 || parts[0] != "CONNECT" {
+		return "", "", fmt.Errorf("malformed request line %q", line)
+	}
+	hostport = parts[1]
+	host, _, err = net.SplitHostPort(hostport)
+	if err != nil {
+		// CONNECT targets default to :443 when the port is omitted.
+		host = hostport
+		hostport = net.JoinHostPort(hostport, "443")
+	}
+	if host == "" {
+		return "", "", fmt.Errorf("empty host in %q", parts[1])
+	}
+	if _, err := client.Write([]byte("HTTP/1.1 200 Connection Established\r\n\r\n")); err != nil {
+		return "", "", fmt.Errorf("writing 200: %w", err)
+	}
+	return host, hostport, nil
+}

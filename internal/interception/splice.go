@@ -1,0 +1,58 @@
+package interception
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// splice copies bytes between a and b in both directions until both
+// directions finish, half-closing each sink when its source drains. Benign
+// termination (EOF, our own teardown closing the conns) is silent;
+// anything else — a peer reset mid-splice, a write into a half-closed
+// socket — goes to onErr, because a middlebox that drops those on the
+// floor turns every downstream incident into "the RA ate my bytes"
+// (exactly the ra.Proxy bug PR 8 fixed).
+//
+// When both ends are raw *net.TCPConn (the bypass and non-TLS paths),
+// io.Copy short-circuits into the kernel (splice/sendfile): the verbatim
+// path moves no byte through user space.
+func splice(a, b net.Conn, onErr func(error)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pipeHalf(b, a, onErr)
+	}()
+	pipeHalf(a, b, onErr)
+	wg.Wait()
+}
+
+// pipeHalf copies src → dst, then half-closes dst.
+func pipeHalf(dst, src net.Conn, onErr func(error)) {
+	_, err := io.Copy(dst, src)
+	if err != nil && !isBenignSpliceError(err) && onErr != nil {
+		onErr(err)
+	}
+	halfClose(dst)
+}
+
+type closeWriter interface{ CloseWrite() error }
+
+// halfClose propagates end-of-stream: CloseWrite on conns that support it
+// (TCP FIN, TLS close_notify), full Close otherwise.
+func halfClose(c net.Conn) {
+	if cw, ok := c.(closeWriter); ok {
+		cw.CloseWrite() //nolint:errcheck // advisory; the peer may be gone
+		return
+	}
+	c.Close() //nolint:errcheck // advisory
+}
+
+// isBenignSpliceError reports errors that are normal connection teardown
+// rather than data loss.
+func isBenignSpliceError(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.ErrClosedPipe)
+}

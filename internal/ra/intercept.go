@@ -1,0 +1,41 @@
+package ra
+
+import (
+	"ritm/internal/interception"
+)
+
+// NewInterceptor starts a real-TLS intercepting data plane on listenAddr,
+// backed by this RA's dictionary store: every bumped handshake drives
+// Store.Status — the same lock-free fast path the tlssim proxy uses — and
+// revoked upstream leaves are refused with a certificate_revoked alert
+// before any application byte flows.
+//
+// cfg.Status is overwritten with the RA's store; cfg.OnSession is chained
+// (the RA's data-path counters are updated first, then the caller's
+// callback runs). Everything else in cfg passes through, so deployments
+// control the minting root, bypass list, upstream target, and error sink.
+func (ra *RA) NewInterceptor(listenAddr string, cfg interception.Config) (*interception.Interceptor, error) {
+	cfg.Status = ra.store
+	user := cfg.OnSession
+	cfg.OnSession = func(s *interception.Session) {
+		ra.stats.connectionsTotal.Add(1)
+		switch {
+		case s.NonTLS:
+			ra.stats.nonTLSConnections.Add(1)
+		case s.Revoked:
+			ra.stats.connectionsRefused.Add(1)
+		case !s.Bypassed:
+			ra.stats.connectionsBumped.Add(1)
+			ra.stats.connectionsSupported.Add(1)
+			if s.StatusErr == nil {
+				// The status rode the bump decision and its metadata is on
+				// the session: the real-TLS analogue of an injected record.
+				ra.stats.statusesInjected.Add(1)
+			}
+		}
+		if user != nil {
+			user(s)
+		}
+	}
+	return interception.Listen(listenAddr, cfg)
+}

@@ -187,9 +187,11 @@ func (p *Proxy) handle(client net.Conn) error {
 	server.Close()
 	c2sErr := <-errCh
 	if s2cErr != nil && !isClosedConn(s2cErr) {
+		p.ra.stats.spliceErrors.Add(1)
 		return s2cErr
 	}
 	if c2sErr != nil && !isClosedConn(c2sErr) {
+		p.ra.stats.spliceErrors.Add(1)
 		return c2sErr
 	}
 	return nil
@@ -205,20 +207,34 @@ func isClosedConn(err error) bool {
 		errors.Is(err, io.ErrClosedPipe)
 }
 
-// pipeRaw forwards bytes in both directions without interpretation.
+// pipeRaw forwards bytes in both directions without interpretation. Splice
+// errors are not swallowed: a peer resetting mid-stream (or writing into a
+// half-closed socket) surfaces through SetOnError and the SpliceErrors
+// counter — the seed dropped both copy errors on the floor, so a flaky
+// upstream was indistinguishable from a quiet one.
 func (p *Proxy) pipeRaw(client net.Conn, clientBuf *bufio.Reader, server net.Conn) error {
 	done := make(chan struct{})
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		defer close(done)
-		io.Copy(server, clientBuf) //nolint:errcheck // best-effort pipe
+		if _, err := io.Copy(server, clientBuf); err != nil && !isClosedConn(err) {
+			p.spliceError(fmt.Errorf("ra proxy: client→server splice: %w", err))
+		}
 		closeWrite(server)
 	}()
-	io.Copy(client, server) //nolint:errcheck // best-effort pipe
+	if _, err := io.Copy(client, server); err != nil && !isClosedConn(err) {
+		p.spliceError(fmt.Errorf("ra proxy: server→client splice: %w", err))
+	}
 	closeWrite(client)
 	<-done
 	return nil
+}
+
+// spliceError counts and reports one non-benign splice error.
+func (p *Proxy) spliceError(err error) {
+	p.ra.stats.spliceErrors.Add(1)
+	p.reportError(err)
 }
 
 type closeWriter interface{ CloseWrite() error }

@@ -1,0 +1,83 @@
+package ra
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestProxySpliceErrorSurfaced regresses the raw-pipe error handling: an
+// upstream that resets mid-stream (half-close followed by RST while the
+// client keeps writing) must surface through SetOnError and the
+// SpliceErrors counter instead of being swallowed — the seed dropped both
+// copy errors on the floor.
+func TestProxySpliceErrorSurfaced(t *testing.T) {
+	e := newEnv(t, time.Hour)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tc := c.(*net.TCPConn)
+		// Wait for the first byte so the abort happens mid-stream, then
+		// send an RST (SetLinger(0) + Close) instead of a clean FIN.
+		buf := make([]byte, 1)
+		tc.Read(buf)    //nolint:errcheck // any outcome proceeds to the reset
+		tc.SetLinger(0) //nolint:errcheck // best effort
+		tc.Close()
+	}()
+
+	proxy, err := e.ra.NewProxy("127.0.0.1:0", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	errCh := make(chan error, 16)
+	proxy.SetOnError(func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	})
+
+	conn, err := net.Dial("tcp", proxy.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A non-TLS first byte routes the connection down the raw pipe path.
+	payload := bytes.Repeat([]byte{'x'}, 4096)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Write(payload); err != nil {
+			break // the RST propagated back through the proxy
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for time.Now().Before(deadline) {
+		if e.ra.Stats().SpliceErrors > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := e.ra.Stats().SpliceErrors; got == 0 {
+		t.Fatal("SpliceErrors = 0 after a mid-stream reset")
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("nil error delivered to SetOnError")
+		}
+	default:
+		t.Fatal("no error delivered to SetOnError")
+	}
+}

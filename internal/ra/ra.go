@@ -547,6 +547,16 @@ type ProxyStats struct {
 	StatusesForwarded int64
 	// StatusesReplaced counts upstream-RA statuses replaced by fresher ones.
 	StatusesReplaced int64
+	// SpliceErrors counts non-benign data-path errors absorbed while
+	// splicing proxied bytes (e.g. a peer reset mid-stream). The seed's
+	// proxy swallowed these entirely; they now also reach SetOnError.
+	SpliceErrors int64
+	// ConnectionsBumped counts real-TLS connections terminated by the
+	// RA's interceptor (ra.RA.NewInterceptor) after a clean status check.
+	ConnectionsBumped int64
+	// ConnectionsRefused counts real-TLS connections the interceptor
+	// refused because the upstream leaf is revoked in the dictionary.
+	ConnectionsRefused int64
 }
 
 // proxyCounters is the lock-free backing store for ProxyStats. The seed
@@ -561,6 +571,9 @@ type proxyCounters struct {
 	statusesInjected     atomic.Int64
 	statusesForwarded    atomic.Int64
 	statusesReplaced     atomic.Int64
+	spliceErrors         atomic.Int64
+	connectionsBumped    atomic.Int64
+	connectionsRefused   atomic.Int64
 }
 
 // Stats returns a copy of the RA's data-path counters. Each counter is
@@ -575,6 +588,9 @@ func (ra *RA) Stats() ProxyStats {
 		StatusesInjected:     ra.stats.statusesInjected.Load(),
 		StatusesForwarded:    ra.stats.statusesForwarded.Load(),
 		StatusesReplaced:     ra.stats.statusesReplaced.Load(),
+		SpliceErrors:         ra.stats.spliceErrors.Load(),
+		ConnectionsBumped:    ra.stats.connectionsBumped.Load(),
+		ConnectionsRefused:   ra.stats.connectionsRefused.Load(),
 	}
 }
 

@@ -56,6 +56,7 @@ import (
 	"ritm/internal/cryptoutil"
 	"ritm/internal/dictionary"
 	"ritm/internal/experiments"
+	"ritm/internal/interception"
 	"ritm/internal/monitor"
 	"ritm/internal/ra"
 	"ritm/internal/ritmclient"
@@ -318,6 +319,63 @@ type (
 
 // NewRA creates a Revocation Agent.
 func NewRA(cfg RAConfig) (*RA, error) { return ra.New(cfg) }
+
+// Real-TLS intercepting data plane: a crypto/tls-terminating bump
+// middlebox whose handshake decision is driven by the RA's dictionary.
+// Start one with (*RA).NewInterceptor.
+type (
+	// Interceptor is the real-TLS bump middlebox.
+	Interceptor = interception.Interceptor
+	// InterceptConfig configures an Interceptor.
+	InterceptConfig = interception.Config
+	// InterceptSession is the per-connection bump outcome.
+	InterceptSession = interception.Session
+	// InterceptStats counts the interceptor's data-path activity.
+	InterceptStats = interception.Stats
+	// Minter mints per-site leaves under a local bump root.
+	Minter = interception.Minter
+	// MintingRoot is the local root bump leaves chain to.
+	MintingRoot = interception.MintingRoot
+	// BypassList lists hosts the interceptor never bumps.
+	BypassList = interception.BypassList
+	// KeyAlg selects the minting root's key algorithm.
+	KeyAlg = interception.KeyAlg
+)
+
+// Minting-root key algorithms.
+const (
+	KeyECDSA = interception.KeyECDSA
+	KeyRSA   = interception.KeyRSA
+)
+
+// NewMintingRoot generates a fresh self-signed interception root.
+func NewMintingRoot(commonName string, alg KeyAlg) (*MintingRoot, error) {
+	return interception.NewMintingRoot(commonName, alg)
+}
+
+// LoadOrCreateMintingRoot loads an interception root from a PEM file,
+// generating and persisting one if the file does not exist.
+func LoadOrCreateMintingRoot(path, commonName string, alg KeyAlg) (*MintingRoot, error) {
+	return interception.LoadOrCreateMintingRoot(path, commonName, alg)
+}
+
+// NewMinter wraps a minting root with an LRU leaf cache (cacheCap 0 =
+// default).
+func NewMinter(root *MintingRoot, cacheCap int) *Minter {
+	return interception.NewMinter(root, cacheCap)
+}
+
+// NewBypassList builds a bypass list from entries ("example.com" exact,
+// ".example.com" includes subdomains).
+func NewBypassList(entries ...string) *BypassList {
+	return interception.NewBypassList(entries...)
+}
+
+// LoadBypassFile reads a bypass list from a file (one entry per line,
+// '#' comments).
+func LoadBypassFile(path string) (*BypassList, error) {
+	return interception.LoadBypassFile(path)
+}
 
 // RITM-supported client (§III steps 5–7).
 type (
