@@ -41,6 +41,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; served only via -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -68,8 +69,10 @@ func main() {
 		fsync     = flag.Bool("fsync", true, "fsync the WAL on every committed update batch (off trades crash-durability of the newest batches for latency)")
 		gzipOn    = flag.Bool("gzip", false, "compress large /v1/pull bodies for gzip-accepting clients (Vary-safe, per-encoding ETags)")
 		follow    = flag.String("follow", "", "run as a follower origin replicating from this leader URL instead of as a CA; -layout must match the leader's")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061); empty = disabled")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 	kind, err := ritm.ParseLayout(*layout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -93,6 +96,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// startPprof exposes the pprof endpoints on their own listener. Opt-in
+// and on a separate address by design: the profiling surface must never
+// ride on the dissemination/admin address the fleet talks to.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
 }
 
 // loadOrCreateSigner persists the CA's Ed25519 seed under dir (mode 0600):

@@ -25,6 +25,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; served only via -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -56,8 +57,10 @@ func main() {
 		intercept = flag.Bool("intercept", false, "terminate real TLS on -listen instead of the tlssim DPI proxy: bumped handshakes drive the dictionary status check (upstream leaf mapped by issuer CN + serial), revoked upstreams are refused with a certificate_revoked alert, and clients see leaves minted under -bump-root")
 		bumpRoot  = flag.String("bump-root", "", "PEM file holding the interception root certificate + private key; created (ECDSA P-256, 10y) if missing. Required with -intercept; clients must install the certificate")
 		bypass    = flag.String("bypass-file", "", "file listing hosts never bumped (one per line, '#' comments; 'example.com' exact, '.example.com' includes subdomains); matching connections are spliced verbatim")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 	kind, err := ritm.ParseLayout(*layout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -96,6 +99,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// startPprof exposes the pprof endpoints on their own listener. Opt-in
+// and on a separate address by design: the profiling surface (heap dumps,
+// symbol tables, 30-second CPU captures) must never ride on the address
+// clients or the fleet talk to.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
 }
 
 // splitShards splits an -origins value into its per-shard candidate

@@ -469,11 +469,29 @@ type cachedRoot struct {
 
 var _ Origin = (*HTTPClient)(nil)
 
+// defaultHTTPClient backs every HTTPClient that does not bring its own
+// http.Client. http.DefaultClient's transport keeps only
+// http.DefaultMaxIdleConnsPerHost (2) idle connections per host — far too
+// few for the dissemination fan-in, where a whole RA fleet multiplexes
+// concurrent pulls against ONE edge host: every request past the second
+// opens a fresh TCP connection only to close it moments later. The shared
+// transport below clones the default (keeping its dialer keep-alives and
+// proxy/timeout settings) and raises the idle pool so the steady-state
+// pull load runs over warm, reused connections.
+var defaultHTTPClient = &http.Client{Transport: newDefaultTransport()}
+
+func newDefaultTransport() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	return t
+}
+
 func (h *HTTPClient) client() *http.Client {
 	if h.Client != nil {
 		return h.Client
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 // httpResult is one response, decoded enough to map errors and validators.

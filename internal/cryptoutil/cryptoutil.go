@@ -111,9 +111,31 @@ func HashLeaf(payload []byte) Hash {
 	return HashConcat([]byte{domainLeaf}, payload)
 }
 
+// HashLeafSerial computes the dictionary leaf hash directly from the
+// leaf's fields — byte-identical to HashLeaf over the leaf's wire payload
+// (length-prefixed serial bytes, then the issuance counter as a uvarint)
+// — assembling the preimage in a stack buffer. Leaf hashing dominates ∆
+// rebuilds (every RA re-hashes every churned leaf every cycle), so this
+// path must not allocate; HashLeaf + an encoder costs two heap objects
+// per call.
+func HashLeafSerial(serialRaw []byte, num uint64) Hash {
+	var buf [1 + binary.MaxVarintLen64 + 40 + binary.MaxVarintLen64]byte
+	b := append(buf[:0], domainLeaf)
+	b = binary.AppendUvarint(b, uint64(len(serialRaw)))
+	b = append(b, serialRaw...)
+	b = binary.AppendUvarint(b, num)
+	return HashBytes(b)
+}
+
 // HashNode computes the hash of an interior Merkle node from its children.
+// Like HashLeafSerial it builds the fixed-size preimage on the stack:
+// interior hashing is the other half of every rebuild's work.
 func HashNode(left, right Hash) Hash {
-	return HashConcat([]byte{domainNode}, left[:], right[:])
+	var buf [1 + 2*HashSize]byte
+	buf[0] = domainNode
+	copy(buf[1:], left[:])
+	copy(buf[1+HashSize:], right[:])
+	return HashBytes(buf[:])
 }
 
 // HashBucket commits one bucket of a forest-layout dictionary: its

@@ -447,29 +447,105 @@ func (st *MappedState) searchLeaf(s serial.Number) int {
 }
 
 // mlev is one hash level of a mapped structure: a region, a base offset,
-// and a node count. pathOver walks a []mlev the way pathAt walks heap
-// levels, so mapped and heap proofs are byte-identical.
+// and a node count. appendMappedPath walks a []mlev the way pathAt walks
+// heap levels, so mapped and heap proofs are byte-identical.
 type mlev struct {
 	region []byte
 	base   int
 	size   int
 }
 
-// pathOver returns the audit path for position idx, copying only the
-// O(log n) sibling hashes onto the heap.
-func pathOver(levels []mlev, idx int) []cryptoutil.Hash {
+// appendMappedPath is appendHeapPath over a mapped level structure: the
+// pathOver walk writing into the arena's shared path array.
+func (a *proofArena) appendMappedPath(levels []mlev, idx int) []cryptoutil.Hash {
 	if len(levels) == 0 || idx < 0 || idx >= levels[0].size {
 		return nil
 	}
-	path := make([]cryptoutil.Hash, 0, len(levels))
+	start := len(a.paths)
 	for lvl := 0; lvl < len(levels)-1; lvl++ {
 		sib := idx ^ 1
 		if sib < levels[lvl].size {
-			path = append(path, hashAt(levels[lvl].region, levels[lvl].base, sib))
+			a.paths = append(a.paths, hashAt(levels[lvl].region, levels[lvl].base, sib))
 		}
 		idx /= 2
 	}
-	return path
+	return a.paths[start:len(a.paths):len(a.paths)]
+}
+
+// fillMappedLeaf populates the arena's next inline ProofLeaf from mapped
+// leaf leafStart+idx. The serial is copied off the map (leafAt) — the
+// checkpoint may be unmapped while a cached Status still holds the proof.
+func (a *proofArena) fillMappedLeaf(st *MappedState, leafStart, idx int, levels []mlev) *ProofLeaf {
+	lf, err := st.leafAt(leafStart + idx)
+	if err != nil {
+		// OpenMappedState validated every leaf record; see mustLeaf.
+		panic(err)
+	}
+	pl := &a.leaves[a.nleaf]
+	a.nleaf++
+	pl.Serial = lf.Serial
+	pl.Num = lf.Num
+	pl.Index = uint64(idx)
+	pl.Path = a.appendMappedPath(levels, idx)
+	return pl
+}
+
+// proveRun is proveLocal over a mapped leaf run: the sorted layout's whole
+// leaf array (leafStart 0) or one forest bucket. lo is the caller's search
+// result (first index in the run with serial ≥ s). The spine path, when sp
+// is non-nil, comes from heapSpine (overlay-rebuilt) or mappedSpine
+// (pure-mapped), whichever is non-nil. levels is hoisted here so the
+// []mlev structure is built once per proof rather than once per leaf.
+func (st *MappedState) proveRun(s serial.Number, leafStart, count, lo int, levels []mlev, sp *SpineSegment, heapSpine [][]cryptoutil.Hash, mappedSpine []mlev, spineIdx int) *Proof {
+	kind := ProofAbsence
+	li, ri := -1, -1
+	equal := false
+	if lo < count {
+		raw, _ := st.leafRaw(leafStart + lo)
+		equal = compareRaw(raw, s.Raw()) == 0
+	}
+	switch {
+	case equal:
+		kind, li = ProofPresence, lo
+	case lo == 0:
+		ri = 0
+	case lo == count:
+		li = count - 1
+	default:
+		li, ri = lo-1, lo
+	}
+	perLeaf := len(levels) - 1
+	pathCap := 0
+	if li >= 0 {
+		pathCap += perLeaf
+	}
+	if ri >= 0 {
+		pathCap += perLeaf
+	}
+	if sp != nil {
+		if heapSpine != nil {
+			pathCap += len(heapSpine) - 1
+		} else if len(mappedSpine) > 0 {
+			pathCap += len(mappedSpine) - 1
+		}
+	}
+	a := newProofArena(kind, pathCap)
+	if li >= 0 {
+		a.proof.Left = a.fillMappedLeaf(st, leafStart, li, levels)
+	}
+	if ri >= 0 {
+		a.proof.Right = a.fillMappedLeaf(st, leafStart, ri, levels)
+	}
+	if sp != nil {
+		a.spine = *sp
+		if heapSpine != nil {
+			a.spine.Path = a.appendHeapPath(heapSpine, spineIdx)
+		} else {
+			a.spine.Path = a.appendMappedPath(mappedSpine, spineIdx)
+		}
+		a.proof.Spine = &a.spine
+	}
+	return &a.proof
 }
 
 // sortedLevels returns the mapped level structure of the sorted layout.
@@ -479,20 +555,6 @@ func (st *MappedState) sortedLevels() []mlev {
 		out[i] = mlev{region: st.levels, base: st.levelOffs[i], size: st.levelSizes[i]}
 	}
 	return out
-}
-
-// proofLeaf builds the ProofLeaf for global sorted index idx.
-func (st *MappedState) proofLeaf(idx int) (*ProofLeaf, error) {
-	lf, err := st.leafAt(idx)
-	if err != nil {
-		return nil, err
-	}
-	return &ProofLeaf{
-		Serial: lf.Serial,
-		Num:    lf.Num,
-		Index:  uint64(idx),
-		Path:   pathOver(st.sortedLevels(), idx),
-	}, nil
 }
 
 // bucketRec returns the raw 96-byte directory record of bucket bi.
@@ -569,21 +631,6 @@ func (st *MappedState) bucketSearch(m bucketMeta, s serial.Number) int {
 		}
 	}
 	return lo
-}
-
-// bucketProofLeaf builds the bucket-local ProofLeaf for index idx of the
-// bucket described by m.
-func (st *MappedState) bucketProofLeaf(m bucketMeta, idx int) (*ProofLeaf, error) {
-	lf, err := st.leafAt(m.leafStart + idx)
-	if err != nil {
-		return nil, err
-	}
-	return &ProofLeaf{
-		Serial: lf.Serial,
-		Num:    lf.Num,
-		Index:  uint64(idx),
-		Path:   pathOver(st.bucketLevels(m), idx),
-	}, nil
 }
 
 // spineLevels returns the mapped spine structure.

@@ -264,6 +264,108 @@ func pathAt(levels [][]cryptoutil.Hash, idx int) []cryptoutil.Hash {
 	return path
 }
 
+// proofArena bundles a Proof with its leaf structs, spine segment, and a
+// single shared backing array for every audit path in the proof. Status
+// proving is the RA's hot path — each proof used to cost one heap object
+// per struct plus one slice per path (7+ allocations for a forest
+// absence); the arena packs all of it into two (the arena itself and the
+// path array), sized exactly up front so append never reallocates.
+type proofArena struct {
+	proof  Proof
+	leaves [2]ProofLeaf
+	spine  SpineSegment
+	nleaf  int
+	paths  []cryptoutil.Hash
+}
+
+func newProofArena(kind ProofKind, pathCap int) *proofArena {
+	a := &proofArena{}
+	a.proof.Kind = kind
+	if pathCap > 0 {
+		a.paths = make([]cryptoutil.Hash, 0, pathCap)
+	}
+	return a
+}
+
+// appendHeapPath appends the audit path for position idx of a heap level
+// structure (the pathAt walk) to the shared array and returns the capped
+// segment holding it.
+func (a *proofArena) appendHeapPath(levels [][]cryptoutil.Hash, idx int) []cryptoutil.Hash {
+	if len(levels) == 0 || idx < 0 || idx >= len(levels[0]) {
+		return nil
+	}
+	start := len(a.paths)
+	for lvl := 0; lvl < len(levels)-1; lvl++ {
+		nodes := levels[lvl]
+		sib := idx ^ 1
+		if sib < len(nodes) {
+			a.paths = append(a.paths, nodes[sib])
+		}
+		idx /= 2
+	}
+	return a.paths[start:len(a.paths):len(a.paths)]
+}
+
+// fillLeaf populates the arena's next inline ProofLeaf from tree index idx.
+func (a *proofArena) fillLeaf(m miniTree, idx int) *ProofLeaf {
+	pl := &a.leaves[a.nleaf]
+	a.nleaf++
+	pl.Serial = m.leaves[idx].Serial
+	pl.Num = m.leaves[idx].Num
+	pl.Index = uint64(idx)
+	pl.Path = a.appendHeapPath(m.levels, idx)
+	return pl
+}
+
+// proveLocal runs the shared presence/absence switch over the tree's
+// leaves — the same boundary cases as the pre-arena Prove implementations
+// — building the whole proof in one arena. sp, when non-nil, is the spine
+// segment metadata (Path unset); spineLevels/spineIdx locate the bucket's
+// audit path. Callers guarantee at least one leaf.
+func (m miniTree) proveLocal(s serial.Number, sp *SpineSegment, spineLevels [][]cryptoutil.Hash, spineIdx int) *Proof {
+	n := len(m.leaves)
+	lo := m.searchLeaf(s)
+	kind := ProofAbsence
+	li, ri := -1, -1
+	switch {
+	case lo < n && m.leaves[lo].Serial.Equal(s):
+		kind, li = ProofPresence, lo
+	case lo == 0:
+		// s precedes every leaf: the first leaf bounds it from above.
+		ri = 0
+	case lo == n:
+		// s follows every leaf: the last leaf bounds it from below.
+		li = n - 1
+	default:
+		// s falls strictly between two adjacent leaves.
+		li, ri = lo-1, lo
+	}
+	perLeaf := len(m.levels) - 1
+	pathCap := 0
+	if li >= 0 {
+		pathCap += perLeaf
+	}
+	if ri >= 0 {
+		pathCap += perLeaf
+	}
+	if sp != nil && len(spineLevels) > 0 {
+		pathCap += len(spineLevels) - 1
+	}
+	a := newProofArena(kind, pathCap)
+	if li >= 0 {
+		a.proof.Left = a.fillLeaf(m, li)
+	}
+	if ri >= 0 {
+		a.proof.Right = a.fillLeaf(m, ri)
+	}
+	if sp != nil {
+		a.spine = *sp
+		a.spine.Path = a.appendHeapPath(spineLevels, spineIdx)
+		a.proof.Spine = &a.spine
+	}
+	return &a.proof
+}
+
 // mergeLeaves merges a sorted batch of new leaves into the sorted existing
 // run, hashing the new leaves as it goes. It writes into fresh arrays
 // (copy-on-write): the previous version's arrays — possibly aliased by a

@@ -282,26 +282,12 @@ func (v forestView) Prove(s serial.Number) *Proof {
 	}
 	bi := v.bucketFor(s)
 	b := v.buckets[bi]
-	sp := &SpineSegment{
+	sp := SpineSegment{
 		BucketIndex: uint64(bi),
 		NumBuckets:  uint64(len(v.buckets)),
 		LeafCount:   uint64(len(b.tree.leaves)),
 		Lo:          b.lo,
 		Hi:          b.hi,
-		Path:        pathAt(v.spine, bi),
 	}
-	n := len(b.tree.leaves)
-	lo := b.tree.searchLeaf(s)
-	switch {
-	case lo < n && b.tree.leaves[lo].Serial.Equal(s):
-		return &Proof{Kind: ProofPresence, Left: b.tree.proofLeaf(lo), Spine: sp}
-	case lo == 0:
-		// s precedes every leaf of its bucket (but is ≥ lo by range).
-		return &Proof{Kind: ProofAbsence, Right: b.tree.proofLeaf(0), Spine: sp}
-	case lo == n:
-		// s follows every leaf of its bucket (but is < hi by range).
-		return &Proof{Kind: ProofAbsence, Left: b.tree.proofLeaf(n - 1), Spine: sp}
-	default:
-		return &Proof{Kind: ProofAbsence, Left: b.tree.proofLeaf(lo - 1), Right: b.tree.proofLeaf(lo), Spine: sp}
-	}
+	return b.tree.proveLocal(s, &sp, v.spine, bi)
 }

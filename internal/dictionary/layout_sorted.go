@@ -90,23 +90,8 @@ func (v sortedView) Revoked(s serial.Number) (uint64, bool) {
 // Prove produces a presence or absence proof for s. The proof verifies
 // against Root() and the leaf count.
 func (v sortedView) Prove(s serial.Number) *Proof {
-	n := len(v.leaves)
-	if n == 0 {
+	if len(v.leaves) == 0 {
 		return &Proof{Kind: ProofAbsenceEmpty}
 	}
-	lo := v.searchLeaf(s)
-	if lo < n && v.leaves[lo].Serial.Equal(s) {
-		return &Proof{Kind: ProofPresence, Left: v.proofLeaf(lo)}
-	}
-	switch {
-	case lo == 0:
-		// s precedes every leaf: the first leaf bounds it from above.
-		return &Proof{Kind: ProofAbsence, Right: v.proofLeaf(0)}
-	case lo == n:
-		// s follows every leaf: the last leaf bounds it from below.
-		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(n - 1)}
-	default:
-		// s falls strictly between two adjacent leaves.
-		return &Proof{Kind: ProofAbsence, Left: v.proofLeaf(lo - 1), Right: v.proofLeaf(lo)}
-	}
+	return v.miniTree.proveLocal(s, nil, nil, 0)
 }

@@ -81,33 +81,10 @@ func (v mappedSortedView) Revoked(s serial.Number) (uint64, bool) {
 
 func (v mappedSortedView) Prove(s serial.Number) *Proof {
 	st := v.st
-	n := st.count
-	if n == 0 {
+	if st.count == 0 {
 		return &Proof{Kind: ProofAbsenceEmpty}
 	}
-	lo := st.searchLeaf(s)
-	if lo < n {
-		if raw, _ := st.leafRaw(lo); compareRaw(raw, s.Raw()) == 0 {
-			return &Proof{Kind: ProofPresence, Left: st.mustProofLeaf(lo)}
-		}
-	}
-	switch {
-	case lo == 0:
-		return &Proof{Kind: ProofAbsence, Right: st.mustProofLeaf(0)}
-	case lo == n:
-		return &Proof{Kind: ProofAbsence, Left: st.mustProofLeaf(n - 1)}
-	default:
-		return &Proof{Kind: ProofAbsence, Left: st.mustProofLeaf(lo - 1), Right: st.mustProofLeaf(lo)}
-	}
-}
-
-// mustProofLeaf is proofLeaf over validated state.
-func (st *MappedState) mustProofLeaf(idx int) *ProofLeaf {
-	pl, err := st.proofLeaf(idx)
-	if err != nil {
-		panic(err)
-	}
-	return pl
+	return st.proveRun(s, 0, st.count, st.searchLeaf(s), st.sortedLevels(), nil, nil, nil, 0)
 }
 
 // mappedForestView proves over the mapped forest layout, mirroring
@@ -140,43 +117,14 @@ func (v mappedForestView) Prove(s serial.Number) *Proof {
 	}
 	bi := st.bucketFor(s)
 	m := st.bucketMeta(bi)
-	sp := &SpineSegment{
+	sp := SpineSegment{
 		BucketIndex: uint64(bi),
 		NumBuckets:  uint64(st.nb),
 		LeafCount:   uint64(m.leafCount),
 		Lo:          mustNumber(m.lo),
 		Hi:          mustNumber(m.hi),
-		Path:        pathOver(st.spineLevels(), bi),
 	}
-	return st.proveBucket(m, s, sp)
-}
-
-// proveBucket runs the shared in-bucket presence/absence switch over a
-// mapped bucket — the same boundary cases as forestView.Prove.
-func (st *MappedState) proveBucket(m bucketMeta, s serial.Number, sp *SpineSegment) *Proof {
-	n := m.leafCount
-	lo := st.bucketSearch(m, s)
-	if lo < n {
-		if raw, _ := st.leafRaw(m.leafStart + lo); compareRaw(raw, s.Raw()) == 0 {
-			return &Proof{Kind: ProofPresence, Left: st.mustBucketProofLeaf(m, lo), Spine: sp}
-		}
-	}
-	switch {
-	case lo == 0:
-		return &Proof{Kind: ProofAbsence, Right: st.mustBucketProofLeaf(m, 0), Spine: sp}
-	case lo == n:
-		return &Proof{Kind: ProofAbsence, Left: st.mustBucketProofLeaf(m, n-1), Spine: sp}
-	default:
-		return &Proof{Kind: ProofAbsence, Left: st.mustBucketProofLeaf(m, lo-1), Right: st.mustBucketProofLeaf(m, lo), Spine: sp}
-	}
-}
-
-func (st *MappedState) mustBucketProofLeaf(m bucketMeta, idx int) *ProofLeaf {
-	pl, err := st.bucketProofLeaf(m, idx)
-	if err != nil {
-		panic(err)
-	}
-	return pl
+	return st.proveRun(s, m.leafStart, m.leafCount, st.bucketSearch(m, s), st.bucketLevels(m), &sp, nil, st.spineLevels(), bi)
 }
 
 // mappedView returns the pure-mapped LayoutView for the checkpoint.
@@ -444,30 +392,19 @@ func (v ovForestView) Prove(s serial.Number) *Proof {
 	}
 	bi := v.bucketFor(s)
 	b := v.f.buckets[bi]
-	sp := &SpineSegment{
+	sp := SpineSegment{
 		BucketIndex: uint64(bi),
 		NumBuckets:  uint64(len(v.f.buckets)),
 		LeafCount:   uint64(b.count),
 		Lo:          b.lo,
 		Hi:          b.hi,
-		Path:        pathAt(v.f.spine, bi),
 	}
 	if b.heap == nil {
-		return v.f.st.proveBucket(v.f.st.bucketMeta(b.mi), s, sp)
+		st := v.f.st
+		m := st.bucketMeta(b.mi)
+		return st.proveRun(s, m.leafStart, m.leafCount, st.bucketSearch(m, s), st.bucketLevels(m), &sp, v.f.spine, nil, bi)
 	}
-	t := b.heap.tree
-	n := len(t.leaves)
-	lo := t.searchLeaf(s)
-	switch {
-	case lo < n && t.leaves[lo].Serial.Equal(s):
-		return &Proof{Kind: ProofPresence, Left: t.proofLeaf(lo), Spine: sp}
-	case lo == 0:
-		return &Proof{Kind: ProofAbsence, Right: t.proofLeaf(0), Spine: sp}
-	case lo == n:
-		return &Proof{Kind: ProofAbsence, Left: t.proofLeaf(n - 1), Spine: sp}
-	default:
-		return &Proof{Kind: ProofAbsence, Left: t.proofLeaf(lo - 1), Right: t.proofLeaf(lo), Spine: sp}
-	}
+	return b.heap.tree.proveLocal(s, &sp, v.f.spine, bi)
 }
 
 // MappedSnapshot is one immutable version of a dictionary served from a

@@ -34,7 +34,6 @@ import (
 
 	"ritm/internal/cryptoutil"
 	"ritm/internal/serial"
-	"ritm/internal/wire"
 )
 
 // Errors returned by dictionary operations.
@@ -70,17 +69,12 @@ type Leaf struct {
 	Num    uint64
 }
 
-// payload returns the canonical byte encoding hashed into the tree.
-func (l Leaf) payload() []byte {
-	e := wire.NewEncoder(serial.MaxLen + 12)
-	e.BytesField(l.Serial.Raw())
-	e.Uvarint(l.Num)
-	return e.Bytes()
-}
-
-// hash returns the domain-separated leaf hash.
+// hash returns the domain-separated leaf hash. The preimage is the
+// canonical wire encoding (length-prefixed serial bytes, then Num as a
+// uvarint); HashLeafSerial assembles it on the stack because leaf hashing
+// runs once per leaf per rebuild and must not allocate.
 func (l Leaf) hash() cryptoutil.Hash {
-	return cryptoutil.HashLeaf(l.payload())
+	return cryptoutil.HashLeafSerial(l.Serial.Raw(), l.Num)
 }
 
 // Tree is a dictionary: the layout-independent state (serial index,

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRecorder collects per-arrival latencies with a fixed-capacity
+// slice sized from the schedule, so the hot path is one mutex'd append —
+// no reallocation, no per-sample allocation.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	errors  int
+}
+
+func newLatencyRecorder(capacity int) *latencyRecorder {
+	return &latencyRecorder{samples: make([]time.Duration, 0, capacity)}
+}
+
+func (r *latencyRecorder) ok(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+func (r *latencyRecorder) err() {
+	r.mu.Lock()
+	r.errors++
+	r.mu.Unlock()
+}
+
+// TierResult summarizes one driven tier of a run.
+type TierResult struct {
+	// Offered is the schedule's arrival rate; Achieved counts only
+	// successful completions over the same window. A gap between them is
+	// saturation (or errors), not a slower clock — the open-loop
+	// schedule never yields.
+	Offered  float64 `json:"offered_qps"`
+	Achieved float64 `json:"achieved_qps"`
+	Count    int     `json:"count"`
+	Errors   int     `json:"errors"`
+	// Latency quantiles measured from each arrival's *scheduled* time,
+	// so queueing delay behind a saturated server counts against the
+	// tail (no coordinated omission).
+	P50  time.Duration `json:"p50"`
+	P99  time.Duration `json:"p99"`
+	P999 time.Duration `json:"p999"`
+	Max  time.Duration `json:"max"`
+}
+
+// summarize freezes the recorder into a TierResult over the given window.
+func (r *latencyRecorder) summarize(offered float64, window time.Duration) TierResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := TierResult{
+		Offered: offered,
+		Count:   len(r.samples),
+		Errors:  r.errors,
+	}
+	if window > 0 {
+		res.Achieved = float64(len(r.samples)) / window.Seconds()
+	}
+	if len(r.samples) == 0 {
+		return res
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res.P50 = quantileDur(sorted, 0.50)
+	res.P99 = quantileDur(sorted, 0.99)
+	res.P999 = quantileDur(sorted, 0.999)
+	res.Max = sorted[len(sorted)-1]
+	return res
+}
+
+// quantileDur is the nearest-rank quantile of an ascending slice.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

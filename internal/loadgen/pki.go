@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"time"
+
+	"ritm/internal/serial"
+)
+
+// sitePKI is the upstream site's real-x509 identity: an issuing CA whose
+// CommonName doubles as the RITM CA identifier (how the interceptor maps
+// a bumped chain back to a dictionary), and a leaf for the benchmark host
+// whose x509 serial is the dictionary serial the status check resolves.
+type sitePKI struct {
+	leaf tls.Certificate // served by the upstream TLS echo
+	pool *x509.CertPool  // trust anchor for dialing the upstream directly
+	sn   serial.Number   // the leaf's serial as a dictionary serial
+}
+
+// newSitePKI issues a fresh CA + leaf. rawSN must stay clear of the
+// serial ranges the churn driver revokes, or the harness would measure
+// certificate_revoked refusals instead of handshakes.
+func newSitePKI(caID, host string, rawSN int64) (*sitePKI, error) {
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: caID},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return nil, err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return nil, err
+	}
+	leafKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	leafTmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(rawSN),
+		Subject:      pkix.Name{CommonName: host},
+		DNSNames:     []string{host},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(12 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	leafDER, err := x509.CreateCertificate(rand.Reader, leafTmpl, caCert, &leafKey.PublicKey, caKey)
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := x509.ParseCertificate(leafDER)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(caCert)
+	sn, err := serial.New(big.NewInt(rawSN).Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: leaf serial: %w", err)
+	}
+	return &sitePKI{
+		leaf: tls.Certificate{Certificate: [][]byte{leafDER}, PrivateKey: leafKey, Leaf: parsed},
+		pool: pool,
+		sn:   sn,
+	}, nil
+}

@@ -1,0 +1,179 @@
+// Open-loop arrival scheduling for the macro-benchmark harness.
+//
+// A load generator that waits for one request to finish before issuing
+// the next (closed-loop) lets a slow server throttle its own measurement:
+// every stall also pauses the arrival clock, so the tail the user would
+// have felt never gets generated — the coordinated-omission trap. The
+// schedule here is the opposite: arrival offsets are drawn up front from
+// the chosen process, anchored to one wall-clock start instant, and fired
+// on time regardless of how many earlier requests are still in flight.
+// Latency is then measured from the *scheduled* arrival, so queueing
+// delay a real user would experience counts against the tail.
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ArrivalProcess selects the inter-arrival law of an open-loop schedule.
+type ArrivalProcess int
+
+const (
+	// ArrivalUniform spaces arrivals exactly 1/rate apart — a
+	// deterministic paced load with zero burstiness.
+	ArrivalUniform ArrivalProcess = iota
+	// ArrivalPoisson draws i.i.d. exponential inter-arrival gaps with
+	// mean 1/rate — the memoryless process that models independent users
+	// and exercises transient bursts well above the average rate.
+	ArrivalPoisson
+)
+
+// ParseArrivalProcess maps a flag value to an ArrivalProcess.
+func ParseArrivalProcess(s string) (ArrivalProcess, error) {
+	switch s {
+	case "uniform":
+		return ArrivalUniform, nil
+	case "poisson":
+		return ArrivalPoisson, nil
+	}
+	return 0, fmt.Errorf("netsim: unknown arrival process %q (want uniform or poisson)", s)
+}
+
+func (p ArrivalProcess) String() string {
+	switch p {
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalPoisson:
+		return "poisson"
+	}
+	return fmt.Sprintf("ArrivalProcess(%d)", int(p))
+}
+
+// Schedule is a precomputed open-loop arrival schedule: a sorted list of
+// offsets from an arbitrary start instant, one per request. Precomputing
+// (rather than drawing gaps on the fly) makes runs with the same seed
+// byte-for-byte reproducible and keeps the hot firing loop allocation-free.
+type Schedule struct {
+	process  ArrivalProcess
+	rate     float64
+	duration time.Duration
+	offsets  []time.Duration
+}
+
+// NewSchedule draws an arrival schedule for the given process at rate
+// arrivals/second over duration. The seed fully determines the schedule;
+// uniform schedules ignore it.
+func NewSchedule(p ArrivalProcess, rate float64, duration time.Duration, seed int64) (*Schedule, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("netsim: arrival rate %v must be positive", rate)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("netsim: schedule duration %v must be positive", duration)
+	}
+	s := &Schedule{process: p, rate: rate, duration: duration}
+	switch p {
+	case ArrivalUniform:
+		gap := float64(time.Second) / rate
+		for i := 0; ; i++ {
+			off := time.Duration(float64(i) * gap)
+			if off >= duration {
+				break
+			}
+			s.offsets = append(s.offsets, off)
+		}
+	case ArrivalPoisson:
+		rng := rand.New(rand.NewSource(seed))
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / rate * float64(time.Second)
+			off := time.Duration(t)
+			if off >= duration {
+				break
+			}
+			s.offsets = append(s.offsets, off)
+		}
+	default:
+		return nil, fmt.Errorf("netsim: unknown arrival process %v", p)
+	}
+	return s, nil
+}
+
+// Len returns the number of scheduled arrivals.
+func (s *Schedule) Len() int { return len(s.offsets) }
+
+// Offset returns the i-th arrival's offset from the schedule start.
+func (s *Schedule) Offset(i int) time.Duration { return s.offsets[i] }
+
+// Duration returns the schedule's nominal run length.
+func (s *Schedule) Duration() time.Duration { return s.duration }
+
+// OfferedRate returns the realized offered rate — arrivals actually drawn
+// divided by the nominal duration. For uniform schedules this equals the
+// requested rate; for Poisson it fluctuates around it.
+func (s *Schedule) OfferedRate() float64 {
+	return float64(len(s.offsets)) / s.duration.Seconds()
+}
+
+// Run fires fn once per arrival at its scheduled instant (start + offset),
+// each invocation in its own goroutine so a stalled fn never delays later
+// arrivals — the open-loop guarantee. fn receives the arrival index and
+// its scheduled time; measure latency from that instant, not from when fn
+// got around to dialing, so time spent queued behind a slow server counts.
+//
+// Run returns the number of arrivals fired once the schedule is exhausted
+// or ctx is cancelled. It does not wait for in-flight fn calls; callers
+// that need completion tracking keep their own WaitGroup inside fn.
+func (s *Schedule) Run(ctx context.Context, start time.Time, fn func(i int, scheduled time.Time)) int {
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	fired := 0
+	for i, off := range s.offsets {
+		scheduled := start.Add(off)
+		// Behind schedule (or due now): fire immediately without sleeping
+		// — later targets are absolute, so one late wakeup never shifts
+		// the rest of the schedule.
+		if wait := time.Until(scheduled); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return fired
+			case <-timer.C:
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				return fired
+			default:
+			}
+		}
+		go fn(i, scheduled)
+		fired++
+	}
+	return fired
+}
+
+// RunAndWait is Run followed by waiting for every fired fn to return —
+// the common shape for fixed-duration benchmark runs that must drain
+// in-flight work before reading counters. The open-loop property is
+// unchanged: waiting happens only after the last arrival has fired.
+func (s *Schedule) RunAndWait(ctx context.Context, start time.Time, fn func(i int, scheduled time.Time)) int {
+	var wg sync.WaitGroup
+	wg.Add(len(s.offsets))
+	fired := s.Run(ctx, start, func(i int, scheduled time.Time) {
+		defer wg.Done()
+		fn(i, scheduled)
+	})
+	// Arrivals skipped by cancellation never fire their Done; settle them.
+	for i := fired; i < len(s.offsets); i++ {
+		wg.Done()
+	}
+	wg.Wait()
+	return fired
+}

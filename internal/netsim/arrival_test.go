@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Uniform schedules are fully deterministic: exactly rate×duration
+// arrivals, every gap exactly 1/rate.
+func TestScheduleUniformCountAndSpacing(t *testing.T) {
+	s, err := NewSchedule(ArrivalUniform, 1000, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("uniform 1000/s over 1s: got %d arrivals, want 1000", s.Len())
+	}
+	if got := s.OfferedRate(); got != 1000 {
+		t.Fatalf("offered rate = %v, want 1000", got)
+	}
+	for i := 1; i < s.Len(); i++ {
+		gap := s.Offset(i) - s.Offset(i-1)
+		if gap != time.Millisecond {
+			t.Fatalf("gap[%d] = %v, want exactly 1ms", i, gap)
+		}
+	}
+	if s.Offset(0) != 0 {
+		t.Fatalf("first arrival at %v, want 0", s.Offset(0))
+	}
+}
+
+// Poisson schedules must be reproducible from the seed, land near the
+// requested rate, and have exponential inter-arrival gaps (mean 1/rate,
+// coefficient of variation ≈ 1 — the signature that distinguishes them
+// from paced arrivals, whose CV is 0).
+func TestSchedulePoissonSeededDistribution(t *testing.T) {
+	const rate, seed = 2000.0, 42
+	a, err := NewSchedule(ArrivalPoisson, rate, 5*time.Second, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(ArrivalPoisson, rate, 5*time.Second, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different counts: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Offset(i) != b.Offset(i) {
+			t.Fatalf("same seed, offsets diverge at %d: %v vs %v", i, a.Offset(i), b.Offset(i))
+		}
+	}
+	other, err := NewSchedule(ArrivalPoisson, rate, 5*time.Second, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Len() == a.Len() && other.Offset(0) == a.Offset(0) && other.Offset(1) == a.Offset(1) {
+		t.Fatal("different seeds produced an identical schedule prefix")
+	}
+
+	// ~10000 expected arrivals: count within ±5% of rate×duration.
+	want := rate * 5
+	if math.Abs(float64(a.Len())-want) > 0.05*want {
+		t.Fatalf("poisson count %d too far from expected %v", a.Len(), want)
+	}
+
+	// Inter-arrival moments: mean ≈ 1/rate, CV ≈ 1.
+	gaps := make([]float64, 0, a.Len()-1)
+	for i := 1; i < a.Len(); i++ {
+		gaps = append(gaps, (a.Offset(i) - a.Offset(i-1)).Seconds())
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	if math.Abs(mean-1/rate) > 0.05/rate {
+		t.Fatalf("mean inter-arrival %v, want ≈ %v", mean, 1/rate)
+	}
+	var sq float64
+	for _, g := range gaps {
+		sq += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(sq/float64(len(gaps))) / mean
+	if cv < 0.9 || cv > 1.1 {
+		t.Fatalf("inter-arrival CV = %v, want ≈ 1 (exponential)", cv)
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	if _, err := NewSchedule(ArrivalUniform, 0, time.Second, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewSchedule(ArrivalPoisson, 100, 0, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := ParseArrivalProcess("zipf"); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	if p, err := ParseArrivalProcess("poisson"); err != nil || p != ArrivalPoisson {
+		t.Fatalf("ParseArrivalProcess(poisson) = %v, %v", p, err)
+	}
+}
+
+// The open-loop pin: a server that never answers must not slow the
+// arrival clock. Every fn blocks forever; Run must still fire the whole
+// schedule on time and return. A closed-loop generator would deadlock
+// after the first arrival.
+func TestRunStalledServerDoesNotSlowArrivals(t *testing.T) {
+	const rate = 2000.0
+	duration := 200 * time.Millisecond
+	s, err := NewSchedule(ArrivalUniform, rate, duration, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	lateness := make([]time.Duration, s.Len())
+	var mu sync.Mutex
+	block := make(chan struct{}) // never closed during the run
+	start := time.Now()
+	n := s.Run(context.Background(), start, func(i int, scheduled time.Time) {
+		at := time.Now()
+		mu.Lock()
+		lateness[i] = at.Sub(scheduled)
+		mu.Unlock()
+		fired.Add(1)
+		<-block // the "stalled server": no request ever completes
+	})
+	elapsed := time.Since(start)
+	close(block)
+
+	if n != s.Len() {
+		t.Fatalf("fired %d of %d arrivals", n, s.Len())
+	}
+	// Run returned after the last scheduled offset, not after the (never
+	// arriving) completions — and without waiting much beyond the
+	// schedule itself.
+	if elapsed > duration+time.Second {
+		t.Fatalf("run took %v, schedule was %v: arrival clock was slowed", elapsed, duration)
+	}
+	// Wait for the last stragglers to record their fire times.
+	for fired.Load() < int64(n) {
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var worst time.Duration
+	for _, l := range lateness {
+		if l > worst {
+			worst = l
+		}
+	}
+	// Generous bound for a loaded CI box — the point is that lateness is
+	// bounded by scheduler wakeup slop, not by the stalled completions
+	// (which would push it past the full run duration).
+	if worst > duration/2 {
+		t.Fatalf("worst firing lateness %v: arrivals are being delayed by stalled work", worst)
+	}
+}
+
+// Cancellation stops firing promptly and RunAndWait still settles.
+func TestRunAndWaitCancel(t *testing.T) {
+	s, err := NewSchedule(ArrivalUniform, 100, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired atomic.Int64
+	done := make(chan int, 1)
+	start := time.Now()
+	go func() {
+		done <- s.RunAndWait(ctx, start, func(i int, scheduled time.Time) {
+			if fired.Add(1) == 3 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case n := <-done:
+		if n >= s.Len() {
+			t.Fatalf("cancelled run fired the full schedule (%d)", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunAndWait did not return after cancellation")
+	}
+}

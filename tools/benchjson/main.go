@@ -7,6 +7,13 @@
 //
 // Emit:    go test -bench ... | go run ./tools/benchjson -out BENCH_6.json
 // Compare: go test -bench ... | go run ./tools/benchjson -baseline BENCH_6.json
+//
+// Besides `go test -bench` lines, stdin may carry aggregate records as
+// JSON lines in the Benchmark shape —
+// {"name":"LoadgenStatus/poisson","iterations":51234,"metrics":{...}} —
+// which is how cmd/ritm-loadgen feeds whole-run results (quantiles,
+// achieved QPS, allocs/op per tier) into the same trajectory file. The
+// two formats can be freely interleaved in one stream.
 package main
 
 import (
@@ -96,6 +103,17 @@ func parse(f *os.File) (*File, error) {
 			continue
 		case strings.HasPrefix(line, "cpu:"):
 			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "{"):
+			// Aggregate record (e.g. from ritm-loadgen): one Benchmark
+			// as a JSON line. Malformed lines are skipped like any other
+			// non-benchmark output.
+			var b Benchmark
+			if err := json.Unmarshal([]byte(line), &b); err != nil || b.Name == "" || len(b.Metrics) == 0 {
+				continue
+			}
+			b.Name = trimProcs(b.Name)
+			out.Benchmarks = append(out.Benchmarks, b)
 			continue
 		case !strings.HasPrefix(line, "Benchmark"):
 			continue
