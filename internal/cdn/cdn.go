@@ -114,12 +114,15 @@ func (pr *PullResponse) Encoded() []byte {
 // same memoized (shared, immutable) buffer as Encoded.
 func (pr *PullResponse) Encode() []byte { return pr.Encoded() }
 
-// DecodePullResponse parses a response encoded by Encode.
+// DecodePullResponse parses a response encoded by Encode, taking ownership
+// of buf: the decoded issuance serials alias it (zero-copy decode) and the
+// memoized encoding retains it, so the caller must not modify buf after
+// the call. Every production caller hands over a freshly read HTTP body.
 func DecodePullResponse(buf []byte) (*PullResponse, error) {
 	d := wire.NewDecoder(buf)
 	var pr PullResponse
 	if d.Bool() {
-		msg, err := dictionary.DecodeIssuanceMessage(d.BytesField())
+		msg, err := dictionary.DecodeIssuanceMessageView(d.BytesField())
 		if err != nil {
 			return nil, fmt.Errorf("decode pull response: %w", err)
 		}
@@ -156,11 +159,14 @@ func DecodePullResponse(buf []byte) (*PullResponse, error) {
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("decode pull response: %w", err)
 	}
-	// Seed the memoized encoding with (a copy of) the bytes just parsed:
-	// decoding is deterministic, so re-encoding would reproduce them, and
-	// a decoded response that is re-served (an edge running the HTTP client
-	// against its upstream) must not pay a second serialization.
-	pr.encOnce.Do(func() { pr.enc = append([]byte(nil), buf...) })
+	// Seed the memoized encoding with the bytes just parsed: decoding is
+	// deterministic, so re-encoding would reproduce them, and a decoded
+	// response that is re-served (an edge running the HTTP client against
+	// its upstream) must not pay a second serialization. The buffer is ours
+	// (ownership contract above), so no defensive copy either — the body of
+	// a churn pull is decoded, retained, and re-served with zero copies of
+	// the serial bytes.
+	pr.encOnce.Do(func() { pr.enc = buf })
 	return &pr, nil
 }
 

@@ -1,0 +1,105 @@
+package cdn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ritm/internal/dictionary"
+)
+
+// rootCountingOrigin wraps an Origin and counts LatestRoot calls.
+type rootCountingOrigin struct {
+	Origin
+	mu    sync.Mutex
+	roots int
+}
+
+func (c *rootCountingOrigin) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
+	c.mu.Lock()
+	c.roots++
+	c.mu.Unlock()
+	return c.Origin.LatestRoot(ca)
+}
+
+func (c *rootCountingOrigin) rootCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roots
+}
+
+// TestEdgeRootTTLCache covers the opt-in bounded-staleness root cache: off
+// by default (every request revalidates upstream — the equivocation-monitor
+// invariant), pointer-stable hits inside the window, revalidation after
+// expiry picking up a rotated root, and Flush dropping the cache.
+func TestEdgeRootTTLCache(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 3)
+	up := &rootCountingOrigin{Origin: tc.dp}
+	edge := NewEdgeServer(up, time.Minute, tc.clock.now)
+
+	// Default: no positive caching, each call hits the upstream.
+	for i := 0; i < 3; i++ {
+		if _, err := edge.LatestRoot("CA1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := up.rootCalls(); got != 3 {
+		t.Fatalf("without a TTL every request must revalidate: %d upstream calls, want 3", got)
+	}
+
+	edge.SetRootTTL(time.Second)
+	first, err := edge.LatestRoot("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := up.rootCalls()
+	for i := 0; i < 5; i++ {
+		got, err := edge.LatestRoot("CA1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatal("cached root must be pointer-stable within the TTL window")
+		}
+	}
+	if got := up.rootCalls(); got != base {
+		t.Fatalf("cache hits reached the upstream: %d calls, want %d", got, base)
+	}
+
+	// Rotate the root and expire the window: the next request revalidates
+	// and serves the new version.
+	tc.revoke(t, 2)
+	tc.clock.advance(2 * time.Second)
+	got, err := edge.LatestRoot("CA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == first || got.N != 5 {
+		t.Fatalf("expired window served a stale root (N=%d, want 5)", got.N)
+	}
+	if up.rootCalls() != base+1 {
+		t.Fatalf("expiry must revalidate exactly once: %d calls, want %d", up.rootCalls(), base+1)
+	}
+
+	// Flush drops the cache even inside the window.
+	edge.Flush()
+	if _, err := edge.LatestRoot("CA1"); err != nil {
+		t.Fatal(err)
+	}
+	if up.rootCalls() != base+2 {
+		t.Fatalf("flush must force revalidation: %d calls, want %d", up.rootCalls(), base+2)
+	}
+
+	// Setting the TTL back to zero restores revalidate-always.
+	edge.SetRootTTL(0)
+	before := up.rootCalls()
+	for i := 0; i < 2; i++ {
+		if _, err := edge.LatestRoot("CA1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if up.rootCalls() != before+2 {
+		t.Fatalf("TTL 0 must disable the cache: %d calls, want %d", up.rootCalls(), before+2)
+	}
+}

@@ -127,17 +127,135 @@ func rootETag(encoded []byte) string {
 }
 
 // etagMatches reports whether an If-None-Match header value matches etag
-// (a list of quoted validators, or the wildcard).
+// (a list of quoted validators, or the wildcard). It scans the list
+// manually — same semantics as splitting on commas and trimming space per
+// candidate — because it runs per conditional request on the root path and
+// must not allocate.
 func etagMatches(header, etag string) bool {
 	if header == "*" {
 		return true
 	}
-	for _, candidate := range strings.Split(header, ",") {
-		if strings.TrimSpace(candidate) == etag {
+	for len(header) > 0 {
+		candidate := header
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			candidate, header = header[:i], header[i+1:]
+		} else {
+			header = ""
+		}
+		for len(candidate) > 0 && (candidate[0] == ' ' || candidate[0] == '\t') {
+			candidate = candidate[1:]
+		}
+		for len(candidate) > 0 && (candidate[len(candidate)-1] == ' ' || candidate[len(candidate)-1] == '\t') {
+			candidate = candidate[:len(candidate)-1]
+		}
+		if candidate == etag {
 			return true
 		}
 	}
 	return false
+}
+
+// queryParam extracts one query parameter without materializing the whole
+// url.Values map; the returned value shares rawQuery's backing unless it
+// needed unescaping. Semantics match url.ParseQuery for the keys the API
+// uses ('&'-separated pairs, '='-cut, percent/plus unescaping).
+func queryParam(rawQuery, key string) string {
+	for len(rawQuery) > 0 {
+		pair := rawQuery
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if strings.IndexByte(k, '%') >= 0 || strings.IndexByte(k, '+') >= 0 {
+			dec, err := url.QueryUnescape(k)
+			if err != nil {
+				continue
+			}
+			k = dec
+		}
+		if k != key {
+			continue
+		}
+		if strings.IndexByte(v, '%') < 0 && strings.IndexByte(v, '+') < 0 {
+			return v
+		}
+		dec, err := url.QueryUnescape(v)
+		if err != nil {
+			return ""
+		}
+		return dec
+	}
+	return ""
+}
+
+// rootRep memoizes everything /v1/root derives from one signed root: the
+// encoding, both representation validators, and the formatted signing
+// time. Roots rotate once per ∆ while the path is polled by every
+// downstream tier, so the derivation runs once per version instead of per
+// request — the steady-state (revalidating) request allocates nothing
+// here.
+//
+// The memo is keyed on *SignedRoot pointer identity, which is stable for
+// exactly one dictionary version at every origin type: a DistributionPoint
+// returns the replica's adopted root pointer (replaced only by a verified
+// update; freshness refreshes republish the same root), an EdgeServer
+// passes its upstream's pointer through, and HTTPClient returns its cached
+// decode on 304 — so the stability propagates tier by tier.
+type rootRep struct {
+	root         *dictionary.SignedRoot
+	encoded      []byte
+	etag         string
+	gzipEtag     string
+	lastModified string
+	signedAt     time.Time
+	// Pre-built single-element header values, assigned directly into the
+	// response header map under their canonical keys. Header.Set would
+	// build a fresh []string per call — three allocations per request on a
+	// path pinned to at most five (TestRootConditionalAllocsPinned).
+	etagVal         []string
+	gzipEtagVal     []string
+	lastModifiedVal []string
+}
+
+// rootCacheControl is the shared Cache-Control value for /v1/root
+// responses (see the handler comment for why no-cache).
+var rootCacheControl = []string{"no-cache"}
+
+// rootMemo caches the latest rootRep per CA. Reads vastly outnumber the
+// once-per-∆ rotation, so a RWMutex-guarded map (string-keyed lookups
+// don't allocate) fits better than sync.Map (whose Load boxes the key).
+type rootMemo struct {
+	mu   sync.RWMutex
+	byCA map[dictionary.CAID]*rootRep
+}
+
+func (m *rootMemo) rep(ca dictionary.CAID, root *dictionary.SignedRoot) *rootRep {
+	m.mu.RLock()
+	e := m.byCA[ca]
+	m.mu.RUnlock()
+	if e != nil && e.root == root {
+		return e
+	}
+	encoded := root.Encode()
+	etag := rootETag(encoded)
+	signedAt := time.Unix(root.Time, 0).UTC()
+	e = &rootRep{
+		root:         root,
+		encoded:      encoded,
+		etag:         etag,
+		gzipEtag:     gzipETagVariant(etag),
+		lastModified: signedAt.Format(http.TimeFormat),
+		signedAt:     signedAt,
+	}
+	e.etagVal = []string{e.etag}
+	e.gzipEtagVal = []string{e.gzipEtag}
+	e.lastModifiedVal = []string{e.lastModified}
+	m.mu.Lock()
+	m.byCA[ca] = e
+	m.mu.Unlock()
+	return e
 }
 
 // HandlerOptions configures the HTTP adapter.
@@ -208,8 +326,8 @@ func NewHandler(origin Origin, opts HandlerOptions) http.Handler {
 		io.WriteString(w, sb.String())
 	})
 	mux.HandleFunc("GET /v1/pull", func(w http.ResponseWriter, r *http.Request) {
-		ca := dictionary.CAID(r.URL.Query().Get("ca"))
-		from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		ca := dictionary.CAID(queryParam(r.URL.RawQuery, "ca"))
+		from, err := strconv.ParseUint(queryParam(r.URL.RawQuery, "from"), 10, 64)
 		if ca == "" || err != nil {
 			http.Error(w, "cdn: pull requires ca and numeric from", http.StatusBadRequest)
 			return
@@ -233,8 +351,9 @@ func NewHandler(origin Origin, opts HandlerOptions) http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		gz.write(w, r, resp.Encoded())
 	})
+	memo := &rootMemo{byCA: make(map[dictionary.CAID]*rootRep)}
 	mux.HandleFunc("GET /v1/root", func(w http.ResponseWriter, r *http.Request) {
-		ca := dictionary.CAID(r.URL.Query().Get("ca"))
+		ca := dictionary.CAID(queryParam(r.URL.RawQuery, "ca"))
 		if ca == "" {
 			http.Error(w, "cdn: root requires ca", http.StatusBadRequest)
 			return
@@ -247,39 +366,42 @@ func NewHandler(origin Origin, opts HandlerOptions) http.Handler {
 			writeError(w, err)
 			return
 		}
-		encoded := root.Encode()
-		etag := rootETag(encoded)
-		signedAt := time.Unix(root.Time, 0).UTC()
+		rep := memo.rep(ca, root)
 		// A compressed representation is a different representation: it
 		// gets its own strong validator (RFC 9110 §8.8.3), and a cached
 		// validator for either representation revalidates the same root —
 		// both variants are derived from the same signed bytes.
-		willGzip := gz.wants(r, len(encoded))
-		servedETag := etag
-		if willGzip {
-			servedETag = gzipETagVariant(etag)
-		}
+		willGzip := gz.wants(r, len(rep.encoded))
+		h := w.Header()
 		if gz.enabled {
-			w.Header().Add("Vary", "Accept-Encoding")
+			h.Add("Vary", "Accept-Encoding")
 		}
-		w.Header().Set("ETag", servedETag)
+		// Memoized single-element values under canonical keys: equivalent
+		// to Header.Set but without the per-call []string, keeping the
+		// conditional-request path allocation-free in the handler.
+		if willGzip {
+			h["Etag"] = rep.gzipEtagVal
+		} else {
+			h["Etag"] = rep.etagVal
+		}
 		// Last-Modified (the root's signing time) is the weak-validator
 		// fallback for caches that strip ETags; its one-second granularity
 		// means a root re-signed within the same second revalidates as
 		// unmodified, so the strong ETag stays authoritative whenever both
 		// are present.
-		w.Header().Set("Last-Modified", signedAt.Format(http.TimeFormat))
-		// Roots are deliberately never cached by edges (staleness would
-		// produce false equivocation alarms); forbid front CDNs from
-		// heuristically caching them too — they may only revalidate
-		// against the validators, which is exactly what HTTPClient does.
-		w.Header().Set("Cache-Control", "no-cache")
+		h["Last-Modified"] = rep.lastModifiedVal
+		// no-cache forbids front CDNs from heuristically caching roots —
+		// they may only revalidate against the validators, which is exactly
+		// what HTTPClient does. RITM edges honor the same default (an
+		// EdgeServer forwards every root request upstream unless its
+		// operator opts into SetRootTTL's bounded staleness).
+		h["Cache-Control"] = rootCacheControl
 		if inm := r.Header.Get("If-None-Match"); inm != "" {
 			// RFC 9110 §13.1.3: when If-None-Match is present,
 			// If-Modified-Since MUST be ignored. Either encoding's
 			// validator revalidates the root — both name the same signed
 			// bytes.
-			if etagMatches(inm, etag) || etagMatches(inm, gzipETagVariant(etag)) {
+			if etagMatches(inm, rep.etag) || etagMatches(inm, rep.gzipEtag) {
 				w.WriteHeader(http.StatusNotModified)
 				return
 			}
@@ -292,7 +414,7 @@ func NewHandler(origin Origin, opts HandlerOptions) http.Handler {
 			// already-elapsed second — is inherent to date granularity;
 			// consistency-checking monitors must revalidate with ETags or
 			// unconditional fetches, never the fallback validator alone.
-			if since, err := http.ParseTime(ims); err == nil && !signedAt.After(since) &&
+			if since, err := http.ParseTime(ims); err == nil && !rep.signedAt.After(since) &&
 				now().Unix() > root.Time {
 				w.WriteHeader(http.StatusNotModified)
 				return
@@ -300,15 +422,15 @@ func NewHandler(origin Origin, opts HandlerOptions) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if willGzip {
-			gz.compress(w, encoded)
+			gz.compress(w, rep.encoded)
 		} else {
-			w.Write(encoded)
+			w.Write(rep.encoded)
 		}
 	})
 	replicator, _ := origin.(Replicator)
 	mux.HandleFunc("GET /v1/replicate", func(w http.ResponseWriter, r *http.Request) {
-		ca := dictionary.CAID(r.URL.Query().Get("ca"))
-		fromLSN, err := strconv.ParseUint(r.URL.Query().Get("from_lsn"), 10, 64)
+		ca := dictionary.CAID(queryParam(r.URL.RawQuery, "ca"))
+		fromLSN, err := strconv.ParseUint(queryParam(r.URL.RawQuery, "from_lsn"), 10, 64)
 		if ca == "" || err != nil {
 			http.Error(w, "cdn: replicate requires ca and numeric from_lsn", http.StatusBadRequest)
 			return
@@ -459,12 +581,19 @@ const DefaultMaxAttempts = 3
 const DefaultRetryBackoff = 50 * time.Millisecond
 
 // cachedRoot is the client's validator cache for one CA: the last root
-// body the server sent and the validators it sent it under (either may be
-// empty when an intermediary strips headers).
+// the server sent (decoded once, returned again on every 304) and the
+// validators it sent it under (either may be empty when an intermediary
+// strips headers), plus the memoized request path.
+//
+// Returning the SAME *SignedRoot on revalidation is load-bearing beyond
+// saving the decode: the /v1/root handler memoizes its validators per
+// root pointer (rootMemo), so a PoP tier whose upstream client answers
+// 304s with a stable pointer serves its own downstream allocation-free.
 type cachedRoot struct {
+	url          string // memoized "/v1/root?ca=..." path
 	etag         string
 	lastModified string
-	encoded      []byte
+	root         *dictionary.SignedRoot
 }
 
 var _ Origin = (*HTTPClient)(nil)
@@ -614,13 +743,13 @@ func (h *HTTPClient) Pull(ca dictionary.CAID, from uint64) (*PullResponse, error
 // LatestRoot implements Origin. The fetch is conditional when a previous
 // root for ca is cached: If-None-Match when an ETag survived the transport,
 // If-Modified-Since otherwise (the fallback for caches that strip ETags).
-// On 304 the cached bytes are decoded again — byte-identical to what a
-// full fetch would return, without the body.
+// On 304 the cached decode is returned as-is — the same *SignedRoot a
+// full fetch of the unchanged root would describe, without body or decode.
 func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, error) {
 	h.mu.Lock()
 	cached := h.roots[ca]
 	h.mu.Unlock()
-	var inm, ims string
+	var inm, ims, path string
 	if cached != nil {
 		inm = cached.etag
 		if inm == "" {
@@ -629,28 +758,34 @@ func (h *HTTPClient) LatestRoot(ca dictionary.CAID) (*dictionary.SignedRoot, err
 			// when If-None-Match is present anyway.
 			ims = cached.lastModified
 		}
+		path = cached.url
+	} else {
+		path = "/v1/root?" + url.Values{"ca": {string(ca)}}.Encode()
 	}
-	q := url.Values{"ca": {string(ca)}}
-	res, err := h.get("/v1/root?"+q.Encode(), inm, ims)
+	res, err := h.get(path, inm, ims)
 	if err != nil {
 		return nil, err
 	}
-	body := res.body
 	if res.status == http.StatusNotModified {
 		if cached == nil {
 			// A 304 to an unconditional request is a server bug; surface it.
 			return nil, fmt.Errorf("cdn http: 304 for %s without a cached root", ca)
 		}
-		body = cached.encoded
-	} else if res.etag != "" || res.lastModified != "" {
+		return cached.root, nil
+	}
+	root, err := dictionary.DecodeSignedRoot(res.body)
+	if err != nil {
+		return nil, err
+	}
+	if res.etag != "" || res.lastModified != "" {
 		h.mu.Lock()
 		if h.roots == nil {
 			h.roots = make(map[dictionary.CAID]*cachedRoot)
 		}
-		h.roots[ca] = &cachedRoot{etag: res.etag, lastModified: res.lastModified, encoded: body}
+		h.roots[ca] = &cachedRoot{url: path, etag: res.etag, lastModified: res.lastModified, root: root}
 		h.mu.Unlock()
 	}
-	return dictionary.DecodeSignedRoot(body)
+	return root, nil
 }
 
 // Replicate implements Replicator over the HTTP transport: a follower

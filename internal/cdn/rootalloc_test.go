@@ -1,0 +1,74 @@
+package cdn
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// discardResponseWriter reuses one header map and drops the body, so the
+// measurement below counts the handler's allocations, not recorder
+// bookkeeping.
+type discardResponseWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *discardResponseWriter) WriteHeader(code int)        { w.code = code }
+
+// TestRootConditionalAllocsPinned pins the allocation-free root
+// revalidation path: a conditional GET /v1/root that ends in 304 — the
+// steady state for every downstream tier polling between rotations — must
+// cost at most 5 allocs/op at the handler level, on both the If-None-Match
+// and the If-Modified-Since branch. The budget covers mux routing; the
+// handler itself contributes nothing (validators, header values, and the
+// signing time are memoized per root version in rootRep, and query/ETag
+// parsing never allocates).
+func TestRootConditionalAllocsPinned(t *testing.T) {
+	tc := newTestCA(t, "CA1")
+	tc.revoke(t, 3)
+	// The date validator only counts once its second has fully elapsed.
+	tc.clock.advance(2 * time.Second)
+	h := NewHandler(tc.dp, HandlerOptions{Now: tc.clock.now})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/root?ca=CA1", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unconditional GET: %d", rec.Code)
+	}
+	etag := rec.Header().Get("ETag")
+	lastMod := rec.Header().Get("Last-Modified")
+	if etag == "" || lastMod == "" {
+		t.Fatalf("missing validators: etag=%q last-modified=%q", etag, lastMod)
+	}
+
+	branches := []struct {
+		name, header, value string
+	}{
+		{"IfNoneMatch", "If-None-Match", etag},
+		{"IfModifiedSince", "If-Modified-Since", lastMod},
+	}
+	for _, br := range branches {
+		t.Run(br.name, func(t *testing.T) {
+			req := httptest.NewRequest("GET", "/v1/root?ca=CA1", nil)
+			req.Header.Set(br.header, br.value)
+			w := &discardResponseWriter{h: make(http.Header, 8)}
+			h.ServeHTTP(w, req)
+			if w.code != http.StatusNotModified {
+				t.Fatalf("conditional GET with %s: %d, want 304", br.header, w.code)
+			}
+			if allocs := testing.AllocsPerRun(500, func() {
+				w.code = 0
+				h.ServeHTTP(w, req)
+			}); allocs > 5 {
+				t.Errorf("304 via %s allocs/op = %.1f, want ≤ 5", br.header, allocs)
+			}
+			if w.code != http.StatusNotModified {
+				t.Fatalf("measured requests stopped returning 304 (%d)", w.code)
+			}
+		})
+	}
+}

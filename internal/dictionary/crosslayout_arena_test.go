@@ -1,0 +1,268 @@
+package dictionary
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+	"ritm/internal/workload"
+)
+
+// This file pins the arena rebuild (in-place merge, level reuse, private
+// spine rewrite) against the pre-arena semantics two ways: a pure-function
+// check of the merge/build kernels against element-wise reference
+// implementations, and a whole-tree replay where one tree keeps its arrays
+// private between batches (in-place paths) while its twin is exposed after
+// every batch (forcing the fresh copy-on-write paths the code used before
+// the arena existed). Roots, proof bytes, and checkpoint/rollback behavior
+// must be indistinguishable. The tests run in CI's dictionary race suite
+// (-run 'CrossLayout|Forest|Layout' -race -count=2).
+
+// refMergeLeaves is the pre-arena element-wise merge: append one leaf at a
+// time into fresh arrays. It is the semantic reference for mergeLeaves and
+// mergeLeavesInPlace.
+func refMergeLeaves(oldLeaves []Leaf, oldHashes []cryptoutil.Hash, batch []Leaf) ([]Leaf, []cryptoutil.Hash, int) {
+	merged := make([]Leaf, 0, len(oldLeaves)+len(batch))
+	hashes := make([]cryptoutil.Hash, 0, len(oldLeaves)+len(batch))
+	firstChanged := -1
+	i := 0
+	for _, b := range batch {
+		for i < len(oldLeaves) && oldLeaves[i].Serial.Compare(b.Serial) < 0 {
+			merged = append(merged, oldLeaves[i])
+			hashes = append(hashes, oldHashes[i])
+			i++
+		}
+		if firstChanged < 0 {
+			firstChanged = len(merged)
+		}
+		merged = append(merged, b)
+		hashes = append(hashes, b.hash())
+	}
+	merged = append(merged, oldLeaves[i:]...)
+	hashes = append(hashes, oldHashes[i:]...)
+	return merged, hashes, firstChanged
+}
+
+// refBuildLevels is the pre-arena full rebuild: every interior node
+// recomputed from scratch, no reuse of any kind.
+func refBuildLevels(leafHashes []cryptoutil.Hash) [][]cryptoutil.Hash {
+	if len(leafHashes) == 0 {
+		return nil
+	}
+	levels := [][]cryptoutil.Hash{leafHashes}
+	cur := leafHashes
+	for len(cur) > 1 {
+		next := make([]cryptoutil.Hash, (len(cur)+1)/2)
+		for k := range next {
+			if 2*k+1 < len(cur) {
+				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
+			} else {
+				next[k] = cur[len(cur)-1]
+			}
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels
+}
+
+func leavesFrom(serials []serial.Number, startNum uint64) []Leaf {
+	out := make([]Leaf, len(serials))
+	for i, s := range serials {
+		out[i] = Leaf{Serial: s, Num: startNum + uint64(i)}
+	}
+	sortLeaves(out)
+	return out
+}
+
+func levelsEqual(t *testing.T, tag string, got, want [][]cryptoutil.Hash) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d levels, want %d", tag, len(got), len(want))
+	}
+	for lvl := range want {
+		if len(got[lvl]) != len(want[lvl]) {
+			t.Fatalf("%s: level %d has %d nodes, want %d", tag, lvl, len(got[lvl]), len(want[lvl]))
+		}
+		for k := range want[lvl] {
+			if !got[lvl][k].Equal(want[lvl][k]) {
+				t.Fatalf("%s: level %d node %d differs from reference", tag, lvl, k)
+			}
+		}
+	}
+}
+
+// TestLayoutMergeBuildMatchesReference checks the four rebuild kernels —
+// copy-on-write and in-place merge, copy-on-write and in-place level build
+// — against the element-wise reference over randomized old/batch splits,
+// including repeated in-place merges into the same arena (the multi-∆
+// private-window case).
+func TestLayoutMergeBuildMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xA2E7A, 0xB0B))
+	gen := serial.NewGenerator(0x5EED, nil)
+	for trial := 0; trial < 40; trial++ {
+		nOld, nBatch := rng.IntN(300), 1+rng.IntN(120)
+		all := gen.NextN(nOld + nBatch)
+		oldLeaves := leavesFrom(all[:nOld], 1)
+		batch := leavesFrom(all[nOld:], uint64(nOld)+1)
+		oldHashes := make([]cryptoutil.Hash, len(oldLeaves))
+		for i, lf := range oldLeaves {
+			oldHashes[i] = lf.hash()
+		}
+		oldLevels := refBuildLevels(oldHashes)
+
+		wantLeaves, wantHashes, wantFirst := refMergeLeaves(oldLeaves, oldHashes, batch)
+
+		gotLeaves, gotHashes, gotFirst, _ := mergeLeaves(oldLeaves, oldHashes, batch)
+		if gotFirst != wantFirst || len(gotLeaves) != len(wantLeaves) {
+			t.Fatalf("trial %d: mergeLeaves shape (%d,%d), want (%d,%d)",
+				trial, gotFirst, len(gotLeaves), wantFirst, len(wantLeaves))
+		}
+		for i := range wantLeaves {
+			if !gotLeaves[i].Serial.Equal(wantLeaves[i].Serial) || gotLeaves[i].Num != wantLeaves[i].Num ||
+				!gotHashes[i].Equal(wantHashes[i]) {
+				t.Fatalf("trial %d: mergeLeaves leaf %d differs from reference", trial, i)
+			}
+		}
+
+		// In-place variant over a caller-owned copy with arena capacity.
+		arena := make([]Leaf, len(oldLeaves), len(oldLeaves)+len(batch))
+		copy(arena, oldLeaves)
+		arenaHashes := make([]cryptoutil.Hash, len(oldHashes), len(oldHashes)+len(batch))
+		copy(arenaHashes, oldHashes)
+		ipLeaves, ipHashes, ipFirst, _ := mergeLeavesInPlace(arena, arenaHashes, batch)
+		if ipFirst != wantFirst || len(ipLeaves) != len(wantLeaves) {
+			t.Fatalf("trial %d: mergeLeavesInPlace shape (%d,%d), want (%d,%d)",
+				trial, ipFirst, len(ipLeaves), wantFirst, len(wantLeaves))
+		}
+		for i := range wantLeaves {
+			if !ipLeaves[i].Serial.Equal(wantLeaves[i].Serial) || !ipHashes[i].Equal(wantHashes[i]) {
+				t.Fatalf("trial %d: mergeLeavesInPlace leaf %d differs from reference", trial, i)
+			}
+		}
+
+		wantLevels := refBuildLevels(wantHashes)
+		gotLevels, _ := buildLevels(gotHashes, oldLevels, gotFirst)
+		levelsEqual(t, "buildLevels", gotLevels, wantLevels)
+
+		// In-place build over a private copy of the old level structure
+		// whose leaf level is the in-place merged hash array.
+		privLevels := make([][]cryptoutil.Hash, len(oldLevels))
+		for lvl, old := range oldLevels {
+			privLevels[lvl] = append(make([]cryptoutil.Hash, 0, len(old)+len(batch)), old...)
+		}
+		if len(privLevels) == 0 {
+			privLevels = [][]cryptoutil.Hash{nil}
+		}
+		privLevels[0] = ipHashes
+		ipLevels, _ := buildLevelsInPlace(privLevels, ipHashes, ipFirst)
+		levelsEqual(t, "buildLevelsInPlace", ipLevels, wantLevels)
+
+		// A second merge into the SAME arena (the repeated-∆ window) must
+		// still match the reference computed over the combined batch.
+		batch2 := leavesFrom(gen.NextN(1+rng.IntN(80)), uint64(nOld+nBatch)+1)
+		want2Leaves, want2Hashes, _ := refMergeLeaves(wantLeaves, wantHashes, batch2)
+		grown := append(make([]Leaf, 0, len(ipLeaves)+len(batch2)), ipLeaves...)
+		grownHashes := append(make([]cryptoutil.Hash, 0, len(ipHashes)+len(batch2)), ipHashes...)
+		ip2Leaves, ip2Hashes, ip2First, _ := mergeLeavesInPlace(grown, grownHashes, batch2)
+		for i := range want2Leaves {
+			if !ip2Leaves[i].Serial.Equal(want2Leaves[i].Serial) || !ip2Hashes[i].Equal(want2Hashes[i]) {
+				t.Fatalf("trial %d: second in-place merge leaf %d differs from reference", trial, i)
+			}
+		}
+		ip2Levels, _ := buildLevelsInPlace(ipLevels, ip2Hashes, ip2First)
+		levelsEqual(t, "buildLevelsInPlace(second)", ip2Levels, refBuildLevels(want2Hashes))
+	}
+}
+
+// TestCrossLayoutArenaVsExposedReplay replays identical random batch
+// sequences into two trees per layout: one inserted back-to-back (arrays
+// stay private, so every batch after the first takes the in-place arena
+// paths) and one exposed via view() after every batch (every insert takes
+// the fresh copy-on-write path — the pre-arena behavior). Roots must agree
+// after every batch and proof encodings must be byte-identical at the end;
+// a checkpoint/rollback/re-apply cycle on the arena tree must change
+// nothing.
+func TestCrossLayoutArenaVsExposedReplay(t *testing.T) {
+	corpus := workload.NewCorpus(0xC0FFEE)
+	for _, kind := range []LayoutKind{LayoutSorted, LayoutForest} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(77, uint64(kind)))
+			tested := 0
+			for i := 0; i < corpus.Len() && tested < 2; i++ {
+				if corpus.Size(i) > 3000 || corpus.Size(i) < 100 {
+					continue
+				}
+				tested++
+				log := corpus.Serials(i)
+				arenaTree := NewTreeWithLayout(kind)
+				exposed := NewTreeWithLayout(kind)
+
+				var cp treeCheckpoint
+				var cpAt int
+				var batches [][]serial.Number
+				for start := 0; start < len(log); {
+					end := min(start+1+rng.IntN(250), len(log))
+					batches = append(batches, log[start:end])
+					start = end
+				}
+				cpBatch := len(batches) / 2
+				for b, batch := range batches {
+					if b == cpBatch {
+						cp = arenaTree.checkpoint()
+						cpAt = b
+					}
+					if err := arenaTree.InsertBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					if err := exposed.InsertBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					_ = exposed.view() // expose: next insert takes the fresh path
+					if !arenaTree.Root().Equal(exposed.Root()) {
+						t.Fatalf("crl %d: roots diverge after batch %d", i, b)
+					}
+				}
+
+				// Rollback to the mid-sequence checkpoint and re-apply the
+				// same tail: restore must drop the private arena so the
+				// replay reconverges bit-for-bit.
+				finalRoot := arenaTree.Root()
+				arenaTree.rollback(cp)
+				for _, batch := range batches[cpAt:] {
+					if err := arenaTree.InsertBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !arenaTree.Root().Equal(finalRoot) {
+					t.Fatalf("crl %d: root differs after rollback/re-apply", i)
+				}
+
+				queries := make([]serial.Number, 0, 96)
+				for j := 0; j < 64; j++ {
+					queries = append(queries, log[rng.IntN(len(log))])
+				}
+				queries = append(queries, corpus.SampleAbsent(i, 32)...)
+				for _, q := range queries {
+					ap, ep := arenaTree.Prove(q), exposed.Prove(q)
+					if !bytes.Equal(ap.Encode(), ep.Encode()) {
+						t.Fatalf("crl %d: proof bytes for %v differ between arena and exposed trees", i, q)
+					}
+					rev, err := ap.Verify(q, exposed.Root(), exposed.Count())
+					if err != nil {
+						t.Fatalf("crl %d: arena proof for %v: %v", i, q, err)
+					}
+					_, wantRev := exposed.Revoked(q)
+					if rev != wantRev {
+						t.Fatalf("crl %d: arena proof for %v: revoked=%v want %v", i, q, rev, wantRev)
+					}
+				}
+			}
+			if tested == 0 {
+				t.Fatal("corpus provided no CRLs in the tested size band")
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package dictionary
+
+import (
+	"testing"
+	"time"
+
+	"ritm/internal/cryptoutil"
+	"ritm/internal/serial"
+)
+
+// TestDecodeIssuanceAllocsPinned pins the zero-copy issuance decode: the
+// per-serial cost must be zero allocations in both forms. The owned form
+// packs every serial into one arena (a handful of fixed allocations per
+// message — struct, serial slice, arena, root fields — however large the
+// batch); the view form drops the arena too. A regression to per-serial
+// copies (the pre-arena serial.New path: one allocation per serial) blows
+// the fixed budget by two orders of magnitude on this 512-serial message.
+func TestDecodeIssuanceAllocsPinned(t *testing.T) {
+	signer, err := cryptoutil.NewSigner(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := NewAuthority(AuthorityConfig{
+		CA:     "alloc-ca",
+		Signer: signer,
+		Delta:  10 * time.Second,
+	}, time.Now().Unix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := auth.Insert(serial.NewGenerator(0xDECD, nil).NextN(512), time.Now().Unix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := msg.Encode()
+
+	const fixedBudget = 12 // message-level overhead, independent of batch size
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeIssuanceMessage(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > fixedBudget {
+		t.Errorf("DecodeIssuanceMessage(512 serials) allocs/op = %.1f, want ≤ %d", allocs, fixedBudget)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeIssuanceMessageView(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > fixedBudget-1 { // no arena in the view form
+		t.Errorf("DecodeIssuanceMessageView(512 serials) allocs/op = %.1f, want ≤ %d", allocs, fixedBudget-1)
+	}
+
+	// Both forms must decode identically, and the owned form's serials must
+	// tolerate the input buffer being clobbered afterwards.
+	owned, err := DecodeIssuanceMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := DecodeIssuanceMessageView(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owned.Serials) != len(msg.Serials) || len(view.Serials) != len(msg.Serials) {
+		t.Fatal("decoded serial counts differ")
+	}
+	for i := range msg.Serials {
+		if !owned.Serials[i].Equal(msg.Serials[i]) || !view.Serials[i].Equal(msg.Serials[i]) {
+			t.Fatalf("serial %d differs after decode", i)
+		}
+	}
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	for i := range msg.Serials {
+		if !owned.Serials[i].Equal(msg.Serials[i]) {
+			t.Fatalf("owned serial %d aliases the input buffer", i)
+		}
+	}
+}

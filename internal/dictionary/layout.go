@@ -146,14 +146,32 @@ func Layouts() []LayoutKind { return []LayoutKind{LayoutSorted, LayoutForest} }
 // of them follow the same copy-on-write discipline as the original sorted
 // tree — insert never writes into arrays reachable from a previously
 // returned view, so published Snapshots stay immutable forever.
+//
+// Scratch-arena discipline: copy-on-write only requires fresh arrays for
+// state that somebody outside the layout can still reach. Each layout
+// therefore tracks exposure explicitly — arrays built by insert are
+// *private* until view or checkpoint hands a reference out, and a second
+// insert in the same private window (a multi-sub-batch replay between one
+// Replica checkpoint and the next publish) merges into them in place with
+// zero reallocation. The accounting is exact, not heuristic: at most two
+// versions are ever live per tree — the last exposed one (pinned by
+// whatever snapshot or checkpoint observed it) and the private pending one
+// — and only the private buffer is ever written. Exposure is one-way per
+// array generation; restore after a rejected update reinstates exposed
+// arrays and drops the private scratch.
 type Layout interface {
 	// kind identifies the layout.
 	kind() LayoutKind
 	// insert merges a batch of pre-validated leaves, sorted by serial and
 	// carrying their final revocation numbers, into the structure.
 	insert(batch []Leaf)
-	// view returns the current immutable version.
+	// view returns the current immutable version and marks the arrays
+	// behind it exposed: no later insert may write them in place.
 	view() LayoutView
+	// rootHash returns the current root (EmptyRoot when empty) WITHOUT
+	// exposing the arrays — the replica's post-replay root check must not
+	// end the private window a multi-batch replay is still inside.
+	rootHash() cryptoutil.Hash
 	// hashedNodes returns the cumulative number of hash computations (leaf,
 	// interior, bucket, and root hashes) performed by inserts — the cost
 	// metric BenchmarkUniformInsert compares across layouts.
@@ -366,35 +384,37 @@ func (m miniTree) proveLocal(s serial.Number, sp *SpineSegment, spineLevels [][]
 	return &a.proof
 }
 
+// arenaHeadroom returns the extra capacity a fresh rebuild array carries
+// beyond its content so that follow-up merges within the same private
+// window (before the next view/checkpoint exposes the arrays) can extend
+// it in place instead of reallocating.
+func arenaHeadroom(n int) int { return n/8 + 4 }
+
 // mergeLeaves merges a sorted batch of new leaves into the sorted existing
 // run, hashing the new leaves as it goes. It writes into fresh arrays
 // (copy-on-write): the previous version's arrays — possibly aliased by a
-// published view — are never touched. It returns the merged arrays, the
-// merged index of the first new leaf (-1 for an empty batch), and the number
-// of leaf hashes computed.
+// published view — are never touched. Unchanged runs between insertion
+// points are copied whole (one memmove per run, not one append per leaf),
+// and the arrays carry arenaHeadroom slack so the in-place variant below
+// can extend them on the next merge of the same private window. It returns
+// the merged arrays, the merged index of the first new leaf (-1 for an
+// empty batch), and the number of leaf hashes computed.
 func mergeLeaves(oldLeaves []Leaf, oldHashes []cryptoutil.Hash, batch []Leaf) (merged []Leaf, mergedHashes []cryptoutil.Hash, firstChanged int, hashOps uint64) {
-	merged = make([]Leaf, 0, len(oldLeaves)+len(batch))
+	total := len(oldLeaves) + len(batch)
+	merged = make([]Leaf, 0, total+arenaHeadroom(total))
 	mergedHashes = make([]cryptoutil.Hash, 0, cap(merged))
 	firstChanged = -1
-	i, j := 0, 0
-	for i < len(oldLeaves) && j < len(batch) {
-		if oldLeaves[i].Serial.Compare(batch[j].Serial) < 0 {
-			merged = append(merged, oldLeaves[i])
-			mergedHashes = append(mergedHashes, oldHashes[i])
-			i++
-		} else {
-			if firstChanged < 0 {
-				firstChanged = len(merged)
-			}
-			merged = append(merged, batch[j])
-			mergedHashes = append(mergedHashes, batch[j].hash())
-			hashOps++
-			j++
+	i := 0
+	for j := 0; j < len(batch); j++ {
+		run := i
+		for run < len(oldLeaves) && oldLeaves[run].Serial.Compare(batch[j].Serial) < 0 {
+			run++
 		}
-	}
-	merged = append(merged, oldLeaves[i:]...)
-	mergedHashes = append(mergedHashes, oldHashes[i:]...)
-	for ; j < len(batch); j++ {
+		if run > i {
+			merged = append(merged, oldLeaves[i:run]...)
+			mergedHashes = append(mergedHashes, oldHashes[i:run]...)
+			i = run
+		}
 		if firstChanged < 0 {
 			firstChanged = len(merged)
 		}
@@ -402,7 +422,39 @@ func mergeLeaves(oldLeaves []Leaf, oldHashes []cryptoutil.Hash, batch []Leaf) (m
 		mergedHashes = append(mergedHashes, batch[j].hash())
 		hashOps++
 	}
+	merged = append(merged, oldLeaves[i:]...)
+	mergedHashes = append(mergedHashes, oldHashes[i:]...)
 	return merged, mergedHashes, firstChanged, hashOps
+}
+
+// mergeLeavesInPlace is mergeLeaves for arrays the caller owns privately
+// (built since the last view/checkpoint, so no snapshot can reach them):
+// the batch is merged backward into the existing backing arrays with zero
+// allocation. The caller guarantees cap(leaves) and cap(hashes) hold
+// len(leaves)+len(batch). Results are identical to mergeLeaves.
+func mergeLeavesInPlace(leaves []Leaf, hashes []cryptoutil.Hash, batch []Leaf) (merged []Leaf, mergedHashes []cryptoutil.Hash, firstChanged int, hashOps uint64) {
+	n, k := len(leaves), len(batch)
+	leaves = leaves[:n+k]
+	hashes = hashes[:n+k]
+	firstChanged = -1
+	// Backward merge: the write cursor w stays strictly ahead of the old
+	// read cursor i until the batch is exhausted, so no unread old leaf is
+	// ever overwritten; the untouched old prefix is already in place.
+	i, w := n-1, n+k-1
+	for j := k - 1; j >= 0; w-- {
+		if i >= 0 && leaves[i].Serial.Compare(batch[j].Serial) > 0 {
+			leaves[w] = leaves[i]
+			hashes[w] = hashes[i]
+			i--
+		} else {
+			leaves[w] = batch[j]
+			hashes[w] = batch[j].hash()
+			hashOps++
+			firstChanged = w
+			j--
+		}
+	}
+	return leaves, hashes, firstChanged, hashOps
 }
 
 // buildLevels recomputes the interior levels over leafHashes, reusing every
@@ -429,7 +481,8 @@ func buildLevels(leafHashes []cryptoutil.Hash, oldLevels [][]cryptoutil.Hash, fi
 	cur := leafHashes
 	dirty := firstChanged // first index of cur that differs from oldLevels
 	for lvl := 0; len(cur) > 1; lvl++ {
-		next := make([]cryptoutil.Hash, (len(cur)+1)/2)
+		parents := (len(cur) + 1) / 2
+		next := make([]cryptoutil.Hash, parents, parents+arenaHeadroom(parents))
 		// A parent k is unchanged iff both children are below dirty, i.e.
 		// 2k+1 < dirty — and the old level must actually hold it.
 		keep := dirty / 2
@@ -441,7 +494,7 @@ func buildLevels(leafHashes []cryptoutil.Hash, oldLevels [][]cryptoutil.Hash, fi
 		} else {
 			keep = 0
 		}
-		for k := keep; k < len(next); k++ {
+		for k := keep; k < parents; k++ {
 			if 2*k+1 < len(cur) {
 				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
 				hashOps++
@@ -456,6 +509,59 @@ func buildLevels(leafHashes []cryptoutil.Hash, oldLevels [][]cryptoutil.Hash, fi
 		dirty = keep
 	}
 	return levels, hashOps
+}
+
+// buildLevelsInPlace is buildLevels for a level structure the caller owns
+// privately: the prefix of each level left of the dirty frontier is already
+// correct in place (same arrays, nothing shifted below firstChanged), so
+// only the dirty suffixes are recomputed, into the same backing arrays
+// where capacity allows. levels[0] must be (a possibly extended slice of)
+// the structure's leaf-hash array, passed as leafHashes with its new
+// length. Results are identical to buildLevels over the same leaf hashes.
+func buildLevelsInPlace(levels [][]cryptoutil.Hash, leafHashes []cryptoutil.Hash, firstChanged int) ([][]cryptoutil.Hash, uint64) {
+	if len(leafHashes) == 0 {
+		return nil, 0
+	}
+	if firstChanged < 0 {
+		firstChanged = 0
+	}
+	var hashOps uint64
+	out := levels[:1]
+	out[0] = leafHashes
+	cur := leafHashes
+	dirty := firstChanged
+	for lvl := 1; len(cur) > 1; lvl++ {
+		parents := (len(cur) + 1) / 2
+		keep := dirty / 2
+		var next []cryptoutil.Hash
+		if lvl < len(levels) {
+			old := levels[lvl]
+			if keep > len(old) {
+				keep = len(old)
+			}
+			if cap(old) >= parents {
+				next = old[:parents]
+			} else {
+				next = make([]cryptoutil.Hash, parents, parents+arenaHeadroom(parents))
+				copy(next[:keep], old[:keep])
+			}
+		} else {
+			next = make([]cryptoutil.Hash, parents, parents+arenaHeadroom(parents))
+			keep = 0
+		}
+		for k := keep; k < parents; k++ {
+			if 2*k+1 < len(cur) {
+				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
+				hashOps++
+			} else {
+				next[k] = cur[len(cur)-1]
+			}
+		}
+		out = append(out, next)
+		cur = next
+		dirty = keep
+	}
+	return out, hashOps
 }
 
 // bitsLen returns ⌈log₂(n)⌉-ish capacity hint for the level slice.

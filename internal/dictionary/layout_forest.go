@@ -30,6 +30,12 @@ type forestBucket struct {
 	lo, hi serial.Number // [lo, hi); zero = unbounded
 	tree   miniTree
 	node   cryptoutil.Hash // HashBucket(lo, hi, count, tree root)
+	// private marks the bucket as scratch: built since the last
+	// view/checkpoint with backing arrays shared by no other bucket, so a
+	// later insert of the same private window may extend them in place.
+	// Buckets cut by chunkBuckets are never private (their leaf arrays are
+	// sub-slices of one shared run). expose clears the flag.
+	private bool
 }
 
 // leafHashes returns the bucket's leaf-hash level.
@@ -50,6 +56,24 @@ type forestLayout struct {
 	spine   [][]cryptoutil.Hash // spine[0][i] == buckets[i].node
 	root    cryptoutil.Hash     // memoized forest root; EmptyRoot when empty
 	hashed  uint64
+	// spineOwned marks the spine arrays as private scratch (rebuilt since
+	// the last view/checkpoint). It doubles as the did-anything-mutate flag
+	// for expose: inserts always rebuild the spine, so spineOwned == false
+	// implies no private bucket exists either.
+	spineOwned bool
+}
+
+// expose marks every array a view or checkpoint hands out as shared:
+// spine levels and bucket trees lose their in-place merge right until the
+// next insert rebuilds them fresh.
+func (f *forestLayout) expose() {
+	if !f.spineOwned {
+		return
+	}
+	f.spineOwned = false
+	for _, b := range f.buckets {
+		b.private = false
+	}
 }
 
 // newForestLayout builds an empty forest with the descriptor's capacity.
@@ -88,13 +112,35 @@ func (f *forestLayout) insert(batch []Leaf) {
 				next = append(next, b) // untouched: shared with the old version
 				continue
 			}
-			merged, mergedHashes, firstChanged, leafOps := mergeLeaves(b.tree.leaves, b.leafHashes(), batch[start:j])
+			sub := batch[start:j]
+			if newLen := len(b.tree.leaves) + len(sub); b.private && newLen <= f.cap &&
+				cap(b.tree.leaves) >= newLen && cap(b.tree.levels[0]) >= newLen {
+				// Arena path: the bucket is private scratch of this window,
+				// so the sub-batch merges into its arrays with zero
+				// reallocation and the bucket object itself is reused.
+				merged, mergedHashes, firstChanged, leafOps := mergeLeavesInPlace(b.tree.leaves, b.leafHashes(), sub)
+				f.hashed += leafOps
+				levels, nodeOps := buildLevelsInPlace(b.tree.levels, mergedHashes, firstChanged)
+				f.hashed += nodeOps
+				b.tree.leaves = merged
+				b.tree.levels = levels
+				b.node = cryptoutil.HashBucket(b.lo.Raw(), b.hi.Raw(), uint64(len(merged)), b.tree.root())
+				f.hashed++
+				if structFrom < 0 {
+					dirty = append(dirty, len(next))
+				}
+				next = append(next, b)
+				continue
+			}
+			merged, mergedHashes, firstChanged, leafOps := mergeLeaves(b.tree.leaves, b.leafHashes(), sub)
 			f.hashed += leafOps
 			if len(merged) <= f.cap {
 				if structFrom < 0 {
 					dirty = append(dirty, len(next))
 				}
-				next = append(next, f.buildBucket(b.lo, b.hi, merged, mergedHashes, b.tree.levels, firstChanged))
+				nb := f.buildBucket(b.lo, b.hi, merged, mergedHashes, b.tree.levels, firstChanged)
+				nb.private = true
+				next = append(next, nb)
 			} else {
 				if structFrom < 0 {
 					structFrom = len(next)
@@ -105,6 +151,7 @@ func (f *forestLayout) insert(batch []Leaf) {
 	}
 	f.buckets = next
 	f.rebuildSpine(oldSpine, oldLen, structFrom, dirty)
+	f.spineOwned = true
 }
 
 // buildBucket assembles one bucket, reusing interior nodes left of
@@ -144,6 +191,19 @@ func (f *forestLayout) chunkBuckets(lo, hi serial.Number, leaves []Leaf, hashes 
 // the dirty buckets are rehashed (O(k·log #buckets)); a split falls back to
 // the left-prefix reuse of buildLevels from the first changed index.
 func (f *forestLayout) rebuildSpine(oldSpine [][]cryptoutil.Hash, oldLen, structFrom int, dirty []int) {
+	if structFrom < 0 && len(f.buckets) == oldLen && f.spineOwned {
+		// Arena path: the spine arrays are still private scratch of this
+		// window and the bucket list kept its shape, so the dirty paths are
+		// rewritten in place with zero allocation.
+		for _, idx := range dirty {
+			oldSpine[0][idx] = f.buckets[idx].node
+		}
+		rebuildSpineDirtyInPlace(oldSpine, dirty, &f.hashed)
+		f.spine = oldSpine
+		f.root = cryptoutil.HashForestRoot(uint64(len(f.buckets)), f.spine[len(f.spine)-1][0])
+		f.hashed++
+		return
+	}
 	spine0 := make([]cryptoutil.Hash, len(f.buckets))
 	for i, b := range f.buckets {
 		spine0[i] = b.node
@@ -196,8 +256,46 @@ func rebuildSpineDirty(old [][]cryptoutil.Hash, spine0 []cryptoutil.Hash, dirty 
 	return levels
 }
 
+// rebuildSpineDirtyInPlace is the arena variant of rebuildSpineDirty: the
+// spine arrays are private scratch, so dirty parents are written directly
+// into the existing levels. The parent work-list reuses the dirty slice's
+// backing array (parent writes trail the reads: k-th append consumes ≥ k+1
+// elements), so the whole walk allocates nothing.
+func rebuildSpineDirtyInPlace(spine [][]cryptoutil.Hash, dirty []int, hashed *uint64) {
+	cur := spine[0]
+	for lvl := 1; len(cur) > 1; lvl++ {
+		next := spine[lvl]
+		parents := dirty[:0]
+		last := -1
+		for _, idx := range dirty {
+			k := idx / 2
+			if k == last {
+				continue
+			}
+			last = k
+			if 2*k+1 < len(cur) {
+				next[k] = cryptoutil.HashNode(cur[2*k], cur[2*k+1])
+				*hashed++
+			} else {
+				next[k] = cur[2*k] // odd rightmost node: promoted unchanged
+			}
+			parents = append(parents, k)
+		}
+		cur = next
+		dirty = parents
+	}
+}
+
 func (f *forestLayout) view() LayoutView {
+	f.expose()
 	return forestView{buckets: f.buckets, spine: f.spine, root: f.root}
+}
+
+func (f *forestLayout) rootHash() cryptoutil.Hash {
+	if len(f.buckets) == 0 {
+		return EmptyRoot
+	}
+	return f.root
 }
 
 func (f *forestLayout) hashedNodes() uint64 { return f.hashed }
@@ -234,12 +332,19 @@ type forestState struct {
 }
 
 func (f *forestLayout) checkpoint() layoutState {
+	// The captured bucket pointers and spine headers may be held until an
+	// arbitrarily later restore: expose them so no in-place merge rewrites
+	// what the checkpoint pinned.
+	f.expose()
 	return forestState{buckets: f.buckets, spine: f.spine, root: f.root}
 }
 
 func (f *forestLayout) restore(st layoutState) {
 	s := st.(forestState)
 	f.buckets, f.spine, f.root = s.buckets, s.spine, s.root
+	// The reinstated state is the checkpointed (exposed) version; the
+	// private scratch a failed replay built is dropped for the collector.
+	f.spineOwned = false
 }
 
 // forestView is one immutable version of the forest's proving state.

@@ -20,21 +20,45 @@ type sortedLayout struct {
 	leafHashes []cryptoutil.Hash // parallel to leaves; == levels[0]
 	levels     [][]cryptoutil.Hash
 	hashed     uint64
+	// owned marks the arrays above as private scratch: (re)built since the
+	// last view/checkpoint, so no published snapshot or captured checkpoint
+	// can reach them and insert may extend them in place (the zero-realloc
+	// arena path). view and checkpoint expose the arrays and clear it.
+	owned bool
 }
 
 func (l *sortedLayout) kind() LayoutKind { return LayoutSorted }
 
 func (l *sortedLayout) insert(batch []Leaf) {
+	total := len(l.leaves) + len(batch)
+	if l.owned && cap(l.leaves) >= total && cap(l.leafHashes) >= total {
+		merged, mergedHashes, firstChanged, leafOps := mergeLeavesInPlace(l.leaves, l.leafHashes, batch)
+		levels, nodeOps := buildLevelsInPlace(l.levels, mergedHashes, firstChanged)
+		l.leaves = merged
+		l.leafHashes = mergedHashes
+		l.levels = levels
+		l.hashed += leafOps + nodeOps
+		return
+	}
 	merged, mergedHashes, firstChanged, leafOps := mergeLeaves(l.leaves, l.leafHashes, batch)
 	levels, nodeOps := buildLevels(mergedHashes, l.levels, firstChanged)
 	l.leaves = merged
 	l.leafHashes = mergedHashes
 	l.levels = levels
 	l.hashed += leafOps + nodeOps
+	l.owned = true
 }
 
 func (l *sortedLayout) view() LayoutView {
+	l.owned = false
 	return sortedView{miniTree{leaves: l.leaves, levels: l.levels}}
+}
+
+func (l *sortedLayout) rootHash() cryptoutil.Hash {
+	if len(l.leaves) == 0 {
+		return EmptyRoot
+	}
+	return l.levels[len(l.levels)-1][0]
 }
 
 func (l *sortedLayout) hashedNodes() uint64 { return l.hashed }
@@ -63,12 +87,18 @@ type sortedState struct {
 }
 
 func (l *sortedLayout) checkpoint() layoutState {
+	// The captured slice headers may be held until an arbitrarily later
+	// restore: expose the arrays so no in-place merge rewrites them.
+	l.owned = false
 	return sortedState{leaves: l.leaves, leafHashes: l.leafHashes, levels: l.levels}
 }
 
 func (l *sortedLayout) restore(st layoutState) {
 	s := st.(sortedState)
 	l.leaves, l.leafHashes, l.levels = s.leaves, s.leafHashes, s.levels
+	// The reinstated arrays are the checkpointed (exposed) version; the
+	// private scratch a failed replay built is dropped for the collector.
+	l.owned = false
 }
 
 // sortedView is one immutable version of the sorted layout's proving state.

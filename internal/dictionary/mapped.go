@@ -172,7 +172,7 @@ func newOvSorted(st *MappedState) *ovSorted {
 }
 
 func (o *ovSorted) insert(batch []Leaf)       { o.l.insert(batch) }
-func (o *ovSorted) rootHash() cryptoutil.Hash { return o.l.view().Root() }
+func (o *ovSorted) rootHash() cryptoutil.Hash { return o.l.rootHash() }
 func (o *ovSorted) layoutView() LayoutView    { return o.l.view() }
 func (o *ovSorted) revoked(s serial.Number) bool {
 	_, ok := o.l.view().Revoked(s)

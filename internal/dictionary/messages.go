@@ -201,8 +201,27 @@ func (m *IssuanceMessage) Encode() []byte {
 	return e.Bytes()
 }
 
-// DecodeIssuanceMessage parses an issuance message encoded by Encode.
+// DecodeIssuanceMessage parses an issuance message encoded by Encode. The
+// decoded serials own their bytes independently of buf: the whole batch is
+// packed into a single arena sized off the input, so the decode costs one
+// backing allocation for all serial bytes however large the batch. Paths
+// whose input buffer is reused or shared must use this form (WAL replay —
+// storage hands out records aliasing one shared read buffer).
 func DecodeIssuanceMessage(buf []byte) (*IssuanceMessage, error) {
+	return decodeIssuance(buf, false)
+}
+
+// DecodeIssuanceMessageView parses an issuance message whose serials ALIAS
+// buf — zero copies of serial bytes. The caller guarantees buf is never
+// modified and outlives every decoded serial; the pull-apply path
+// qualifies because the PullResponse retains its body for re-encoding
+// anyway, so the serials ride on bytes that already live as long as the
+// message.
+func DecodeIssuanceMessageView(buf []byte) (*IssuanceMessage, error) {
+	return decodeIssuance(buf, true)
+}
+
+func decodeIssuance(buf []byte, view bool) (*IssuanceMessage, error) {
 	d := wire.NewDecoder(buf)
 	count := d.Uvarint()
 	if d.Err() != nil {
@@ -213,8 +232,21 @@ func DecodeIssuanceMessage(buf []byte) (*IssuanceMessage, error) {
 		return nil, fmt.Errorf("decode issuance message: batch of %d serials exceeds limit", count)
 	}
 	msg := &IssuanceMessage{Serials: make([]serial.Number, 0, count)}
+	var arena []byte
+	if !view {
+		// Every serial is a sub-slice of buf, so len(buf) bounds their total
+		// length: the arena never reallocates, and each packed serial's
+		// capacity-clipped sub-slice stays valid for good.
+		arena = make([]byte, 0, len(buf))
+	}
 	for i := uint64(0); i < count; i++ {
-		s, err := serial.New(d.BytesField())
+		b := d.BytesField()
+		if !view {
+			start := len(arena)
+			arena = append(arena, b...)
+			b = arena[start:len(arena):len(arena)]
+		}
+		s, err := serial.View(b)
 		if err != nil {
 			return nil, fmt.Errorf("decode issuance message serial %d: %w", i, err)
 		}

@@ -192,6 +192,14 @@ func (r *Replica) UpdateWithBounds(msg *IssuanceMessage, bounds []uint64) error 
 // increasing; bounds outside that range are skipped. Caller holds mu and
 // owns rollback on error.
 func (r *Replica) insertSubBatches(serials []serial.Number, have uint64, bounds []uint64) error {
+	if r.layoutKind.base() == LayoutSorted {
+		// The sorted layout's root depends only on content, never on the
+		// batch structure of the insertion history — bounds exist solely to
+		// reproduce the forest's bucketization. Coalescing the whole suffix
+		// into one merge turns a lagging replica's catch-up from one O(n)
+		// rebuild per original ∆ batch into a single O(n) merge.
+		return r.tree.InsertBatch(serials)
+	}
 	start := uint64(0)
 	end := have + uint64(len(serials))
 	for _, b := range bounds {

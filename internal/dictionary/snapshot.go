@@ -96,13 +96,17 @@ func (s *Snapshot) Log() []serial.Number {
 // this version, lock-free: the dissemination network serves catch-up
 // suffixes from the same frozen version as the signed root and freshness
 // statement, so a response can never tear across a concurrent update.
+//
+// Aliasing contract: the result is a capacity-clipped sub-slice of the
+// snapshot's log, not a copy. The snapshot was taken at a published state
+// — a rollback never rewinds below it, and appends only write positions
+// past its length — so every position the suffix covers is frozen forever
+// (same contract as Tree.LogSuffix).
 func (s *Snapshot) LogSuffix(from, to uint64) ([]serial.Number, error) {
 	if from > to || to > uint64(len(s.log)) {
 		return nil, fmt.Errorf("dictionary: log suffix (%d, %d] of %d", from, to, len(s.log))
 	}
-	out := make([]serial.Number, to-from)
-	copy(out, s.log[from:to])
-	return out, nil
+	return s.log[from:to:to], nil
 }
 
 // BatchBounds returns the cumulative counts strictly inside (from, to) at

@@ -127,8 +127,11 @@ func (t *Tree) view() LayoutView { return t.commit.view() }
 func (t *Tree) Count() uint64 { return uint64(len(t.log)) }
 
 // Root returns the current root hash (EmptyRoot when the tree is empty).
+// It reads the layout's memoized root without exposing the backing arrays,
+// so a root check between replayed sub-batches does not end the layout's
+// private scratch window (see Layout).
 func (t *Tree) Root() cryptoutil.Hash {
-	return t.commit.view().Root()
+	return t.commit.rootHash()
 }
 
 // Revoked reports whether s is in the dictionary, and its revocation number.
@@ -148,13 +151,22 @@ func (t *Tree) Log() []serial.Number {
 
 // LogSuffix returns the serials with revocation numbers in (from, to], used
 // by the dissemination sync protocol to catch a replica up.
+//
+// Aliasing contract: the result is a capacity-clipped sub-slice of the
+// tree's log, not a copy. The log is append-only — InsertBatch writes only
+// positions at or past the current length, never ones an earlier suffix
+// covered — so a returned suffix is immutable for as long as the caller
+// holds it. The one writer that rewinds the log (Replica's rollback) only
+// rewinds to the last published snapshot, and suffixes of a replica are
+// handed out via Snapshot.LogSuffix at exactly that published state, so no
+// live suffix ever extends past a point a rollback can rewrite. The
+// three-index slice caps capacity at the suffix length, so a caller's own
+// append cannot write into the tree's log either.
 func (t *Tree) LogSuffix(from, to uint64) ([]serial.Number, error) {
 	if from > to || to > t.Count() {
 		return nil, fmt.Errorf("dictionary: log suffix (%d, %d] of %d", from, to, t.Count())
 	}
-	out := make([]serial.Number, to-from)
-	copy(out, t.log[from:to])
-	return out, nil
+	return t.log[from:to:to], nil
 }
 
 // InsertBatch revokes the given serials, assigning consecutive revocation
@@ -166,33 +178,37 @@ func (t *Tree) InsertBatch(serials []serial.Number) error {
 		return nil
 	}
 	// Validate first: no serial may repeat, within the batch or historically.
-	inBatch := make(map[string]struct{}, len(serials))
-	for _, s := range serials {
-		if s.IsZero() {
-			return fmt.Errorf("dictionary: insert of zero-value serial")
-		}
-		key := string(s.Raw())
-		if _, dup := t.bySerial[key]; dup {
-			return fmt.Errorf("%w: %v", ErrDuplicateSerial, s)
-		}
-		if _, dup := inBatch[key]; dup {
-			return fmt.Errorf("%w: %v appears twice in batch", ErrDuplicateSerial, s)
-		}
-		inBatch[key] = struct{}{}
-	}
-
-	// Assign revocation numbers in issuance order.
+	// Historic duplicates fall out of a bySerial lookup (no allocation);
+	// in-batch duplicates are adjacent after the sort below, so no per-batch
+	// set is needed.
 	newLeaves := make([]Leaf, len(serials))
 	next := t.Count() + 1
 	for i, s := range serials {
+		if s.IsZero() {
+			return fmt.Errorf("dictionary: insert of zero-value serial")
+		}
+		if _, dup := t.bySerial[string(s.Raw())]; dup {
+			return fmt.Errorf("%w: %v", ErrDuplicateSerial, s)
+		}
 		newLeaves[i] = Leaf{Serial: s, Num: next + uint64(i)}
-		t.bySerial[string(s.Raw())] = newLeaves[i].Num
+	}
+	// Sort the batch by serial; equal serials land adjacent.
+	sortLeaves(newLeaves)
+	for i := 1; i < len(newLeaves); i++ {
+		if newLeaves[i].Serial.Compare(newLeaves[i-1].Serial) == 0 {
+			return fmt.Errorf("%w: %v appears twice in batch", ErrDuplicateSerial, newLeaves[i].Serial)
+		}
+	}
+
+	// Commit: index and log in issuance order, then hand the sorted batch to
+	// the layout, which merges it copy-on-write: the previous version's
+	// arrays — possibly aliased by a published Snapshot — are never touched.
+	for _, s := range serials {
 		t.log = append(t.log, s)
 	}
-	// Sort the batch by serial, then hand it to the layout, which merges it
-	// copy-on-write: the previous version's arrays — possibly aliased by a
-	// published Snapshot — are never touched.
-	sortLeaves(newLeaves)
+	for _, lf := range newLeaves {
+		t.bySerial[string(lf.Serial.Raw())] = lf.Num
+	}
 	t.commit.insert(newLeaves)
 	t.bounds = append(t.bounds, t.Count())
 	return nil
@@ -289,7 +305,8 @@ func (t *Tree) MemoryFootprint() int {
 }
 
 func sortLeaves(leaves []Leaf) {
-	// Leaves never share serials (validated by InsertBatch), so the
+	// Equal serials only occur transiently during InsertBatch validation
+	// (where they are rejected); their relative order is irrelevant, so the
 	// comparison needs no tiebreaker.
 	slices.SortFunc(leaves, func(a, b Leaf) int { return a.Serial.Compare(b.Serial) })
 }

@@ -103,6 +103,11 @@ type StackOptions struct {
 	Delta time.Duration
 	// EdgeTTL is the edge cache TTL (0 = ∆/2).
 	EdgeTTL time.Duration
+	// RootTTL is the edge signed-root cache TTL (0 = ∆/4). The loadgen
+	// stack runs no equivocation monitor through its edges, so bounded
+	// staleness well under the client's 2∆ tolerance is safe; pass a
+	// negative value to disable root caching entirely.
+	RootTTL time.Duration
 	// FetchInterval is the RA pull cadence (0 = ∆/2).
 	FetchInterval time.Duration
 	// DataDir holds the writer's WAL/checkpoints when Readers > 0
@@ -130,6 +135,11 @@ func (o *StackOptions) fill() {
 	}
 	if o.EdgeTTL <= 0 {
 		o.EdgeTTL = o.Delta / 2
+	}
+	if o.RootTTL == 0 {
+		o.RootTTL = o.Delta / 4
+	} else if o.RootTTL < 0 {
+		o.RootTTL = 0
 	}
 	if o.FetchInterval <= 0 {
 		o.FetchInterval = o.Delta / 2
@@ -207,6 +217,7 @@ func BuildStack(opts StackOptions) (*Stack, error) {
 	// every hop over a real socket through cdn.HTTPClient.
 	for r := 0; r < opts.Regions; r++ {
 		edge := cdn.NewEdgeServer(&cdn.HTTPClient{BaseURL: originURL}, opts.EdgeTTL, nil)
+		edge.SetRootTTL(opts.RootTTL)
 		srv, ln, err := serveHTTP(edge, cdn.HandlerOptions{})
 		if err != nil {
 			return nil, err
@@ -216,6 +227,7 @@ func BuildStack(opts StackOptions) (*Stack, error) {
 	for r := 0; r < opts.Regions; r++ {
 		for p := 0; p < opts.PoPs; p++ {
 			edge := cdn.NewEdgeServer(&cdn.HTTPClient{BaseURL: s.regions[r].url()}, opts.EdgeTTL, nil)
+			edge.SetRootTTL(opts.RootTTL)
 			srv, ln, err := serveHTTP(edge, cdn.HandlerOptions{})
 			if err != nil {
 				return nil, err

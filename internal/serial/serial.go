@@ -39,17 +39,35 @@ type Number struct {
 
 // New validates b and returns it as a Number. The bytes are copied.
 func New(b []byte) (Number, error) {
-	switch {
-	case len(b) == 0:
-		return Number{}, ErrEmpty
-	case len(b) > MaxLen:
-		return Number{}, fmt.Errorf("%w: %d bytes", ErrTooLong, len(b))
-	case len(b) > 1 && b[0] == 0:
-		return Number{}, ErrNotMinimal
+	if err := validate(b); err != nil {
+		return Number{}, err
 	}
 	out := make([]byte, len(b))
 	copy(out, b)
 	return Number{b: out}, nil
+}
+
+// View validates b and returns it as a Number ALIASING b — no copy. The
+// caller guarantees b is never modified for the Number's lifetime; it is
+// the zero-copy decode path, where serials alias a pull body that outlives
+// the apply.
+func View(b []byte) (Number, error) {
+	if err := validate(b); err != nil {
+		return Number{}, err
+	}
+	return Number{b: b}, nil
+}
+
+func validate(b []byte) error {
+	switch {
+	case len(b) == 0:
+		return ErrEmpty
+	case len(b) > MaxLen:
+		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(b))
+	case len(b) > 1 && b[0] == 0:
+		return ErrNotMinimal
+	}
+	return nil
 }
 
 // FromUint64 returns the Number for a small integer. FromUint64(0) yields

@@ -7,6 +7,16 @@
 //
 // Emit:    go test -bench ... | go run ./tools/benchjson -out BENCH_6.json
 // Compare: go test -bench ... | go run ./tools/benchjson -baseline BENCH_6.json
+// Enforce: go test -bench ... | go run ./tools/benchjson -strict "allocs/op<=40"
+//
+// -strict takes comma-separated "metric<=threshold" constraints and exits
+// non-zero when the current run violates any of them. A constraint may be
+// scoped to one benchmark with "name:metric<=threshold"; unscoped it
+// applies to every benchmark carrying the metric. Unlike the timing
+// comparison, which stays report-only, deterministic metrics (allocation
+// counts) are reproducible on any runner and ARE gated in CI. -strict
+// combines with -out, so one invocation can record the trajectory file and
+// enforce the floor.
 //
 // Besides `go test -bench` lines, stdin may carry aggregate records as
 // JSON lines in the Benchmark shape —
@@ -45,9 +55,19 @@ type File struct {
 func main() {
 	out := flag.String("out", "", "write parsed benchmarks as JSON to this file")
 	baseline := flag.String("baseline", "", "compare parsed benchmarks against this committed JSON baseline (report-only)")
+	strict := flag.String("strict", "", `comma-separated "[name:]metric<=threshold" constraints; exit non-zero if the current run violates any`)
 	flag.Parse()
-	if (*out == "") == (*baseline == "") {
-		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -baseline is required")
+	if *out != "" && *baseline != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out and -baseline are mutually exclusive")
+		os.Exit(2)
+	}
+	if *out == "" && *baseline == "" && *strict == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: one of -out, -baseline, or -strict is required")
+		os.Exit(2)
+	}
+	constraints, err := parseConstraints(*strict)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
 
@@ -72,17 +92,91 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(parsed.Benchmarks), *out)
-		return
 	}
 
-	base, err := load(*baseline)
-	if err != nil {
-		// Report-only: a missing or unreadable baseline is a note, not a
-		// failure (first run on a new branch, for example).
-		fmt.Printf("benchjson: no usable baseline (%v); nothing to compare\n", err)
-		return
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			// Report-only: a missing or unreadable baseline is a note, not a
+			// failure (first run on a new branch, for example).
+			fmt.Printf("benchjson: no usable baseline (%v); nothing to compare\n", err)
+		} else {
+			compare(base, parsed)
+		}
 	}
-	compare(base, parsed)
+
+	if len(constraints) > 0 && !enforce(constraints, parsed) {
+		os.Exit(1)
+	}
+}
+
+// constraint is one parsed -strict bound: metric must stay ≤ threshold,
+// optionally scoped to a single benchmark name.
+type constraint struct {
+	bench     string // empty = every benchmark carrying the metric
+	metric    string
+	threshold float64
+}
+
+func parseConstraints(spec string) ([]constraint, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []constraint
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(part, "<=")
+		if !ok {
+			return nil, fmt.Errorf("strict constraint %q: want [name:]metric<=threshold", part)
+		}
+		threshold, err := strconv.ParseFloat(strings.TrimSpace(rhs), 64)
+		if err != nil {
+			return nil, fmt.Errorf("strict constraint %q: bad threshold: %v", part, err)
+		}
+		c := constraint{metric: strings.TrimSpace(lhs), threshold: threshold}
+		if name, metric, scoped := strings.Cut(c.metric, ":"); scoped {
+			c.bench, c.metric = strings.TrimSpace(name), strings.TrimSpace(metric)
+		}
+		if c.metric == "" {
+			return nil, fmt.Errorf("strict constraint %q: empty metric", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// enforce checks every constraint against the current run and reports
+// pass/fail per match. A constraint that matches nothing fails too — a
+// typo'd metric must not gate vacuously.
+func enforce(constraints []constraint, cur *File) bool {
+	ok := true
+	for _, c := range constraints {
+		matched := 0
+		for _, b := range cur.Benchmarks {
+			if c.bench != "" && b.Name != c.bench {
+				continue
+			}
+			v, has := b.Metrics[c.metric]
+			if !has {
+				continue
+			}
+			matched++
+			if v > c.threshold {
+				fmt.Printf("benchjson: STRICT FAIL %s %s = %.3f > %.3f\n", b.Name, c.metric, v, c.threshold)
+				ok = false
+			} else {
+				fmt.Printf("benchjson: strict ok   %s %s = %.3f <= %.3f\n", b.Name, c.metric, v, c.threshold)
+			}
+		}
+		if matched == 0 {
+			fmt.Printf("benchjson: STRICT FAIL no benchmark matched constraint %q (metric %s)\n", c.bench, c.metric)
+			ok = false
+		}
+	}
+	return ok
 }
 
 // parse extracts benchmark result lines. The format is the fixed shape
